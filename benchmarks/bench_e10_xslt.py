@@ -1,0 +1,111 @@
+"""E10 — the headline claim.
+
+Claim: "(Often) orders of magnitude better performance than the best
+XSLT implementation; even in worst case comparable."
+
+Our XSLT stand-in is the materializing TreeTransformer baseline
+(template-driven, copies everything, no laziness).  Series reported:
+
+- a *selective* transformation (project person cards out of XMark):
+  the engine's lazy pipeline touches only what it outputs, the
+  transformer walks and copies the world — this is where the big
+  factor appears;
+- the *worst case* (full identity copy): both engines do the same
+  copying work, so they should be comparable (same order of
+  magnitude).
+"""
+
+import pytest
+
+from repro import Engine
+from repro.baselines import Template, TreeTransformer
+from repro.baselines.tree_transformer import element
+from repro.xdm.build import node_events, parse_document
+from repro.xdm.nodes import ElementNode
+from repro.xmlio import serialize_events
+
+_engine = Engine()
+
+_CARDS_QUERY = _engine.compile(
+    "<cards>{ for $p in /site/people/person "
+    "return <card name='{$p/name}' city='{$p/address/city}'/> }</cards>")
+
+_IDENTITY_QUERY = _engine.compile("<copy>{ /site }</copy>")
+
+
+def _cards_transformer() -> TreeTransformer:
+    def site(node, transformer):
+        cards = []
+        for people in node.children:
+            if isinstance(people, ElementNode) and people.name.local == "people":
+                for person in people.children:
+                    if isinstance(person, ElementNode):
+                        name = city = ""
+                        for child in person.children:
+                            if isinstance(child, ElementNode):
+                                if child.name.local == "name":
+                                    name = child.string_value
+                                elif child.name.local == "address":
+                                    for sub in child.children:
+                                        if isinstance(sub, ElementNode) and \
+                                                sub.name.local == "city":
+                                            city = sub.string_value
+                        cards.append(element("card", {"name": name, "city": city}))
+        return [element("cards", children=cards)]
+
+    return TreeTransformer([Template("site", site)])
+
+
+def test_engine_selective(benchmark, xmark_s02):
+    benchmark.group = "E10 selective projection"
+    benchmark.name = "repro engine"
+
+    def run():
+        return _CARDS_QUERY.execute(context_item=xmark_s02).serialize()
+
+    out = benchmark(run)
+    assert out.startswith("<cards>")
+
+
+def test_transformer_selective(benchmark, xmark_s02):
+    benchmark.group = "E10 selective projection"
+    benchmark.name = "tree transformer (XSLT stand-in)"
+    transformer = _cards_transformer()
+
+    def run():
+        nodes = transformer.transform_text(xmark_s02)
+        return serialize_events(node_events(nodes[0], with_document=False))
+
+    out = benchmark(run)
+    assert out.startswith("<cards>")
+
+
+def test_outputs_equivalent(xmark_s02):
+    engine_out = _CARDS_QUERY.execute(context_item=xmark_s02).serialize()
+    nodes = _cards_transformer().transform_text(xmark_s02)
+    transformer_out = serialize_events(node_events(nodes[0], with_document=False))
+    assert engine_out == transformer_out
+
+
+def test_engine_identity(benchmark, xmark_s02):
+    """Worst case: copy everything — should be comparable, not faster."""
+    benchmark.group = "E10 identity copy (worst case)"
+    benchmark.name = "repro engine"
+
+    def run():
+        return _IDENTITY_QUERY.execute(context_item=xmark_s02).serialize()
+
+    assert len(benchmark(run)) > len(xmark_s02) * 0.8
+
+
+def test_transformer_identity(benchmark, xmark_s02):
+    benchmark.group = "E10 identity copy (worst case)"
+    benchmark.name = "tree transformer (XSLT stand-in)"
+    transformer = TreeTransformer([])
+
+    def run():
+        nodes = transformer.transform_text(xmark_s02)
+        return "".join(serialize_events(node_events(n, with_document=False))
+                       for n in nodes)
+
+    assert len(benchmark(run)) > len(xmark_s02) * 0.8

@@ -1,0 +1,70 @@
+"""E2 — lazy evaluation.
+
+Claim: "Do lazy evaluation (compute only when you need it, and only if
+you need it)"; "particularly important for existential/universal
+quantification (often implicit), top N, positional predicates,
+recursive functions."
+
+Series reported: for each construct (positional [1], existential
+some-satisfies, fn:exists, top-3 subsequence), the lazy engine vs the
+same engine forced to materialize (count(...) drains everything).
+The shape: lazy variants cost O(1)-ish while the drain scales with N.
+"""
+
+import pytest
+
+from repro import Engine
+
+N = 20_000
+
+#: (name, lazy query, draining counterpart)
+CASES = [
+    ("positional",
+     f"(for $i in (1 to {N}) return <n>{{$i}}</n>)[1]",
+     f"count(for $i in (1 to {N}) return <n>{{$i}}</n>)"),
+    ("existential",
+     f"some $x in (for $i in (1 to {N}) return $i * 7) satisfies $x eq 7",
+     f"count(for $i in (1 to {N}) return $i * 7)"),
+    ("exists",
+     f"exists(for $i in (1 to {N}) return <n>{{$i}}</n>)",
+     f"count(for $i in (1 to {N}) return <n>{{$i}}</n>)"),
+    ("top3",
+     f"subsequence(for $i in (1 to {N}) return $i * $i, 1, 3)",
+     f"count(for $i in (1 to {N}) return $i * $i)"),
+]
+
+_engine = Engine()
+_compiled = {query: _engine.compile(query)
+             for _name, lazy, drain in CASES for query in (lazy, drain)}
+
+
+@pytest.mark.parametrize("name,lazy,drain", CASES, ids=[c[0] for c in CASES])
+def test_lazy(benchmark, name, lazy, drain):
+    benchmark.group = f"E2 {name}"
+    benchmark.name = "lazy"
+    result = benchmark(lambda: _compiled[lazy].execute().items())
+    assert result
+
+
+@pytest.mark.parametrize("name,lazy,drain", CASES, ids=[c[0] for c in CASES])
+def test_drain(benchmark, name, lazy, drain):
+    benchmark.group = f"E2 {name}"
+    benchmark.name = "drain-everything"
+    result = benchmark(lambda: _compiled[drain].execute().items())
+    assert result
+
+
+def test_lazy_work_is_constant():
+    """Qualitative check: the positional query constructs O(1) elements
+    regardless of N (the instrumentation counts constructor calls)."""
+    result = _compiled[CASES[0][1]].execute()
+    result.items()
+    assert result.stats.get("elements_constructed", 0) <= 2
+
+
+def test_recursive_function_terminates():
+    """The tutorial's endlessOnes — nonterminating without laziness."""
+    q = ("declare function local:ones() as xs:integer* "
+         "{ (1, local:ones()) }; "
+         "some $x in local:ones() satisfies $x eq 1")
+    assert _engine.compile(q).execute().values() == [True]

@@ -1,0 +1,74 @@
+"""E3 — TokenStream pooling (dictionary compression).
+
+Claim: "Pooling: store strings only once ... works for all QNames and
+text"; binary on-disk form is "compressed".
+
+Series reported: serialized sizes (text vs unpooled binary vs pooled
+binary) for XMark and ebXML documents, plus encode/decode throughput.
+Shape target: pooled < unpooled, with the gap largest on tag-heavy
+(ebXML-like) data; decode remains single-pass and fast.
+"""
+
+import pytest
+
+from repro.tokens import read_binary, tokens_from_events, write_binary
+from repro.xmlio.parser import parse_events
+
+
+@pytest.fixture(scope="module")
+def xmark_tokens(xmark_s02):
+    return list(tokens_from_events(parse_events(xmark_s02)))
+
+
+@pytest.fixture(scope="module")
+def ebxml_tokens(ebxml_doc):
+    return list(tokens_from_events(parse_events(ebxml_doc)))
+
+
+def _sizes(tokens, text):
+    pooled = write_binary(tokens, pooled=True)
+    plain = write_binary(tokens, pooled=False)
+    return {"text_bytes": len(text.encode()), "unpooled_bytes": len(plain),
+            "pooled_bytes": len(pooled),
+            "pooling_ratio": round(len(plain) / len(pooled), 3)}
+
+
+def test_encode_pooled_xmark(benchmark, xmark_tokens, xmark_s02):
+    benchmark.group = "E3 encode xmark"
+    benchmark.extra_info.update(_sizes(xmark_tokens, xmark_s02))
+    blob = benchmark(write_binary, xmark_tokens, True)
+    assert blob
+
+
+def test_encode_unpooled_xmark(benchmark, xmark_tokens):
+    benchmark.group = "E3 encode xmark"
+    blob = benchmark(write_binary, xmark_tokens, False)
+    assert blob
+
+
+def test_encode_pooled_ebxml(benchmark, ebxml_tokens, ebxml_doc):
+    benchmark.group = "E3 encode ebxml"
+    benchmark.extra_info.update(_sizes(ebxml_tokens, ebxml_doc))
+    blob = benchmark(write_binary, ebxml_tokens, True)
+    assert blob
+
+
+def test_decode_pooled_xmark(benchmark, xmark_tokens):
+    benchmark.group = "E3 decode xmark"
+    blob = write_binary(xmark_tokens, pooled=True)
+    count = benchmark(lambda: sum(1 for _ in read_binary(blob)))
+    assert count == len(xmark_tokens)
+
+
+def test_decode_unpooled_xmark(benchmark, xmark_tokens):
+    benchmark.group = "E3 decode xmark"
+    blob = write_binary(xmark_tokens, pooled=False)
+    count = benchmark(lambda: sum(1 for _ in read_binary(blob)))
+    assert count == len(xmark_tokens)
+
+
+def test_pooling_always_smaller(xmark_tokens, ebxml_tokens, xmark_s02, ebxml_doc):
+    for tokens, text in ((xmark_tokens, xmark_s02), (ebxml_tokens, ebxml_doc)):
+        sizes = _sizes(tokens, text)
+        assert sizes["pooled_bytes"] < sizes["unpooled_bytes"]
+        assert sizes["pooled_bytes"] < sizes["text_bytes"]

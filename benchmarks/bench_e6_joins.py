@@ -1,0 +1,108 @@
+"""E6 — structural joins vs navigation vs holistic twig joins.
+
+Claims (from the cited Al-Khalifa et al. and Bruno et al. papers, via
+the tutorial's algorithms slide): merge-based structural joins beat
+navigation for ancestor–descendant matching; holistic twig joins beat
+cascades of binary joins when intermediate results blow up.
+
+Series reported: per pattern (a simple A-D edge, a selective chain, a
+3-node branching twig) and per document scale, runtime of the three
+plans over the same labeled index.  Shape targets: joins >> navigation
+on low-selectivity patterns; twigstack ≥ binary when the branch
+produces large intermediate edge results.
+"""
+
+import pytest
+
+from repro.joins import TwigNode, TwigPattern, evaluate_pattern
+from repro.storage import ElementIndex
+from repro.workloads import generate_xmark
+from repro.workloads.synthetic import nested_sections
+from repro.xdm.build import parse_document
+
+ALGORITHMS = ("navigation", "binary", "twigstack")
+
+
+def _twig_branching() -> TwigPattern:
+    root = TwigNode("item")
+    root.add(TwigNode("keyword"), "descendant")
+    out = root.add(TwigNode("text"), "descendant")
+    out.is_output = True
+    return TwigPattern(root)
+
+
+PATTERNS = [
+    ("A-D edge //open_auction//increase",
+     TwigPattern.chain("open_auction", ("increase", "descendant"))),
+    ("chain //person/address/city",
+     TwigPattern.chain("person", ("address", "child"), ("city", "child"))),
+    ("branching item[.//keyword]//text", _twig_branching()),
+]
+
+
+@pytest.fixture(scope="module")
+def index(xmark_s08_index):
+    return xmark_s08_index
+
+
+@pytest.fixture(scope="module")
+def nested_index():
+    # self-nesting sections: the hard case for navigation (revisits)
+    return ElementIndex(parse_document(nested_sections(depth=8, fanout=2)))
+
+
+@pytest.fixture(scope="module")
+def rare_leaf_index():
+    # b everywhere, c rare: TwigStack prunes what binary joins enumerate
+    from repro.workloads.synthetic import random_tree
+
+    body = random_tree(3000, tags=("a", "b"), seed=3, max_depth=25)
+    inner = body[len("<root>"):-len("</root>")]
+    xml = "<root>" + inner + "<a><b/><c/></a>" * 5 + "</root>"
+    return ElementIndex(parse_document(xml))
+
+
+@pytest.fixture(scope="module")
+def rare_leaf_pattern():
+    root = TwigNode("a")
+    root.add(TwigNode("b"), "descendant")
+    out = root.add(TwigNode("c"), "descendant")
+    out.is_output = True
+    return TwigPattern(root)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("label,pattern", PATTERNS, ids=[p[0] for p in PATTERNS])
+def test_xmark_patterns(benchmark, index, algorithm, label, pattern):
+    benchmark.group = f"E6 {label}"
+    benchmark.name = algorithm
+    result = benchmark(evaluate_pattern, index, pattern, algorithm)
+    assert result
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_nested_sections(benchmark, nested_index, algorithm):
+    """Deep self-nesting: navigation revisits subtrees O(depth) times."""
+    benchmark.group = "E6 nested //section//title"
+    benchmark.name = algorithm
+    pattern = TwigPattern.chain("section", ("title", "descendant"))
+    result = benchmark(evaluate_pattern, nested_index, pattern, algorithm)
+    assert result
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_rare_leaf_twig(benchmark, rare_leaf_index, rare_leaf_pattern, algorithm):
+    """The holistic-join advantage: binary plans enumerate a×b pairs the
+    rare c edge then discards; TwigStack never pushes them."""
+    benchmark.group = "E6 rare-leaf a[.//b]//c"
+    benchmark.name = algorithm
+    result = benchmark(evaluate_pattern, rare_leaf_index, rare_leaf_pattern,
+                       algorithm)
+    assert len(result) == 5
+
+
+@pytest.mark.parametrize("label,pattern", PATTERNS, ids=[p[0] for p in PATTERNS])
+def test_plans_agree(index, label, pattern):
+    results = [[p.pre for p in evaluate_pattern(index, pattern, a)]
+               for a in ALGORITHMS]
+    assert results[0] == results[1] == results[2]

@@ -1,0 +1,79 @@
+"""Supplementary: document projection (Marian & Siméon, via the
+tutorial's streaming-evaluation slide).
+
+Series: per query, (a) query time over the full tree, (b) projection +
+query time over the pruned tree, (c) the node-count ratio (the memory
+footprint claim).  Shape target: pruned trees are a small fraction of
+the input and end-to-end projected evaluation competes with (or beats)
+full-tree evaluation despite re-scanning the text.
+"""
+
+import pytest
+
+from repro import Engine
+from repro.stream.projection import node_count, project_text, projection_spec
+from repro.xdm.build import parse_document
+
+_engine = Engine()
+
+QUERIES = {
+    "person-names": "for $p in /site/people/person return $p/name/text()",
+    "price-sum": ("sum(for $c in /site/closed_auctions/closed_auction "
+                  "return xs:double($c/price))"),
+    "item-filter": "/site/regions//item[quantity > 3]/name/text()",
+}
+
+
+@pytest.fixture(scope="module")
+def full_doc(xmark_s08):
+    return parse_document(xmark_s08)
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+def test_full_parse_and_query(benchmark, name, xmark_s08):
+    """Cold pipeline: parse the text, build the full tree, query."""
+    compiled = _engine.compile(QUERIES[name])
+    benchmark.group = f"Projection {name}"
+    benchmark.name = "parse full + query"
+
+    def run():
+        return compiled.execute(context_item=parse_document(xmark_s08)).serialize()
+
+    assert benchmark(run) is not None
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+def test_preparsed_tree(benchmark, name, full_doc):
+    """Reference: the tree already resident (no parse in the loop)."""
+    compiled = _engine.compile(QUERIES[name])
+    benchmark.group = f"Projection {name}"
+    benchmark.name = "pre-parsed tree"
+    out = benchmark(lambda: compiled.execute(context_item=full_doc).serialize())
+    assert out is not None
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+def test_projected(benchmark, name, xmark_s08, full_doc):
+    compiled = _engine.compile(QUERIES[name])
+    spec = projection_spec(compiled.optimized)
+    assert spec is not None
+    pruned = project_text(xmark_s08, spec)
+    benchmark.group = f"Projection {name}"
+    benchmark.name = "projected (incl. projection pass)"
+    benchmark.extra_info["kept_nodes"] = node_count(pruned)
+    benchmark.extra_info["full_nodes"] = node_count(full_doc)
+
+    def run():
+        doc = project_text(xmark_s08, spec)
+        return compiled.execute(context_item=doc).serialize()
+
+    out = benchmark(run)
+    assert out == compiled.execute(context_item=full_doc).serialize()
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+def test_footprint_reduction(name, xmark_s08, full_doc):
+    compiled = _engine.compile(QUERIES[name])
+    spec = projection_spec(compiled.optimized)
+    pruned = project_text(xmark_s08, spec)
+    assert node_count(pruned) < 0.6 * node_count(full_doc)

@@ -1,0 +1,28 @@
+"""Workload sweep: the XMark-style query suite over one document.
+
+Not tied to a single paper claim — this is the kitchen-sink regression
+workload (every engine paper of the era reported an XMark sweep).  The
+series doubles as a tracking metric for engine-wide performance.
+"""
+
+import pytest
+
+from repro import Engine
+from repro.workloads.xmark_queries import QUERIES
+from repro.xdm.build import parse_document
+
+_engine = Engine()
+
+
+@pytest.fixture(scope="module")
+def doc(xmark_s02):
+    return parse_document(xmark_s02)
+
+
+@pytest.mark.parametrize("key", list(QUERIES))
+def test_xmark_query(benchmark, key, doc):
+    benchmark.group = "XMark suite (scale 0.2)"
+    benchmark.name = key
+    compiled = _engine.compile(QUERIES[key].text)
+    out = benchmark(lambda: compiled.execute(context_item=doc).serialize())
+    assert out is not None

@@ -1,0 +1,49 @@
+"""Shared data fixtures for the experiment suite (E1–E10).
+
+Everything is session-scoped and deterministic: the benchmark numbers
+in EXPERIMENTS.md were produced from exactly these inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.storage import ElementIndex
+from repro.workloads import generate_ebxml, generate_messages, generate_xmark
+from repro.xdm.build import parse_document
+
+
+@pytest.fixture(scope="session")
+def xmark_s02() -> str:
+    return generate_xmark(scale=0.2, seed=2004)
+
+
+@pytest.fixture(scope="session")
+def xmark_s08() -> str:
+    return generate_xmark(scale=0.8, seed=2004)
+
+
+@pytest.fixture(scope="session")
+def xmark_s08_doc(xmark_s08):
+    return parse_document(xmark_s08)
+
+
+@pytest.fixture(scope="session")
+def xmark_s08_index(xmark_s08_doc):
+    return ElementIndex(xmark_s08_doc)
+
+
+@pytest.fixture(scope="session")
+def ebxml_doc() -> str:
+    return generate_ebxml(n_partners=10, seed=2004)
+
+
+@pytest.fixture(scope="session")
+def messages_500() -> list[str]:
+    return list(generate_messages(500, seed=2004))
+
+
+@pytest.fixture(scope="session")
+def engine() -> Engine:
+    return Engine()

@@ -1,0 +1,415 @@
+"""Experiment report generator: prints every E1–E10 series as a table.
+
+This is the human-readable companion to the pytest-benchmark suite:
+one run, one table per experiment, the same rows EXPERIMENTS.md
+records.
+
+Run:  python benchmarks/report.py [--quick]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+QUICK = "--quick" in sys.argv
+
+
+def timed(fn, repeat: int = 3) -> float:
+    """Best-of-N wall time in milliseconds."""
+    best = float("inf")
+    for _ in range(1 if QUICK else repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1000
+
+
+def table(title: str, header: list[str], rows: list[list]) -> None:
+    print(f"\n== {title} ==")
+    widths = [max(len(str(r[i])) for r in rows + [header]) for i in range(len(header))]
+    print("  " + "  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def fmt(ms: float) -> str:
+    return f"{ms:9.1f} ms"
+
+
+# ---------------------------------------------------------------------------
+
+
+def e1_streaming() -> None:
+    from repro import Engine
+    from repro.stream import parse_path, stream_path
+    from repro.workloads import generate_xmark
+    from repro.xmlio.parser import parse_events
+
+    path = "/site/people/person/name"
+    compiled = Engine().compile(f"for $n in {path} return $n")
+    rows = []
+    for scale in (0.2, 0.8) if not QUICK else (0.2,):
+        xml = generate_xmark(scale=scale, seed=2004)
+        sf = timed(lambda: next(stream_path(parse_events(xml), parse_path(path))))
+        sa = timed(lambda: sum(1 for _ in stream_path(parse_events(xml),
+                                                      parse_path(path))))
+        mf = timed(lambda: next(iter(compiled.execute(context_item=xml))))
+        ma = timed(lambda: len(compiled.execute(context_item=xml).items()))
+        rows.append([f"{len(xml) // 1024} KB", fmt(sf), fmt(mf),
+                     f"{mf / sf:5.1f}x", fmt(sa), fmt(ma)])
+    table("E1  streaming vs materialized",
+          ["document", "stream 1st", "mater. 1st", "1st-result win",
+           "stream all", "mater. all"], rows)
+
+
+def e2_lazy() -> None:
+    from repro import Engine
+
+    n = 20_000
+    engine = Engine()
+    cases = [
+        ("positional [1]",
+         f"(for $i in (1 to {n}) return <n>{{$i}}</n>)[1]",
+         f"count(for $i in (1 to {n}) return <n>{{$i}}</n>)"),
+        ("some..satisfies",
+         f"some $x in (for $i in (1 to {n}) return $i * 7) satisfies $x eq 7",
+         f"count(for $i in (1 to {n}) return $i * 7)"),
+        ("exists()",
+         f"exists(for $i in (1 to {n}) return <n>{{$i}}</n>)",
+         f"count(for $i in (1 to {n}) return <n>{{$i}}</n>)"),
+    ]
+    rows = []
+    for name, lazy, drain in cases:
+        lazy_c = engine.compile(lazy)
+        drain_c = engine.compile(drain)
+        lt = timed(lambda: lazy_c.execute().items())
+        dt = timed(lambda: drain_c.execute().items())
+        rows.append([name, fmt(lt), fmt(dt), f"{dt / lt:6.0f}x"])
+    table(f"E2  lazy evaluation (N={n})",
+          ["construct", "lazy", "drain-everything", "win"], rows)
+
+
+def e3_pooling() -> None:
+    from repro.tokens import tokens_from_events, write_binary
+    from repro.workloads import generate_ebxml, generate_xmark
+    from repro.xmlio.parser import parse_events
+
+    rows = []
+    for name, xml in (("xmark", generate_xmark(0.2, seed=2004)),
+                      ("ebxml", generate_ebxml(10, seed=2004))):
+        tokens = list(tokens_from_events(parse_events(xml)))
+        pooled = len(write_binary(tokens, pooled=True))
+        plain = len(write_binary(tokens, pooled=False))
+        rows.append([name, f"{len(xml):,} B", f"{plain:,} B", f"{pooled:,} B",
+                     f"{plain / pooled:5.2f}x", f"{len(xml) / pooled:5.2f}x"])
+    table("E3  TokenStream pooling",
+          ["corpus", "text", "binary unpooled", "binary pooled",
+           "vs unpooled", "vs text"], rows)
+
+
+def e4_nodeids() -> None:
+    from repro import Engine
+
+    engine = Engine()
+    build = ("for $i in (1 to 400) return "
+             "<row id='{$i}'><a>{$i}</a><b>{$i * 2}</b><c>{$i * 3}</c></row>")
+    cases = [
+        ("no identity ops", f"count(({build})/a)"),
+        ("+ union (ddo)", f"let $r := ({build}) return count(($r/a union $r/b))"),
+        ("+ << comparisons",
+         f"let $r := ({build}) return count(for $x in $r where $x/a << $x/c return $x)"),
+    ]
+    rows = []
+    base = None
+    for name, query in cases:
+        compiled = engine.compile(query)
+        ms = timed(lambda: compiled.execute().items())
+        if base is None:
+            base = ms
+        rows.append([name, fmt(ms), f"{ms / base:5.1f}x"])
+    table("E4  node-identity cost (construction of 400 rows)",
+          ["plan contains", "time", "vs identity-free"], rows)
+
+
+def e5_ddo() -> None:
+    from repro import Engine
+    from repro.workloads.synthetic import nested_sections
+    from repro.xdm.build import parse_document
+
+    doc = parse_document(nested_sections(depth=7 if not QUICK else 5, fanout=2))
+    paths = [
+        ("/a/b/c ", "/doc/section/section/title"),
+        ("/a//b  ", "/doc/section//title"),
+        ("//a/b  ", "//section/title"),
+        ("//a//b ", "//section//title"),
+    ]
+    fast_e, slow_e = Engine(optimize=True), Engine(optimize=False)
+    rows = []
+    for label, path in paths:
+        fast = fast_e.compile(f"count({path})")
+        slow = slow_e.compile(f"count({path})")
+        ft = timed(lambda: fast.execute(context_item=doc).values())
+        st = timed(lambda: slow.execute(context_item=doc).values())
+        result = fast.execute(context_item=doc)
+        result.items()
+        sorts = result.stats.get("ddo_sorts", 0)
+        rows.append([label, "elided" if sorts == 0 else f"kept({sorts})",
+                     fmt(ft), fmt(st), f"{st / ft:5.1f}x"])
+    table("E5  doc-order/distinct elision by path family",
+          ["family", "DDO", "optimized", "unoptimized", "win"], rows)
+
+
+def e6_joins() -> None:
+    from repro.joins import TwigNode, TwigPattern, evaluate_pattern
+    from repro.storage import ElementIndex
+    from repro.workloads import generate_xmark
+    from repro.xdm.build import parse_document
+
+    xml = generate_xmark(scale=0.8 if not QUICK else 0.2, seed=2004)
+    index = ElementIndex(parse_document(xml))
+
+    branching = TwigNode("item")
+    branching.add(TwigNode("keyword"), "descendant")
+    out = branching.add(TwigNode("text"), "descendant")
+    out.is_output = True
+
+    patterns = [
+        ("//open_auction//increase", index,
+         TwigPattern.chain("open_auction", ("increase", "descendant"))),
+        ("//person/address/city", index,
+         TwigPattern.chain("person", ("address", "child"), ("city", "child"))),
+        ("item[.//keyword]//text", index, TwigPattern(branching)),
+    ]
+
+    # the TwigStack-friendly case: b everywhere, c RARE — binary joins
+    # enumerate every a×b pair before the c edge kills them; TwigStack's
+    # getNext never pushes the unmatchable ancestors at all
+    from repro.workloads.synthetic import random_tree
+
+    body = random_tree(4_000 if not QUICK else 800, tags=("a", "b"),
+                       seed=3, max_depth=25)
+    inner = body[len("<root>"):-len("</root>")]
+    rare_xml = "<root>" + inner + "<a><b/><c/></a>" * 5 + "</root>"
+    rare_index = ElementIndex(parse_document(rare_xml))
+    rare_root = TwigNode("a")
+    rare_root.add(TwigNode("b"), "descendant")
+    rare_out = rare_root.add(TwigNode("c"), "descendant")
+    rare_out.is_output = True
+    patterns.append(("a[.//b]//c, c rare", rare_index, TwigPattern(rare_root)))
+
+    rows = []
+    for label, idx, pattern in patterns:
+        times = {}
+        count = None
+        for algorithm in ("navigation", "binary", "twigstack"):
+            times[algorithm] = timed(
+                lambda a=algorithm, i=idx: evaluate_pattern(i, pattern, a))
+            count = len(evaluate_pattern(idx, pattern, algorithm))
+        rows.append([label, count, fmt(times["navigation"]),
+                     fmt(times["binary"]), fmt(times["twigstack"]),
+                     f"{times['navigation'] / times['binary']:5.1f}x",
+                     f"{times['binary'] / times['twigstack']:5.2f}x"])
+    table(f"E6  twig matching over labeled XMark ({len(xml) // 1024} KB) "
+          "+ a skewed synthetic",
+          ["pattern", "matches", "navigation", "binary joins", "twigstack",
+           "join win", "twig win"], rows)
+
+
+def e7_rewrites() -> None:
+    from repro.compiler.codegen import CodeGenerator
+    from repro.compiler.normalize import normalize_module
+    from repro.compiler.rewriter import RewriteEngine, default_rules
+    from repro.qname import QName
+    from repro.runtime.dynamic import DynamicContext
+    from repro.workloads import EBXML_QUERY, generate_ebxml
+    from repro.workloads.synthetic import nested_sections
+    from repro.xdm.build import parse_document
+    from repro.xquery.parser import parse_query
+
+    section_doc = parse_document(nested_sections(depth=7, fanout=2))
+    ebxml = parse_document(generate_ebxml(6, seed=7))
+
+    cases = [
+        ("ddo-paths",
+         "declare variable $d as document-node() external; "
+         "count($d/doc/section/section//title)", "d", section_doc),
+        ("hoisting",
+         "declare variable $d as document-node() external; "
+         "for $i in (1 to 200) return count($d//title) + $i", "d", section_doc),
+        ("ebxml-transform", EBXML_QUERY, "input", ebxml),
+    ]
+    rows = []
+    for name, text, var, data in cases:
+        module = parse_query(text)
+
+        def build(rules):
+            core, ctx = normalize_module(parse_query(text),
+                                         extra_vars=(QName("", var),))
+            if rules is not None:
+                core = RewriteEngine(rules, ctx).rewrite(core)
+            else:
+                from repro.compiler.analysis import analyze
+
+                analyze(core, ctx)
+            return CodeGenerator(ctx).compile(core), ctx
+
+        def run(plan_ctx):
+            plan, ctx = plan_ctx
+            dctx = DynamicContext(ctx).bind(QName("", var), [data])
+            return list(plan(dctx))
+
+        fast = build(default_rules())
+        slow = build(None)
+        ft = timed(lambda: run(fast))
+        st = timed(lambda: run(slow))
+        rows.append([name, fmt(ft), fmt(st), f"{st / ft:5.1f}x"])
+    table("E7  optimizer on vs off", ["query", "all rules", "no rules", "win"], rows)
+
+
+def e8_storage() -> None:
+    from repro import Engine
+    from repro.storage import TextStore, TokenStore, TreeStore
+    from repro.workloads import generate_xmark
+
+    xml = generate_xmark(scale=0.2, seed=2004)
+    compiled = Engine().compile("count(/site/open_auctions/open_auction/bidder)")
+    rows = []
+    for store in (TextStore(xml), TreeStore(xml), TokenStore(xml)):
+        one = timed(lambda: compiled.execute(context_item=store.document()).values())
+
+        def five():
+            for _ in range(5):
+                compiled.execute(context_item=store.document()).values()
+
+        rows.append([store.kind, f"{store.resident_bytes():,} B",
+                     fmt(one), fmt(timed(five))])
+    table("E8  storage modes", ["store", "resident", "1 query", "5 queries"], rows)
+
+
+def e9_broker() -> None:
+    from repro.stream import MessageBroker, NaiveBroker
+    from repro.workloads import generate_messages
+
+    messages = list(generate_messages(300 if not QUICK else 100, seed=2004))
+    base = ["/order/lines/line", "//symbol", "/invoice/amount", "//tracking"]
+    rows = []
+    for n_queries in (1, 16, 64, 256):
+        def make(cls):
+            broker = cls()
+            for i in range(n_queries):
+                broker.register(f"s{i}", base[i] if i < len(base) else f"//t{i}")
+            return broker
+
+        fast, naive = make(MessageBroker), make(NaiveBroker)
+        fast.route(messages[0])  # warm the DFA
+
+        def route_all(broker):
+            def run():
+                for message in messages:
+                    broker.route(message)
+            return run
+
+        ft = timed(route_all(fast), repeat=2)
+        nt = timed(route_all(naive), repeat=2)
+        rows.append([n_queries,
+                     f"{len(messages) / (ft / 1000):8,.0f} msg/s",
+                     f"{len(messages) / (nt / 1000):8,.0f} msg/s",
+                     f"{nt / ft:5.1f}x"])
+    table("E9  broker throughput vs registered queries",
+          ["queries", "lazy DFA", "naive", "DFA win"], rows)
+
+
+def e10_xslt() -> None:
+    from repro import Engine
+    from repro.baselines import Template, TreeTransformer
+    from repro.baselines.tree_transformer import element
+    from repro.workloads import generate_xmark
+    from repro.xdm.build import node_events
+    from repro.xdm.nodes import ElementNode
+    from repro.xmlio import serialize_events
+
+    xml = generate_xmark(scale=0.2, seed=2004)
+    engine = Engine()
+    cards = engine.compile(
+        "<cards>{ for $p in /site/people/person "
+        "return <card name='{$p/name}' city='{$p/address/city}'/> }</cards>")
+    identity = engine.compile("<copy>{ /site }</copy>")
+
+    def site_template(node, transformer):
+        out = []
+        for people in node.children:
+            if isinstance(people, ElementNode) and people.name.local == "people":
+                for person in people.children:
+                    if not isinstance(person, ElementNode):
+                        continue
+                    name = city = ""
+                    for child in person.children:
+                        if isinstance(child, ElementNode):
+                            if child.name.local == "name":
+                                name = child.string_value
+                            elif child.name.local == "address":
+                                for sub in child.children:
+                                    if isinstance(sub, ElementNode) and \
+                                            sub.name.local == "city":
+                                        city = sub.string_value
+                    out.append(element("card", {"name": name, "city": city}))
+        return [element("cards", children=out)]
+
+    selective = TreeTransformer([Template("site", site_template)])
+    copier = TreeTransformer([])
+
+    # top-10: the lazy engine stops after ten people; the transformer's
+    # architecture cannot — it materializes the whole input and output
+    top10 = engine.compile(
+        "<cards>{ subsequence(for $p in /site/people/person "
+        "return <card name='{$p/name}'/>, 1, 10) }</cards>")
+    pre_parsed = None
+
+    def transformer_top10():
+        nodes = selective.transform_text(xml)  # materializes everything...
+        cards_el = nodes[0]
+        cards_el.children[10:] = []            # ...then truncates
+        return serialize_events(node_events(cards_el, with_document=False))
+
+    from repro.xdm.build import parse_document as _parse
+
+    doc = _parse(xml)  # give BOTH sides a pre-parsed tree for top-10
+    def engine_top10():
+        return top10.execute(context_item=doc).serialize()
+
+    def transformer_top10_preparsed():
+        nodes = selective.transform(doc)
+        cards_el = nodes[0]
+        cards_el.children[10:] = []
+        return serialize_events(node_events(cards_el, with_document=False))
+
+    rows = [
+        ["selective projection",
+         fmt(timed(lambda: cards.execute(context_item=xml).serialize())),
+         fmt(timed(lambda: serialize_events(node_events(
+             selective.transform_text(xml)[0], with_document=False))))],
+        ["top-10 of projection (pre-parsed)",
+         fmt(timed(engine_top10)),
+         fmt(timed(transformer_top10_preparsed))],
+        ["identity copy (worst case)",
+         fmt(timed(lambda: identity.execute(context_item=xml).serialize())),
+         fmt(timed(lambda: "".join(serialize_events(node_events(
+             n, with_document=False)) for n in copier.transform_text(xml))))],
+    ]
+    table("E10 engine vs materializing transformer (XSLT stand-in)",
+          ["transformation", "repro engine", "tree transformer"], rows)
+
+
+EXPERIMENTS = [e1_streaming, e2_lazy, e3_pooling, e4_nodeids, e5_ddo,
+               e6_joins, e7_rewrites, e8_storage, e9_broker, e10_xslt]
+
+
+def main() -> None:
+    print("repro experiment report" + (" (quick mode)" if QUICK else ""))
+    for experiment in EXPERIMENTS:
+        experiment()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""The tutorial's 'fraction of a real customer XQuery', end to end.
+
+Generates a WebLogic-Collaborate-style trading-partner configuration,
+runs the large transformation query over it (nested FLWORs, five-way
+joins, conditional attributes), and reports timing plus evaluation
+statistics.
+
+Run:  python examples/ebxml_transform.py [n_partners]
+"""
+
+import sys
+import time
+
+from repro import Engine
+from repro.workloads import EBXML_QUERY, generate_ebxml
+
+
+def main(n_partners: int = 12) -> None:
+    source = generate_ebxml(n_partners=n_partners, seed=2004)
+    print(f"input: {len(source):,} bytes, {n_partners} trading partners")
+
+    engine = Engine()
+    t0 = time.perf_counter()
+    compiled = engine.compile(EBXML_QUERY, variables=("input",))
+    compile_ms = (time.perf_counter() - t0) * 1000
+    print(f"compiled in {compile_ms:.1f} ms")
+
+    t0 = time.perf_counter()
+    result = compiled.execute(variables={"input": source})
+    # pull the first item to show time-to-first-result
+    iterator = iter(result)
+    next(iterator)
+    first_ms = (time.perf_counter() - t0) * 1000
+    output = result.serialize()
+    total_ms = (time.perf_counter() - t0) * 1000
+
+    print(f"first result after {first_ms:.1f} ms; "
+          f"full output ({len(output):,} bytes) after {total_ms:.1f} ms")
+    print(f"elements constructed: {result.stats.get('elements_constructed', 0)}")
+    print(f"doc-order sorts performed: {result.stats.get('ddo_sorts', 0)}")
+
+    print("\nfirst 400 bytes of output:")
+    print(output[:400])
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)

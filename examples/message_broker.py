@@ -1,0 +1,66 @@
+"""XML message brokering with a shared lazy DFA.
+
+The tutorial's message-broker scenario: many registered path queries,
+a stream of small messages, and the requirement that per-message cost
+not grow with the number of subscriptions.  Compares the lazy-DFA
+broker against the per-query navigation baseline.
+
+Run:  python examples/message_broker.py
+"""
+
+import time
+
+from repro.stream import MessageBroker, NaiveBroker
+from repro.workloads import generate_messages
+
+SUBSCRIPTIONS = [
+    ("fulfilment", "/order/lines/line"),
+    ("billing", "/invoice/amount"),
+    ("trading-desk", "//symbol"),
+    ("logistics", "/shipnotice/tracking"),
+    ("audit", "//*"),
+]
+
+
+def run(broker, messages):
+    t0 = time.perf_counter()
+    totals: dict[str, int] = {}
+    for message in messages:
+        for subscriber, count in broker.route(message).items():
+            totals[subscriber] = totals.get(subscriber, 0) + count
+    return totals, time.perf_counter() - t0
+
+
+def main() -> None:
+    messages = list(generate_messages(2000, seed=99))
+    print(f"routing {len(messages)} messages to {len(SUBSCRIPTIONS)} base "
+          f"subscriptions (plus 95 synthetic ones)\n")
+
+    fast, naive = MessageBroker(), NaiveBroker()
+    for broker in (fast, naive):
+        for name, path in SUBSCRIPTIONS:
+            broker.register(name, path)
+        # inflate the registered-query count the way a real broker sees it
+        for i in range(95):
+            broker.register(f"probe{i}", f"//synthetic-tag-{i}")
+
+    fast_totals, fast_seconds = run(fast, messages)
+    naive_totals, naive_seconds = run(naive, messages)
+    assert fast_totals == naive_totals, "brokers disagree!"
+
+    print("deliveries per subscriber:")
+    for name in sorted(fast_totals):
+        print(f"  {name:14s} {fast_totals[name]:6d}")
+
+    print(f"\nlazy-DFA broker : {fast_seconds:.3f} s "
+          f"({len(messages) / fast_seconds:,.0f} msg/s)")
+    print(f"naive broker    : {naive_seconds:.3f} s "
+          f"({len(messages) / naive_seconds:,.0f} msg/s)")
+    print(f"speedup         : {naive_seconds / fast_seconds:.1f}x")
+    print(f"\nDFA states built: {fast.dfa.dfa_size} "
+          f"(transitions computed {fast.dfa.computed_transitions}, "
+          f"cache hits {fast.dfa.cached_hits:,})")
+
+
+if __name__ == "__main__":
+    main()

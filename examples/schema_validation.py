@@ -1,0 +1,69 @@
+"""Typed vs untyped data — how validation changes query semantics.
+
+Reproduces the tutorial's before/after-validation examples with a real
+schema, including the famous '<a>3</a> eq 3' behaviour flip.
+
+Run:  python examples/schema_validation.py
+"""
+
+from repro import Engine, execute_query
+from repro.xsd import Schema
+
+SCHEMA_TEXT = """<schema>
+  <simple name="rating" base="xs:integer" min="1" max="5"/>
+  <type name="review-type">
+    <sequence>
+      <attribute name="stars" type="rating" use="required"/>
+      <element name="product" type="xs:string"/>
+      <sequence minoccurs="0" maxoccurs="unbounded">
+        <element name="comment" type="xs:string"/>
+      </sequence>
+    </sequence>
+  </type>
+  <element name="review" type="review-type"/>
+</schema>"""
+
+DOC = ('<review stars="4"><product>Widget</product>'
+       "<comment>solid</comment><comment>would buy again</comment></review>")
+
+
+def main() -> None:
+    schema = Schema.from_text(SCHEMA_TEXT)
+    engine = Engine()
+
+    # untyped: attribute compares as a string / via double coercion
+    untyped = execute_query("$r/review/@stars = '4'", variables={"r": DOC})
+    print("untyped  @stars = '4'  :", untyped.values())
+
+    # validated: @stars is myNS:rating (an integer), arithmetic works
+    compiled = engine.compile(
+        "let $v := validate { $r/review } return data($v/@stars) + 1",
+        variables=("r",), schemas=[schema])
+    print("typed    @stars + 1    :",
+          compiled.execute(variables={"r": DOC}).values())
+
+    # the derived type's facets are enforced
+    bad = DOC.replace('stars="4"', 'stars="9"')
+    compiled = engine.compile("validate { $r/review }",
+                              variables=("r",), schemas=[schema])
+    try:
+        compiled.execute(variables={"r": bad}).items()
+        print("facet check: MISSED")
+    except Exception as exc:
+        print(f"facet check: stars=9 rejected ({type(exc).__name__})")
+
+    # the tutorial's slide: typed vs untyped equality
+    print("\nuntyped <a>3</a> eq 3 :", end=" ")
+    try:
+        execute_query("<a>3</a> eq 3").items()
+        print("true?!")
+    except Exception as exc:
+        print(f"type error (as the slide says): {type(exc).__name__}")
+    typed = execute_query(
+        'validate { <a xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" '
+        'xsi:type="xs:integer">3</a> } eq 3')
+    print("typed   <a>3</a> eq 3 :", typed.values())
+
+
+if __name__ == "__main__":
+    main()

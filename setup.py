@@ -1,0 +1,8 @@
+"""Setup shim so editable installs work on machines without the
+``wheel`` package (offline environments): ``pip install -e .`` falls
+back to ``setup.py develop`` when PEP 517 editable builds are
+unavailable."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""repro — a streaming XML/XQuery query processor.
+
+A faithful reproduction of the system architecture presented in
+"XML Query Processing" (D. Florescu, ICDE 2004): an XQuery engine with
+a normalizing compiler, a rewrite-rule optimizer, and a lazy pull-based
+runtime, over from-scratch XML parsing, the XQuery Data Model, a
+simplified XML Schema, the TokenStream binary representation, labeled
+storage with structural/twig joins, and a streaming XPath automaton.
+
+Quickstart::
+
+    from repro import execute_query
+
+    result = execute_query(
+        "for $b in $doc//book where $b/@year < 1980 return $b/title",
+        variables={"doc": "<bib><book year='1967'><title>T</title></book></bib>"},
+    )
+    print(result.serialize())
+"""
+
+from repro.engine import CompiledQuery, Engine, Result, execute_query
+from repro.xdm.build import parse_document
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "CompiledQuery",
+    "Result",
+    "execute_query",
+    "parse_document",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Comparator baselines.
+
+:class:`TreeTransformer` stands in for "the best XSLT implementation"
+of the tutorial's claim ("orders of magnitude better performance than
+the best XSLT implementation; even in worst case comparable"): a
+template-driven, fully materializing tree-rewriting engine with no
+lazy evaluation and no streaming — every intermediate result is a
+freshly copied tree.
+"""
+
+from repro.baselines.tree_transformer import Template, TreeTransformer
+
+__all__ = ["TreeTransformer", "Template"]

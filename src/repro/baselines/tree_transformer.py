@@ -1,0 +1,105 @@
+"""A materializing, template-driven tree transformer (the XSLT stand-in).
+
+Processing model (deliberately faithful to a naive XSLT processor):
+
+- the whole input is parsed into a tree up front;
+- templates match elements by local name (or ``*``);
+- a template's body function returns *new* nodes; children are
+  processed by recursive ``apply`` calls;
+- every value passed between templates is a fully materialized copy —
+  no laziness, no streaming, no shared buffers.
+
+The contrast with the engine is architectural, not constant-factor:
+the engine starts emitting output while this baseline is still copying
+input.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.runtime.constructors import copy_node
+from repro.xdm.build import parse_document
+from repro.xdm.nodes import DocumentNode, ElementNode, Node, TextNode
+
+#: A template body: (element, transformer) → list of replacement nodes.
+TemplateBody = Callable[[ElementNode, "TreeTransformer"], list[Node]]
+
+
+class Template:
+    """One rewrite rule: match by element local name."""
+
+    __slots__ = ("pattern", "body", "priority")
+
+    def __init__(self, pattern: str, body: TemplateBody, priority: int = 0):
+        self.pattern = pattern  # local name or "*"
+        self.body = body
+        self.priority = priority
+
+    def matches(self, element: ElementNode) -> bool:
+        return self.pattern == "*" or element.name.local == self.pattern
+
+
+class TreeTransformer:
+    """Applies templates top-down, materializing everything."""
+
+    def __init__(self, templates: Iterable[Template]):
+        self.templates = sorted(templates, key=lambda t: -t.priority)
+
+    def transform_text(self, xml_text: str) -> list[Node]:
+        """Parse (fully) then transform (fully)."""
+        doc = parse_document(xml_text)
+        return self.transform(doc)
+
+    def transform(self, node: Node) -> list[Node]:
+        if isinstance(node, DocumentNode):
+            out: list[Node] = []
+            for child in node.children:
+                out.extend(self.transform(child))
+            return out
+        if isinstance(node, ElementNode):
+            template = self._find(node)
+            if template is not None:
+                return [copy_node(n) for n in template.body(node, self)]
+            # default rule: recurse into children, keep structure
+            clone = ElementNode(node.name, None)
+            for attr in node.attributes:
+                clone.attributes.append(copy_node(attr, clone))
+            for child in node.children:
+                for produced in self.transform(child):
+                    produced.parent = clone
+                    clone.children.append(produced)
+            return [clone]
+        # text/comments/PIs copy through
+        return [copy_node(node)]
+
+    def apply(self, nodes: Iterable[Node]) -> list[Node]:
+        """apply-templates: transform a node list, concatenating output."""
+        out: list[Node] = []
+        for node in nodes:
+            out.extend(self.transform(node))
+        return out
+
+    def _find(self, element: ElementNode) -> Optional[Template]:
+        for template in self.templates:
+            if template.matches(element):
+                return template
+        return None
+
+
+def element(name: str, attrs: dict[str, str] | None = None,
+            children: Iterable[Node] | None = None,
+            text: str | None = None) -> ElementNode:
+    """Helper for template bodies: build an element literally."""
+    from repro.qname import QName
+    from repro.xdm.nodes import AttributeNode
+
+    node = ElementNode(QName("", name), None)
+    for key, value in (attrs or {}).items():
+        node.attributes.append(AttributeNode(QName("", key), value, node))
+    if text is not None:
+        node.children.append(TextNode(text, node))
+    for child in children or ():
+        child.parent = node
+        node.children.append(child)
+    return node

@@ -1,0 +1,151 @@
+"""Command-line interface: run XQuery from a shell.
+
+    python -m repro 'for $b in //book return $b/title' -i bib.xml
+    python -m repro -q query.xq --var max=30 -i bib.xml
+    echo '<a><b/></a>' | python -m repro 'count(//b)'
+    python -m repro --explain '/bib/book/title' -i bib.xml
+
+Documents for ``fn:doc`` resolve against the filesystem relative to the
+working directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.engine import Engine
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse definition for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run an XQuery over XML input (streaming XQuery engine).")
+    parser.add_argument("query", nargs="?",
+                        help="the query text (or use -q/--query-file)")
+    parser.add_argument("-q", "--query-file", type=Path,
+                        help="read the query from a file")
+    parser.add_argument("-i", "--input", type=Path,
+                        help="XML file bound to the context item "
+                             "(default: stdin if piped)")
+    parser.add_argument("--var", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="bind an external variable; VALUE is parsed as "
+                             "int/float/bool when possible, XML when it "
+                             "starts with '<', else string; @file.xml reads "
+                             "and parses a file")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the optimized plan instead of running")
+    parser.add_argument("--no-optimize", action="store_true",
+                        help="disable the rewrite engine")
+    parser.add_argument("--no-static-typing", action="store_true",
+                        help="disable static type checking")
+    parser.add_argument("--xml-decl", action="store_true",
+                        help="emit an XML declaration before the result")
+    parser.add_argument("--indent", type=int, default=0, metavar="N",
+                        help="pretty-print output with N-space indentation")
+    return parser
+
+
+def _stdin_has_data() -> bool:
+    """True when piped stdin already has readable data (never blocks).
+
+    Use ``-i -`` to force a blocking read from a slow producer.
+    """
+    import select
+
+    try:
+        ready, _, _ = select.select([sys.stdin], [], [], 0)
+    except (OSError, ValueError):
+        return False
+    return bool(ready)
+
+
+def _parse_var(text: str):
+    name, sep, raw = text.partition("=")
+    if not sep:
+        raise SystemExit(f"--var needs NAME=VALUE, got {text!r}")
+    value: object
+    if raw.startswith("@"):
+        value = Path(raw[1:]).read_text()
+    elif raw.startswith("<"):
+        value = raw
+    elif raw in ("true", "false"):
+        value = raw == "true"
+    else:
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                from repro.xdm.items import string
+
+                value = string(raw)
+    return name, value
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.query_file is not None:
+        query_text = args.query_file.read_text()
+    elif args.query is not None:
+        query_text = args.query
+    else:
+        parser.error("no query given (positional argument or -q)")
+        return 2
+
+    context_xml: str | None = None
+    if args.input is not None:
+        if str(args.input) == "-":
+            context_xml = sys.stdin.read()
+        else:
+            context_xml = args.input.read_text()
+    elif not sys.stdin.isatty() and _stdin_has_data():
+        data = sys.stdin.read()
+        if data.strip():
+            context_xml = data
+
+    variables = dict(_parse_var(v) for v in args.var)
+
+    engine = Engine(optimize=not args.no_optimize,
+                    static_typing=not args.no_static_typing)
+    try:
+        compiled = engine.compile(query_text, variables=tuple(variables))
+    except Exception as exc:
+        print(f"compile error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.explain:
+        try:
+            if compiled.static_type is not None:
+                print(f"static type: {compiled.static_type}")
+            print(compiled.explain())
+        except BrokenPipeError:  # e.g. `| head` closed the pipe
+            pass
+        return 0
+
+    def fs_loader(uri: str):
+        path = Path(uri)
+        return path.read_text() if path.is_file() else None
+
+    try:
+        result = compiled.execute(
+            context_item=context_xml, variables=variables,
+            document_loader=fs_loader)
+        sys.stdout.write(result.serialize(xml_decl=args.xml_decl,
+                                          indent=args.indent))
+        sys.stdout.write("\n")
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,232 @@
+"""Normalization: the sugared expression tree → the core tree.
+
+What happens here (the paper's step 2):
+
+- **FLWOR lowering** — an order-by-free FLWOR becomes nested
+  ``ForExpr`` / ``LetExpr`` / ``IfExpr`` (the equivalence shown on the
+  "FLWR expression semantics" slide); ordered FLWORs keep their
+  ``FLWOR`` node (clause bodies still normalized) and evaluate by
+  tuple materialization.
+- **DDO insertion** — every ``PathExpr`` gets an explicit
+  distinct-doc-order wrapper, making the expensive operation visible
+  to the optimizer so it can be *elided* (E5) instead of implicit and
+  unavoidable.
+- **Function inlining** — non-recursive user functions are inlined as
+  nested LETs, with :class:`~repro.xquery.ast.ParamConvert` wrappers
+  preserving the implicit conversions.
+- **Scope checking** — undeclared variables are static errors here
+  (err:XPST0008), not at run time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UndefinedNameError
+from repro.qname import QName
+from repro.xquery import ast
+from repro.compiler.context import StaticContext
+
+
+def build_static_context(module: ast.Module,
+                         base: StaticContext | None = None) -> StaticContext:
+    """Populate a static context from a module's prolog."""
+    ctx = base.copy() if base is not None else StaticContext()
+    for prefix, uri in module.prolog.namespaces.items():
+        ctx.namespaces.bind(prefix, uri)
+    ctx.default_element_ns = module.prolog.default_element_ns or ctx.default_element_ns
+    if module.prolog.default_function_ns is not None:
+        ctx.default_function_ns = module.prolog.default_function_ns
+    for decl in module.prolog.functions:
+        ctx.declare_function(decl)
+    for var in module.prolog.variables:
+        ctx.declare_variable(var.name, var.type_decl)
+    return ctx
+
+
+class Normalizer:
+    """One normalization pass over a module."""
+
+    #: inlining depth cap — recursive/mutually recursive functions stop here
+    MAX_INLINE_DEPTH = 8
+
+    def __init__(self, ctx: StaticContext):
+        self.ctx = ctx
+        self._gensym = 0
+        #: global (prolog / application) variable names, visible inside
+        #: function bodies
+        self.global_vars: set[QName] = set(ctx.variables)
+
+    def fresh_var(self, hint: str = "v") -> QName:
+        self._gensym += 1
+        return QName("", f"#{hint}{self._gensym}")
+
+    # -- entry points ------------------------------------------------------------
+
+    def normalize_module(self, module: ast.Module,
+                         extra_vars: tuple[QName, ...] = ()) -> ast.Expr:
+        scope = {v.name for v in module.prolog.variables} | set(extra_vars)
+        self.global_vars |= scope
+        # global variable initializers become outer LETs around the body
+        body = self.normalize(module.body, scope, inline_stack=())
+        for var in reversed(module.prolog.variables):
+            if var.value is not None:
+                value = self.normalize(var.value, scope - {var.name}, ())
+                body = ast.LetExpr(var.name, value, body, getattr(var.value, "pos", (0, 0)))
+        return body
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def normalize(self, expr: ast.Expr, scope: set[QName],
+                  inline_stack: tuple[QName, ...]) -> ast.Expr:
+        method = getattr(self, f"_n_{type(expr).__name__}", None)
+        if method is not None:
+            return method(expr, scope, inline_stack)
+        # generic: normalize children
+        return expr.with_children(lambda e: self.normalize(e, scope, inline_stack))
+
+    # -- variables ----------------------------------------------------------------
+
+    def _n_VarRef(self, expr: ast.VarRef, scope, inline_stack):
+        if expr.name not in scope:
+            raise UndefinedNameError(f"undeclared variable ${expr.name}")
+        return expr
+
+    # -- FLWOR lowering --------------------------------------------------------
+
+    def _n_FLWOR(self, expr: ast.FLWOR, scope, inline_stack):
+        inner_scope = set(scope)
+        clauses: list[ast.ForClause | ast.LetClause] = []
+        for clause in expr.clauses:
+            seq = self.normalize(clause.expr, inner_scope, inline_stack)
+            if isinstance(clause, ast.ForClause):
+                clauses.append(ast.ForClause(clause.var, seq, clause.pos_var,
+                                             clause.type_decl))
+                inner_scope.add(clause.var)
+                if clause.pos_var is not None:
+                    inner_scope.add(clause.pos_var)
+            else:
+                clauses.append(ast.LetClause(clause.var, seq, clause.type_decl))
+                inner_scope.add(clause.var)
+        where = (self.normalize(expr.where, inner_scope, inline_stack)
+                 if expr.where is not None else None)
+
+        group = [(var, self.normalize(key, inner_scope, inline_stack))
+                 for var, key in expr.group]
+        post_scope = set(inner_scope)
+        for var, _key in group:
+            post_scope.add(var)
+
+        ret = self.normalize(expr.ret, post_scope, inline_stack)
+
+        if expr.order or group:
+            order = [ast.OrderSpec(self.normalize(s.expr, post_scope, inline_stack),
+                                   s.descending, s.empty_least)
+                     for s in expr.order]
+            return ast.FLWOR(clauses, where, order, ret, expr.stable, expr.pos,
+                             group)
+
+        # lower to core: innermost first
+        body = ret
+        if where is not None:
+            body = ast.IfExpr(where, body, ast.EmptySequence(expr.pos), expr.pos)
+        for clause in reversed(clauses):
+            if isinstance(clause, ast.ForClause):
+                body = ast.ForExpr(clause.var, clause.expr, body,
+                                   clause.pos_var, expr.pos)
+            else:
+                body = ast.LetExpr(clause.var, clause.expr, body, expr.pos)
+        return body
+
+    def _n_ForExpr(self, expr: ast.ForExpr, scope, inline_stack):
+        seq = self.normalize(expr.seq, scope, inline_stack)
+        inner = set(scope)
+        inner.add(expr.var)
+        if expr.pos_var is not None:
+            inner.add(expr.pos_var)
+        body = self.normalize(expr.body, inner, inline_stack)
+        if seq is expr.seq and body is expr.body:
+            return expr
+        return ast.ForExpr(expr.var, seq, body, expr.pos_var, expr.pos)
+
+    def _n_LetExpr(self, expr: ast.LetExpr, scope, inline_stack):
+        value = self.normalize(expr.value, scope, inline_stack)
+        inner = set(scope)
+        inner.add(expr.var)
+        body = self.normalize(expr.body, inner, inline_stack)
+        if value is expr.value and body is expr.body:
+            return expr
+        return ast.LetExpr(expr.var, value, body, expr.pos)
+
+    def _n_Quantified(self, expr: ast.Quantified, scope, inline_stack):
+        seq = self.normalize(expr.seq, scope, inline_stack)
+        inner = set(scope)
+        inner.add(expr.var)
+        cond = self.normalize(expr.cond, inner, inline_stack)
+        if seq is expr.seq and cond is expr.cond:
+            return expr
+        return ast.Quantified(expr.kind, expr.var, seq, cond, expr.pos)
+
+    def _n_Typeswitch(self, expr: ast.Typeswitch, scope, inline_stack):
+        operand = self.normalize(expr.operand, scope, inline_stack)
+        cases = []
+        for case in expr.cases:
+            inner = set(scope)
+            if case.var is not None:
+                inner.add(case.var)
+            cases.append(ast.TypeswitchCase(
+                case.var, case.seq_type,
+                self.normalize(case.body, inner, inline_stack)))
+        inner = set(scope)
+        if expr.default.var is not None:
+            inner.add(expr.default.var)
+        default = ast.TypeswitchCase(
+            expr.default.var, None,
+            self.normalize(expr.default.body, inner, inline_stack))
+        return ast.Typeswitch(operand, cases, default, expr.pos)
+
+    # -- paths -------------------------------------------------------------------
+
+    def _n_PathExpr(self, expr: ast.PathExpr, scope, inline_stack):
+        left = self.normalize(expr.left, scope, inline_stack)
+        right = self.normalize(expr.right, scope, inline_stack)
+        return ast.DDO(ast.PathExpr(left, right, expr.pos), expr.pos)
+
+    # -- function calls: inline user functions --------------------------------
+
+    def _n_FunctionCall(self, expr: ast.FunctionCall, scope, inline_stack):
+        args = [self.normalize(a, scope, inline_stack) for a in expr.args]
+        decl = self.ctx.lookup_function(expr.name, len(args))
+        if decl is None or decl.external or decl.body is None:
+            return ast.FunctionCall(expr.name, args, expr.pos)
+
+        # recursion (direct or mutual) or inline depth exceeded: keep the call
+        if expr.name in inline_stack or len(inline_stack) >= self.MAX_INLINE_DEPTH:
+            return ast.FunctionCall(expr.name, args, expr.pos)
+
+        # inline: let $p := convert(arg) return convert_return(body)
+        inner_stack = inline_stack + (expr.name,)
+        body_scope = {p for p, _ in decl.params} | self.global_vars
+        body = self.normalize(decl.body, body_scope, inner_stack)
+        if decl.return_type is not None:
+            body = ast.ParamConvert(body, decl.return_type, "return", expr.pos)
+        for (pname, ptype), arg in zip(reversed(decl.params), reversed(args)):
+            if ptype is not None:
+                arg = ast.ParamConvert(arg, ptype, "argument", expr.pos)
+            body = ast.LetExpr(pname, arg, body, expr.pos)
+        return body
+
+
+def normalize_module(module: ast.Module,
+                     ctx: StaticContext | None = None,
+                     extra_vars: tuple[QName, ...] = ()) -> tuple[ast.Expr, StaticContext]:
+    """Normalize a parsed module; returns (core expression, static context).
+
+    ``extra_vars`` are application-bound variables usable without a
+    prolog declaration (a convenience the W3C spec does not grant, but
+    every embedded engine does).
+    """
+    static_ctx = build_static_context(module, ctx)
+    for name in extra_vars:
+        static_ctx.declare_variable(name)
+    normalizer = Normalizer(static_ctx)
+    body = normalizer.normalize_module(module, extra_vars)
+    return body, static_ctx

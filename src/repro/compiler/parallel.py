@@ -1,0 +1,103 @@
+"""Parallelizability analysis — the tutorial's "Parallel execution" slide.
+
+"Obviously certain subexpressions of an expression can (and should...)
+be executed in parallel — only if there is no data dependency; only if
+the compiler guarantees that the given subexpressions are executed."
+
+This module answers the *compiler's* half of that: given an expression,
+which of its direct subexpressions form a parallelizable group?  The
+conditions, derived from the slide and the analysis annotations:
+
+1. **guaranteed execution** — the subexpressions are evaluated
+   unconditionally when the parent is (sequence members, both sides of
+   arithmetic/comparison, FLWOR clause sources; NOT an ``if`` branch,
+   NOT the right side of ``and``/``or`` which may short-circuit);
+2. **no data dependency** — no subexpression reads a variable another
+   one binds (bindings are introduced only by let/for/quantifiers, so
+   sibling subexpressions never depend on each other through variables;
+   what *can* couple them is node construction order, hence:)
+3. **no side effects** — none of them creates nodes (construction
+   order/identity is observable);
+4. **determinism** — none of them depends on mutable dynamic-context
+   state beyond the focus they share (the declarative function flags).
+
+The actual parallel runtime is out of scope for a GIL-bound
+interpreter (the paper likewise defers to DeWitt/Gray); the analysis
+is the reusable piece, and :func:`parallel_groups` exposes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime import functions as fnlib
+from repro.xquery import ast
+
+
+@dataclass(frozen=True)
+class ParallelGroup:
+    """A set of sibling subexpressions safe to evaluate concurrently."""
+
+    parent_kind: str
+    members: tuple[ast.Expr, ...]
+    #: "horizontal" = independent siblings; "vertical" = producer/consumer
+    #: pipeline stages (always legal in a pull model)
+    orientation: str = "horizontal"
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def _is_pure(expr: ast.Expr) -> bool:
+    """No node construction and no non-deterministic function below."""
+    for node in expr.walk():
+        if node.annotations.get("creates_nodes", False):
+            return False
+        if isinstance(node, ast.FunctionCall):
+            builtin = fnlib.lookup(node.name, len(node.args))
+            if builtin is None:
+                return False  # unknown/user function: be conservative
+            if not builtin.deterministic:
+                return False
+    return True
+
+
+def parallel_groups(expr: ast.Expr, min_size: int = 2) -> list[ParallelGroup]:
+    """All parallelizable sibling groups in the tree (pre-order).
+
+    The input must already be analyzed (``repro.compiler.analysis``),
+    since purity checks read the annotations.
+    """
+    groups: list[ParallelGroup] = []
+
+    def visit(node: ast.Expr) -> None:
+        candidates: list[ast.Expr] = []
+        if isinstance(node, ast.SequenceExpr):
+            candidates = list(node.items)
+        elif isinstance(node, (ast.Arithmetic, ast.Comparison, ast.SetOp)):
+            candidates = [node.left, node.right]
+        elif isinstance(node, ast.FunctionCall):
+            candidates = list(node.args)
+        elif isinstance(node, ast.FLWOR):
+            # clause *sources* of independent FOR clauses evaluate
+            # unconditionally; LET values are lazy, skip them
+            candidates = [c.expr for c in node.clauses
+                          if isinstance(c, ast.ForClause)]
+        # if/and/or are excluded: branches are conditional / short-circuit
+
+        eligible = [c for c in candidates if _is_pure(c)]
+        if len(eligible) >= min_size:
+            groups.append(ParallelGroup(type(node).__name__, tuple(eligible)))
+        for child in node.children():
+            visit(child)
+
+    visit(expr)
+    return groups
+
+
+def is_pipeline_parallel(expr: ast.Expr) -> bool:
+    """Vertical parallelism: a path/FLWOR chain is a pull pipeline whose
+    stages could run as a producer/consumer pair — always structurally
+    true for paths in this engine; reported for EXPLAIN output."""
+    return any(isinstance(node, (ast.PathExpr, ast.ForExpr))
+               for node in expr.walk())

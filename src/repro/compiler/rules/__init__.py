@@ -1,0 +1,14 @@
+"""The rewrite-rule library.
+
+Organized by family (mirrors the tutorial's "Some Xquery logical
+rewritings" slide):
+
+- :mod:`repro.compiler.rules.basic` — constant folding, boolean
+  algebra, conditional simplification;
+- :mod:`repro.compiler.rules.lets` — LET clause folding/elimination,
+  with the side-effect and laziness guards the tutorial derives;
+- :mod:`repro.compiler.rules.flwor` — FLWOR (un)nesting, FOR-clause
+  minimization, loop-invariant hoisting;
+- :mod:`repro.compiler.rules.paths` — navigation rewrites and the
+  doc-order/distinct (DDO) elision of experiment E5.
+"""

@@ -1,0 +1,152 @@
+"""Constant folding and boolean/conditional simplification.
+
+Folding evaluates an operator over literal operands at compile time.
+The guard the tutorial insists on: folding must not *change* error
+behaviour.  We fold only when the constant evaluation *succeeds*; an
+expression that would raise (``1 idiv 0``) is left in place so the
+error (if the lazy evaluator ever demands it) appears at run time,
+exactly as unoptimized code would behave.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XQueryError
+from repro.runtime.arithmetic import arithmetic, negate, unary_plus
+from repro.runtime.compare import general_compare, value_compare
+from repro.runtime.ebv import effective_boolean_value
+from repro.xdm.items import AtomicValue, boolean
+from repro.xquery import ast
+from repro.xsd import types as T
+
+
+def _literal(expr: ast.Expr) -> AtomicValue | None:
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    return None
+
+
+def _is_empty(expr: ast.Expr) -> bool:
+    return isinstance(expr, ast.EmptySequence)
+
+
+def constant_folding(expr: ast.Expr, ctx) -> ast.Expr | None:
+    if isinstance(expr, ast.Arithmetic):
+        a, b = _literal(expr.left), _literal(expr.right)
+        if (a is not None or _is_empty(expr.left)) and \
+           (b is not None or _is_empty(expr.right)):
+            try:
+                result = arithmetic(expr.op, a, b)
+            except XQueryError:
+                return None  # keep runtime error semantics
+            if result is None:
+                return ast.EmptySequence(expr.pos)
+            return ast.Literal(result, expr.pos)
+        return None
+
+    if isinstance(expr, ast.UnaryExpr):
+        a = _literal(expr.operand)
+        if a is not None:
+            try:
+                result = negate(a) if expr.op == "-" else unary_plus(a)
+            except XQueryError:
+                return None
+            if result is None:
+                return ast.EmptySequence(expr.pos)
+            return ast.Literal(result, expr.pos)
+        return None
+
+    if isinstance(expr, ast.Comparison):
+        a, b = _literal(expr.left), _literal(expr.right)
+        if a is None or b is None:
+            return None
+        try:
+            if expr.family == "value":
+                return ast.Literal(boolean(value_compare(expr.op, a, b)), expr.pos)
+            if expr.family == "general":
+                return ast.Literal(boolean(general_compare(expr.op, [a], [b])), expr.pos)
+        except XQueryError:
+            return None
+        return None
+
+    return None
+
+
+def boolean_simplification(expr: ast.Expr, ctx) -> ast.Expr | None:
+    """Two-valued boolean algebra over literal operands.
+
+    ``false and error => false`` is explicitly licensed by the
+    tutorial ("non-deterministically"), so short-circuiting on a known
+    constant is always legal even if the other side could raise.
+    """
+    if isinstance(expr, ast.AndExpr):
+        for side, other in ((expr.left, expr.right), (expr.right, expr.left)):
+            value = _ebv_literal(side)
+            if value is False:
+                return ast.Literal(boolean(False), expr.pos)
+            if value is True:
+                return _as_boolean(other, expr.pos)
+    if isinstance(expr, ast.OrExpr):
+        for side, other in ((expr.left, expr.right), (expr.right, expr.left)):
+            value = _ebv_literal(side)
+            if value is True:
+                return ast.Literal(boolean(True), expr.pos)
+            if value is False:
+                return _as_boolean(other, expr.pos)
+    return None
+
+
+def _ebv_literal(expr: ast.Expr) -> bool | None:
+    if isinstance(expr, ast.EmptySequence):
+        return False
+    value = _literal(expr)
+    if value is None:
+        return None
+    try:
+        return effective_boolean_value([value])
+    except XQueryError:
+        return None
+
+
+def _as_boolean(expr: ast.Expr, pos) -> ast.Expr:
+    """Wrap an expression so its EBV becomes an xs:boolean value."""
+    if isinstance(expr, ast.Literal) and expr.value.type is T.XS_BOOLEAN:
+        return expr
+    from repro.qname import fn
+
+    return ast.FunctionCall(fn("boolean"), [expr], pos)
+
+
+def if_simplification(expr: ast.Expr, ctx) -> ast.Expr | None:
+    if not isinstance(expr, ast.IfExpr):
+        return None
+    value = _ebv_literal(expr.cond)
+    if value is True:
+        return expr.then
+    if value is False:
+        return expr.orelse
+    return None
+
+
+def typeswitch_shortcut(expr: ast.Expr, ctx) -> ast.Expr | None:
+    """typeswitch over a literal: pick the branch statically."""
+    if not isinstance(expr, ast.Typeswitch):
+        return None
+    value = _literal(expr.operand)
+    if value is None:
+        return None
+    from repro.compiler.sequencetype import resolve_sequence_type
+
+    for case in expr.cases:
+        assert case.seq_type is not None
+        try:
+            seq_type = resolve_sequence_type(case.seq_type, ctx)
+        except XQueryError:
+            return None
+        if seq_type.matches([value]):
+            if case.var is not None:
+                return ast.LetExpr(case.var, expr.operand, case.body, expr.pos)
+            return case.body
+    default = expr.default
+    if default.var is not None:
+        return ast.LetExpr(default.var, expr.operand, default.body, expr.pos)
+    return default.body

@@ -1,0 +1,180 @@
+"""FLWOR rewrites: unnesting, loop-invariant hoisting, FOR minimization.
+
+All three come straight from the tutorial:
+
+- *FLWR unnesting* — ``for $x in (for $y in E where P return R) ...``
+  flattens to a single nested loop (no count variables involved; the
+  tutorial flags count variables as the hard case, and we skip exactly
+  those).
+- *LET unfolding / hoisting* — an expression inside a loop that does
+  not depend on the loop variable is computed once outside it;
+  legality leans on lazy evaluation for error behaviour, which our
+  runtime guarantees.
+- *FOR clauses minimization* — a loop whose body ignores the loop
+  variable, over a statically-singleton sequence, is just the body.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.analysis import count_var_uses, free_vars
+from repro.qname import QName
+from repro.xquery import ast
+
+
+def for_unnesting(expr: ast.Expr, ctx) -> ast.Expr | None:
+    """for $x in (for $y in E return R) return B
+       ⇒ for $y in E return (for $x in R return B)   [$y not free in B]"""
+    if not isinstance(expr, ast.ForExpr) or expr.pos_var is not None:
+        return None
+    inner = expr.seq
+    if isinstance(inner, ast.ForExpr) and inner.pos_var is None:
+        if inner.var in free_vars(expr.body) or inner.var == expr.var:
+            return None
+        return ast.ForExpr(
+            inner.var, inner.seq,
+            ast.ForExpr(expr.var, inner.body, expr.body, None, expr.pos),
+            None, inner.pos)
+    if isinstance(inner, ast.LetExpr):
+        # for $x in (let $y := V return R) return B
+        #   ⇒ let $y := V return for $x in R return B   [$y not free in B]
+        if inner.var in free_vars(expr.body) or inner.var == expr.var:
+            return None
+        return ast.LetExpr(
+            inner.var, inner.value,
+            ast.ForExpr(expr.var, inner.body, expr.body, None, expr.pos),
+            inner.pos)
+    return None
+
+
+_hoist_counter = 0
+
+#: subexpression kinds worth paying a binding for
+_HOISTABLE = (ast.DDO, ast.PathExpr, ast.FunctionCall)
+
+
+def loop_invariant_hoisting(expr: ast.Expr, ctx) -> ast.Expr | None:
+    """Compute loop-invariant subexpressions once, outside the loop.
+
+    ``for $x in E return ... V ...`` with V independent of $x (and of
+    anything bound inside the body) becomes
+    ``let $h := V return for $x in E return ... $h ...`` — the
+    tutorial's LET-unfolding direction, legal because our runtime is
+    consistently lazy ("guaranteed only if runtime implements
+    consistently lazy evaluation").  V must not construct nodes
+    (hoisting construction would merge per-iteration fresh identities)
+    and must not read the focus.
+    """
+    global _hoist_counter
+    if not isinstance(expr, ast.ForExpr):
+        return None
+    loop_vars = {expr.var}
+    if expr.pos_var is not None:
+        loop_vars.add(expr.pos_var)
+
+    candidate = _find_invariant(expr.body, loop_vars, set())
+    if candidate is None:
+        return None
+    _hoist_counter += 1
+    var = QName("", f"#hoist{_hoist_counter}")
+
+    def replace(node: ast.Expr) -> ast.Expr:
+        if node is candidate:
+            return ast.VarRef(var, node.pos)
+        return node.with_children(replace)
+
+    new_body = replace(expr.body)
+    return ast.LetExpr(
+        var, candidate,
+        ast.ForExpr(expr.var, expr.seq, new_body, expr.pos_var, expr.pos),
+        expr.pos)
+
+
+def _find_invariant(body: ast.Expr, loop_vars: set[QName],
+                    bound_here: set[QName]) -> ast.Expr | None:
+    """First maximal hoistable subexpression independent of the loop."""
+    if isinstance(body, _HOISTABLE):
+        ann = body.annotations
+        if not ann.get("creates_nodes", True) and not ann.get("uses_focus", True):
+            fv = free_vars(body)
+            if not (fv & loop_vars) and not (fv & bound_here):
+                return body
+    # descend, tracking locally-bound names (they make subtrees non-hoistable
+    # even if the loop variable itself is absent)
+    if isinstance(body, ast.LetExpr):
+        found = _find_invariant(body.value, loop_vars, bound_here)
+        if found is not None:
+            return found
+        return _find_invariant(body.body, loop_vars, bound_here | {body.var})
+    if isinstance(body, ast.ForExpr):
+        found = _find_invariant(body.seq, loop_vars, bound_here)
+        if found is not None:
+            return found
+        inner = bound_here | {body.var}
+        if body.pos_var is not None:
+            inner |= {body.pos_var}
+        return _find_invariant(body.body, loop_vars, inner)
+    if isinstance(body, ast.Quantified):
+        found = _find_invariant(body.seq, loop_vars, bound_here)
+        if found is not None:
+            return found
+        return _find_invariant(body.cond, loop_vars, bound_here | {body.var})
+    if isinstance(body, ast.FLWOR):
+        inner = set(bound_here)
+        for clause in body.clauses:
+            found = _find_invariant(clause.expr, loop_vars, inner)
+            if found is not None:
+                return found
+            inner.add(clause.var)
+            if isinstance(clause, ast.ForClause) and clause.pos_var is not None:
+                inner.add(clause.pos_var)
+        for sub in ([body.where] if body.where is not None else []) + \
+                [key for _gvar, key in body.group]:
+            found = _find_invariant(sub, loop_vars, inner)
+            if found is not None:
+                return found
+        inner |= {gvar for gvar, _ in body.group}
+        for sub in [spec.expr for spec in body.order] + [body.ret]:
+            found = _find_invariant(sub, loop_vars, inner)
+            if found is not None:
+                return found
+        return None
+    if isinstance(body, ast.Typeswitch):
+        found = _find_invariant(body.operand, loop_vars, bound_here)
+        if found is not None:
+            return found
+        for case in list(body.cases) + [body.default]:
+            extra = {case.var} if case.var is not None else set()
+            found = _find_invariant(case.body, loop_vars, bound_here | extra)
+            if found is not None:
+                return found
+        return None
+    for child in body.children():
+        found = _find_invariant(child, loop_vars, bound_here)
+        if found is not None:
+            return found
+    return None
+
+
+_SINGLETON_KINDS = (ast.Literal, ast.ContextItem, ast.ElementCtor,
+                    ast.AttributeCtor, ast.DocumentCtor)
+
+
+def for_minimization(expr: ast.Expr, ctx) -> ast.Expr | None:
+    """for $x in E return B  ⇒  B  when B ignores $x and E is a singleton.
+
+    (The tutorial's example eliminates ``$y in $input/c`` joins whose
+    variable is unused; we implement the statically-safe singleton
+    case: cardinality of E must be exactly one for the elimination to
+    preserve the number of B evaluations.)
+    """
+    if not isinstance(expr, ast.ForExpr) or expr.pos_var is not None:
+        return None
+    uses, _ = count_var_uses(expr.body, expr.var)
+    if uses:
+        return None
+    if isinstance(expr.seq, _SINGLETON_KINDS) or \
+            expr.seq.annotations.get("singleton", False):
+        return expr.body
+    if isinstance(expr.seq, ast.EmptySequence):
+        return ast.EmptySequence(expr.pos)
+    return None

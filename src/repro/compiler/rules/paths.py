@@ -1,0 +1,92 @@
+"""Path rewrites: DDO elision and navigation simplification.
+
+DDO elision is experiment E5: the normalizer wraps every path level in
+an explicit sort-distinct operator; this rule deletes the operator
+whenever the analysis pass proves the input already document-ordered
+and duplicate-free (``/a/b/c`` — yes; ``//a/b`` — distinct but
+unordered, keep the sort; ``//a//b`` — keep everything).
+"""
+
+from __future__ import annotations
+
+from repro.xquery import ast
+
+
+def ddo_elimination(expr: ast.Expr, ctx) -> ast.Expr | None:
+    if not isinstance(expr, ast.DDO):
+        return None
+    inner = expr.operand
+    if isinstance(inner, ast.DDO):
+        return inner  # idempotent
+    ann = inner.annotations
+    if ann.get("doc_ordered", False) and ann.get("distinct", False):
+        return inner
+    return None
+
+
+def path_simplification(expr: ast.Expr, ctx) -> ast.Expr | None:
+    """Drop no-op self::node() steps: ``E/self::node()`` ⇒ ``E``."""
+    if isinstance(expr, ast.PathExpr):
+        right = expr.right
+        if isinstance(right, ast.Step) and right.axis == "self" \
+                and right.test.kind == "node" and right.test.name is None \
+                and right.test.type_name is None:
+            return expr.left
+    return None
+
+
+def _is_dos_node_step(expr: ast.Expr) -> bool:
+    return (isinstance(expr, ast.Step)
+            and expr.axis == "descendant-or-self"
+            and expr.test.kind == "node"
+            and expr.test.name is None
+            and expr.test.type_name is None)
+
+
+def parent_elimination(expr: ast.Expr, ctx) -> ast.Expr | None:
+    """``E/child::T/parent::node()`` ⇒ ``E[child::T]``.
+
+    The tutorial's "Dealing with backwards navigation" rewrite: replace
+    backward navigation with forward navigation plus an existence
+    filter.  The parents of the T-children of E are exactly the E-nodes
+    having a T child; the filter form is both forward-only (streamable)
+    and duplicate-free when E is.
+    """
+    if not isinstance(expr, ast.PathExpr):
+        return None
+    right = expr.right
+    if not (isinstance(right, ast.Step) and right.axis == "parent"
+            and right.test.kind == "node" and right.test.name is None
+            and right.test.type_name is None):
+        return None
+    left = expr.left
+    inner = left.operand if isinstance(left, ast.DDO) else left
+    if not isinstance(inner, ast.PathExpr):
+        return None
+    child_step = inner.right
+    if not (isinstance(child_step, ast.Step) and child_step.axis == "child"):
+        return None
+    return ast.Filter(inner.left,
+                      ast.Step("child", child_step.test, child_step.pos),
+                      expr.pos)
+
+
+def descendant_collapse(expr: ast.Expr, ctx) -> ast.Expr | None:
+    """``E/descendant-or-self::node()/child::T`` ⇒ ``E/descendant::T``.
+
+    The rewrite behind the tutorial's ``/a//b`` row: per-node descendant
+    visits from a disjoint ordered input concatenate in document order,
+    so after this collapse the analysis can prove the trailing DDO
+    redundant — which the two-step form never permits.
+    """
+    if not isinstance(expr, ast.PathExpr):
+        return None
+    right = expr.right
+    if not (isinstance(right, ast.Step) and right.axis == "child"):
+        return None
+    left = expr.left
+    inner = left.operand if isinstance(left, ast.DDO) else left
+    if not isinstance(inner, ast.PathExpr) or not _is_dos_node_step(inner.right):
+        return None
+    collapsed = ast.Step("descendant", right.test, right.pos)
+    return ast.PathExpr(inner.left, collapsed, expr.pos)

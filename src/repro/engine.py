@@ -1,0 +1,280 @@
+"""The engine: the paper's whole pipeline behind one API.
+
+    Engine().compile(query) → CompiledQuery → .execute(...) → Result
+
+``compile`` runs parse → normalize → analyze → rewrite → codegen;
+``execute`` evaluates lazily — the returned :class:`Result` is an
+iterable that pulls through the operator tree on demand, so consuming
+one item of the result does one item's worth of work (E1/E2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.compiler.codegen import CodeGenerator
+from repro.compiler.context import StaticContext
+from repro.compiler.normalize import normalize_module
+from repro.qname import QName
+from repro.runtime.dynamic import DynamicContext
+from repro.runtime.iterators import BufferedSequence
+from repro.xdm.build import node_events, parse_document
+from repro.xdm.items import AtomicValue
+from repro.xdm.nodes import DocumentNode, Node
+from repro.xmlio.serializer import serialize_events
+from repro.xquery import ast
+from repro.xquery.parser import parse_query
+
+
+class Result:
+    """A lazy query result: iterate it, or serialize it.
+
+    Iterating yields XDM items (nodes and atomic values).  The result
+    can be iterated multiple times (it buffers what was pulled).
+    """
+
+    def __init__(self, plan, dctx: DynamicContext):
+        self._seq = BufferedSequence(plan(dctx))
+        self._dctx = dctx
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._seq)
+
+    def items(self) -> list[Any]:
+        """Materialize all items."""
+        return list(self._seq)
+
+    def atomized(self) -> list[Any]:
+        """Materialize and atomize: handy for assertions in tests."""
+        from repro.xdm.atomize import atomize
+
+        return list(atomize(self._seq))
+
+    def values(self) -> list[Any]:
+        """Python values of the atomized result."""
+        return [v.value for v in self.atomized()]
+
+    def serialize(self, xml_decl: bool = False, indent: int = 0) -> str:
+        """Serialize the result sequence to XML text.
+
+        Nodes serialize as markup; atomic values serialize as their
+        lexical forms, space-separated (the standard serialization
+        rules, simplified).  ``indent`` pretty-prints element-only
+        content.
+        """
+        parts: list[str] = []
+        prev_atomic = False
+        for item in self._seq:
+            if isinstance(item, Node):
+                parts.append(serialize_events(node_events(item), indent=indent))
+                prev_atomic = False
+            else:
+                if prev_atomic:
+                    parts.append(" ")
+                parts.append(item.lexical)
+                prev_atomic = True
+        text = "".join(parts)
+        if xml_decl:
+            decl = '<?xml version="1.0" encoding="UTF-8"?>'
+            text = decl + ("\n" if indent else "") + text
+        return text
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Instrumentation counters collected during evaluation."""
+        return self._dctx.stats
+
+
+class CompiledQuery:
+    """A compiled query: executable plan plus its compile-time artifacts."""
+
+    def __init__(self, module: ast.Module, core: ast.Expr, optimized: ast.Expr,
+                 static_ctx: StaticContext, plan, static_type=None):
+        self.module = module
+        #: core expression tree straight out of normalization
+        self.core = core
+        #: tree after the rewrite engine ran
+        self.optimized = optimized
+        self.static_context = static_ctx
+        self.plan = plan
+        #: inferred result type (None when static typing is off)
+        self.static_type = static_type
+
+    def execute(self,
+                context_item: Any = None,
+                variables: Optional[dict[str, Any]] = None,
+                documents: Optional[dict[str, Any]] = None,
+                collections: Optional[dict[str, list]] = None,
+                document_loader=None) -> Result:
+        """Run the query.
+
+        - ``context_item``: XML text, a node, or None — bound to ``.``;
+        - ``variables``: name → value; values may be XML text (parsed to
+          a document), nodes, items, lists of items, or plain Python
+          values (converted to typed atomics);
+        - ``documents``: uri → XML text / node / callable for fn:doc;
+        - ``collections``: uri → list of nodes for fn:collection;
+        - ``document_loader``: fallback ``loader(uri)`` for fn:doc URIs
+          not pre-registered (return XML text / a node / None).
+        """
+        dctx = DynamicContext(self.static_context)
+        if document_loader is not None:
+            dctx.set_document_loader(document_loader)
+        if documents:
+            for uri, provider in documents.items():
+                dctx.register_document(uri, provider)
+        if collections:
+            for uri, nodes in collections.items():
+                dctx.register_collection(uri, nodes)
+        bindings: dict[QName, Any] = {}
+        if variables:
+            for name, value in variables.items():
+                qname = name if isinstance(name, QName) else QName("", name)
+                bindings[qname] = _to_sequence(value)
+        if bindings:
+            dctx = dctx.bind_many(bindings)
+        if context_item is not None:
+            item = _to_item(context_item)
+            dctx = dctx.with_focus(item, 1, 1)
+        return Result(self.plan, dctx)
+
+    def to_xquery(self) -> str:
+        """Render the *optimized* core tree back as XQuery text.
+
+        Useful for inspecting what the rewrite engine actually did;
+        raises :class:`repro.xquery.unparse.Unparsable` for trees with
+        no surface syntax (inlined typed-function conversions).
+        """
+        from repro.xquery.unparse import unparse
+
+        return unparse(self.optimized)
+
+    def explain(self) -> str:
+        """A readable dump of the optimized core tree (with lineage)."""
+        lines: list[str] = []
+
+        def walk(expr: ast.Expr, depth: int) -> None:
+            note = ""
+            if expr.annotations:
+                flagged = [k for k, v in sorted(expr.annotations.items()) if v]
+                if flagged:
+                    note = "  {" + ", ".join(flagged) + "}"
+            lines.append("  " * depth + repr(expr) + note)
+            for child in expr.children():
+                walk(child, depth + 1)
+
+        walk(self.optimized, 0)
+        return "\n".join(lines)
+
+
+class Engine:
+    """Compiles queries; holds cross-query configuration (schemas, ...)."""
+
+    def __init__(self, optimize: bool = True,
+                 static_typing: bool = True,
+                 base_context: StaticContext | None = None,
+                 compile_cache_size: int = 64):
+        self.optimize = optimize
+        #: the "static typing feature" (optional in XQuery): infer the
+        #: result type and reject statically-impossible queries
+        self.static_typing = static_typing
+        self.base_context = base_context
+        from repro.runtime.memo import LRUCache
+
+        #: compiled queries are pure — cache them by source text
+        self._compile_cache = LRUCache(compile_cache_size) \
+            if compile_cache_size else None
+
+    def compile(self, query_text: str,
+                variables: Iterable[str] = (),
+                schemas: Iterable = ()) -> CompiledQuery:
+        """Compile an XQuery main module.
+
+        ``variables`` pre-declares application-bound variable names;
+        ``schemas`` are :class:`repro.xsd.schema.Schema` objects made
+        available to ``validate`` and type references.
+        """
+        extra = tuple(QName("", v) if not isinstance(v, QName) else v
+                      for v in variables)
+        cache_key = None
+        if self._compile_cache is not None and not schemas:
+            cache_key = (query_text, extra, self.optimize, self.static_typing)
+            cached = self._compile_cache.get(cache_key)
+            if cached is not None:
+                return cached
+
+        module = parse_query(query_text)
+        base = self.base_context.copy() if self.base_context is not None else None
+        if schemas:
+            if base is None:
+                base = StaticContext()
+            for schema in schemas:
+                base.import_schema(schema)
+        core, static_ctx = normalize_module(module, base, extra)
+
+        static_type = None
+        if self.static_typing:
+            from repro.compiler.typecheck import infer_type
+
+            static_type = infer_type(core, static_ctx)
+
+        optimized = core
+        if self.optimize:
+            from repro.compiler.analysis import analyze
+            from repro.compiler.rewriter import RewriteEngine, default_rules
+
+            engine = RewriteEngine(default_rules(), static_ctx)
+            optimized = engine.rewrite(core)
+            analyze(optimized, static_ctx)
+        else:
+            from repro.compiler.analysis import analyze
+
+            analyze(optimized, static_ctx)
+
+        plan = CodeGenerator(static_ctx).compile(optimized)
+        compiled = CompiledQuery(module, core, optimized, static_ctx, plan,
+                                 static_type)
+        if cache_key is not None:
+            self._compile_cache.put(cache_key, compiled)
+        return compiled
+
+
+def _to_item(value: Any) -> Any:
+    if isinstance(value, Node) or isinstance(value, AtomicValue):
+        return value
+    if isinstance(value, str):
+        return parse_document(value)
+    return _to_atomic(value)
+
+
+def _to_sequence(value: Any) -> list[Any]:
+    if isinstance(value, (list, tuple)):
+        return [_to_item(v) for v in value]
+    return [_to_item(value)]
+
+
+def _to_atomic(value: Any) -> AtomicValue:
+    from decimal import Decimal
+
+    from repro.xsd import types as T
+
+    if isinstance(value, bool):
+        return AtomicValue(value, T.XS_BOOLEAN)
+    if isinstance(value, int):
+        return AtomicValue(value, T.XS_INTEGER)
+    if isinstance(value, float):
+        return AtomicValue(value, T.XS_DOUBLE)
+    if isinstance(value, Decimal):
+        return AtomicValue(value, T.XS_DECIMAL)
+    raise TypeError(f"cannot convert {type(value).__name__} to an XDM item")
+
+
+def execute_query(query_text: str, context_item: Any = None,
+                  variables: dict[str, Any] | None = None,
+                  documents: dict[str, Any] | None = None,
+                  optimize: bool = True) -> Result:
+    """One-shot convenience: compile and execute in one call."""
+    engine = Engine(optimize=optimize)
+    compiled = engine.compile(query_text,
+                              variables=tuple(variables or ()))
+    return compiled.execute(context_item, variables, documents)

@@ -1,0 +1,94 @@
+"""Error model for the query processor.
+
+XQuery defines a family of error codes (``err:XPST0003`` for static
+syntax errors, ``err:XPTY0004`` for type errors, ``err:FOAR0001`` for
+division by zero, ...).  We mirror that scheme: every exception raised
+by the library carries a W3C-style code so tests and callers can match
+on the *kind* of failure rather than on message text.
+
+The hierarchy distinguishes the three phases the paper's compiler
+pipeline distinguishes: static (parse/compile time), type, and dynamic
+(evaluation time) errors.
+"""
+
+from __future__ import annotations
+
+
+class XQueryError(Exception):
+    """Base class for every error raised by the repro engine."""
+
+    #: W3C-style error code, e.g. ``"XPST0003"``.
+    code: str = "FOER0000"
+
+    def __init__(self, message: str = "", code: str | None = None):
+        if code is not None:
+            self.code = code
+        super().__init__(f"err:{self.code}: {message}" if message else f"err:{self.code}")
+        self.message = message
+
+
+class StaticError(XQueryError):
+    """Error detectable without evaluating the query (parse/bind time)."""
+
+    code = "XPST0003"
+
+
+class ParseError(StaticError):
+    """Syntax error in a query or XML document."""
+
+    code = "XPST0003"
+
+    def __init__(self, message: str = "", line: int = 0, column: int = 0, code: str | None = None):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message, code)
+
+
+class UndefinedNameError(StaticError):
+    """Reference to an undeclared variable, function, or namespace prefix."""
+
+    code = "XPST0008"
+
+
+class TypeError_(XQueryError):
+    """XQuery type error (static or dynamic), err:XPTY0004 family."""
+
+    code = "XPTY0004"
+
+
+class StaticTypeError(TypeError_):
+    """Type error found by the static type checker."""
+
+    code = "XPTY0004"
+
+
+class DynamicError(XQueryError):
+    """Error raised during evaluation."""
+
+    code = "FORG0001"
+
+
+class CastError(DynamicError):
+    """A value could not be cast to the requested atomic type."""
+
+    code = "FORG0001"
+
+
+class ArithmeticError_(DynamicError):
+    """Arithmetic failure such as division by zero (err:FOAR0001)."""
+
+    code = "FOAR0001"
+
+
+class ValidationError(XQueryError):
+    """Schema validation failure (err:XQDY0027 family)."""
+
+    code = "XQDY0027"
+
+
+class StorageError(XQueryError):
+    """Failure in a storage backend (corrupt page, bad magic, ...)."""
+
+    code = "FODC0002"

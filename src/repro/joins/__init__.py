@@ -1,0 +1,36 @@
+"""Structural pattern matching over labeled indexes.
+
+The tutorial's "Query evaluation, algorithms" slide cites two
+primitives that defined this literature, both implemented here from
+the original papers:
+
+- **Structural joins** (Al-Khalifa, Jagadish, Koudas, Patel, Srivastava,
+  Wu — ICDE 2002): the stack-tree merge join of two document-ordered
+  posting lists for one ancestor–descendant (or parent–child) edge —
+  :mod:`repro.joins.stacktree`;
+- **Holistic twig joins** (Bruno, Koudas, Srivastava — SIGMOD 2002):
+  TwigStack, matching a whole branching path pattern in one pass
+  without large intermediate edge results —
+  :mod:`repro.joins.twigstack`.
+
+:mod:`repro.joins.navigation` is the tree-walking baseline both are
+compared against (experiment E6), and :mod:`repro.joins.patterns`
+defines the twig-pattern language plus the plan-level entry points.
+"""
+
+from repro.joins.patterns import TwigEdge, TwigNode, TwigPattern, evaluate_pattern
+from repro.joins.stacktree import stack_tree_anc_desc, stack_tree_desc
+from repro.joins.navigation import navigate_anc_desc, navigate_pattern
+from repro.joins.twigstack import twig_stack
+
+__all__ = [
+    "TwigPattern",
+    "TwigNode",
+    "TwigEdge",
+    "evaluate_pattern",
+    "stack_tree_desc",
+    "stack_tree_anc_desc",
+    "navigate_anc_desc",
+    "navigate_pattern",
+    "twig_stack",
+]

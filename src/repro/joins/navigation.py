@@ -1,0 +1,115 @@
+"""Navigation baseline: answer twig patterns by tree walking.
+
+What a naive engine does without labeled indexes: walk the document to
+find candidate roots, then recursively check every branch predicate by
+walking children/descendants.  Costs O(visited subtree) per candidate
+— the comparison point that makes structural joins interesting (E6).
+"""
+
+from __future__ import annotations
+
+from repro.joins.patterns import TwigEdge, TwigNode, TwigPattern
+from repro.storage.indexes import ElementIndex, Posting
+from repro.xdm.nodes import DocumentNode, ElementNode, Node
+
+
+def navigate_anc_desc(index: ElementIndex, ancestor_name: str,
+                      descendant_name: str, parent_child: bool = False) -> list[Posting]:
+    """``//a//d`` (or ``//a/d``) by walking from each ``a``."""
+    out: list[Posting] = []
+    seen: set[int] = set()
+    for a in index.postings(ancestor_name):
+        node = a.node
+        candidates = node.children if parent_child else node.descendants()
+        for child in candidates:
+            if isinstance(child, ElementNode) and child.name.local == descendant_name:
+                label = index.label_of(child)
+                if label.pre not in seen:
+                    seen.add(label.pre)
+                    out.append(Posting(label, child))
+    out.sort(key=lambda p: p.pre)
+    return out
+
+
+def navigate_pattern(index: ElementIndex, pattern: TwigPattern) -> list[Posting]:
+    """Evaluate a twig purely by navigation.
+
+    Strategy: walk the document for candidate roots; descend along the
+    root→output path, checking every side-branch predicate by recursive
+    existential walks.  The ``index`` is used only to label the results
+    (so all three plans return comparable Postings) — the matching
+    itself never touches posting lists.
+    """
+    # the chain of (qnode, edge-kind-into-it) from root to the output node
+    chain = _output_chain(pattern)
+    outputs: list[Node] = []
+    seen: set[int] = set()
+
+    def exists(node: Node, qnode: TwigNode) -> bool:
+        """Existential check: pattern subtree rooted at qnode embeds at node."""
+        for edge in qnode.children:
+            if not _any_candidate(node, edge, exists):
+                return False
+        return True
+
+    def side_branches_ok(node: Node, qnode: TwigNode, skip: TwigNode | None) -> bool:
+        for edge in qnode.children:
+            if skip is not None and edge.child is skip:
+                continue
+            if not _any_candidate(node, edge, exists):
+                return False
+        return True
+
+    def walk(node: Node, depth: int) -> None:
+        qnode, _ = chain[depth]
+        next_qnode = chain[depth + 1][0] if depth + 1 < len(chain) else None
+        if not side_branches_ok(node, qnode, next_qnode):
+            return
+        if next_qnode is None:
+            if id(node) not in seen:
+                seen.add(id(node))
+                outputs.append(node)
+            return
+        next_kind = chain[depth + 1][1]
+        candidates = node.children if next_kind == "child" else node.descendants()
+        for candidate in candidates:
+            if isinstance(candidate, ElementNode) and \
+                    candidate.name.local == next_qnode.name:
+                walk(candidate, depth + 1)
+
+    root_name = pattern.root.name
+    for node in index.doc.descendants_or_self():
+        if isinstance(node, ElementNode) and node.name.local == root_name:
+            walk(node, 0)
+
+    out = [Posting(index.label_of(n), n) for n in outputs]
+    out.sort(key=lambda p: p.pre)
+    return out
+
+
+def _any_candidate(node: Node, edge: TwigEdge, check) -> bool:
+    candidates = node.children if edge.kind == "child" else node.descendants()
+    for candidate in candidates:
+        if isinstance(candidate, ElementNode) and \
+                candidate.name.local == edge.child.name:
+            if check(candidate, edge.child):
+                return True
+    return False
+
+
+def _output_chain(pattern: TwigPattern) -> list[tuple[TwigNode, str]]:
+    """The root→output path as (qnode, edge-kind-entering-it) pairs."""
+    target = pattern.output
+
+    def find(qnode: TwigNode, kind: str) -> list[tuple[TwigNode, str]] | None:
+        if qnode is target:
+            return [(qnode, kind)]
+        for edge in qnode.children:
+            tail = find(edge.child, edge.kind)
+            if tail is not None:
+                return [(qnode, kind)] + tail
+        return None
+
+    chain = find(pattern.root, "descendant")
+    assert chain is not None, "output node must be in the pattern"
+    return chain

@@ -1,0 +1,182 @@
+"""Twig patterns and the plan-level entry points.
+
+A twig pattern is a small tree of name tests connected by child (``/``)
+or descendant (``//``) edges — the common core of path queries that
+structural-join algorithms accept::
+
+    book//author/last        TwigPattern.chain(("book", "//"), ("author", "/"), ...)
+    book[.//year]//title     a branching twig
+
+``evaluate_pattern`` runs one pattern through any of the three
+competing physical plans (navigation, binary structural joins,
+holistic TwigStack) and returns the matches of the *output node* —
+so E6 compares identical logical work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Literal, Optional
+
+from repro.storage.indexes import ElementIndex, Posting
+from repro.joins.stacktree import stack_tree_desc
+
+EdgeKind = Literal["child", "descendant"]
+
+
+@dataclass
+class TwigNode:
+    """One pattern node: a tag name plus outgoing edges."""
+
+    name: str
+    children: list["TwigEdge"] = field(default_factory=list)
+    #: marks the node whose matches the query returns
+    is_output: bool = False
+
+    def add(self, child: "TwigNode", kind: EdgeKind = "descendant") -> "TwigNode":
+        self.children.append(TwigEdge(kind, child))
+        return child
+
+    def __repr__(self) -> str:
+        return f"TwigNode({self.name}{'*' if self.is_output else ''})"
+
+
+@dataclass
+class TwigEdge:
+    kind: EdgeKind
+    child: TwigNode
+
+
+class TwigPattern:
+    """A rooted twig pattern."""
+
+    def __init__(self, root: TwigNode):
+        self.root = root
+        names = [n.name for n in self.nodes()]
+        if len(names) != len(set(names)):
+            # bindings are keyed by name throughout the join plans — the
+            # standard simplification in this literature's experiments
+            raise ValueError("twig pattern nodes must have distinct names")
+        outputs = [n for n in self.nodes() if n.is_output]
+        if not outputs:
+            # default: the last leaf in definition order
+            leaves = [n for n in self.nodes() if not n.children]
+            leaves[-1].is_output = True
+            outputs = [leaves[-1]]
+        if len(outputs) > 1:
+            raise ValueError("twig pattern must have exactly one output node")
+        self.output = outputs[0]
+
+    def nodes(self) -> Iterator[TwigNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            for edge in node.children:
+                stack.append(edge.child)
+
+    def leaves(self) -> list[TwigNode]:
+        return [n for n in self.nodes() if not n.children]
+
+    @classmethod
+    def chain(cls, *steps: tuple[str, EdgeKind] | str) -> "TwigPattern":
+        """A linear path pattern.
+
+        ``TwigPattern.chain("a", ("b", "descendant"), ("c", "child"))``
+        is ``a//b/c`` with ``c`` as output.
+        """
+        normalized: list[tuple[str, EdgeKind]] = []
+        for step in steps:
+            if isinstance(step, str):
+                normalized.append((step, "descendant"))
+            else:
+                normalized.append(step)
+        root = TwigNode(normalized[0][0])
+        current = root
+        for name, kind in normalized[1:]:
+            current = current.add(TwigNode(name), kind)
+        current.is_output = True
+        return cls(root)
+
+    def __repr__(self) -> str:
+        def fmt(node: TwigNode) -> str:
+            if not node.children:
+                return node.name + ("*" if node.is_output else "")
+            parts = []
+            for edge in node.children:
+                sep = "/" if edge.kind == "child" else "//"
+                parts.append(sep + fmt(edge.child))
+            label = node.name + ("*" if node.is_output else "")
+            if len(parts) == 1:
+                return label + parts[0]
+            return label + "[" + "][".join(parts) + "]"
+        return f"TwigPattern({fmt(self.root)})"
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+
+
+def evaluate_pattern(index: ElementIndex, pattern: TwigPattern,
+                     algorithm: str = "twigstack") -> list[Posting]:
+    """Matches of the pattern's output node, distinct, in document order."""
+    if algorithm == "twigstack":
+        from repro.joins.twigstack import twig_stack
+
+        matches = twig_stack(index, pattern)
+        return _distinct_postings(m[pattern.output.name] for m in matches)
+    if algorithm == "binary":
+        return binary_join_plan(index, pattern)
+    if algorithm == "navigation":
+        from repro.joins.navigation import navigate_pattern
+
+        return navigate_pattern(index, pattern)
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def binary_join_plan(index: ElementIndex, pattern: TwigPattern) -> list[Posting]:
+    """Evaluate the twig as a sequence of binary structural joins.
+
+    Each edge runs one stack-tree join; intermediate results are
+    (bindings per pattern node) tuples — the representation whose
+    possible blow-up motivated holistic twig joins.
+    """
+    # intermediate: list of dict name → Posting
+    rows: list[dict[str, Posting]] = [
+        {pattern.root.name: p} for p in index.postings(pattern.root.name)]
+
+    def process(node: TwigNode, rows: list[dict[str, Posting]]) -> list[dict[str, Posting]]:
+        for edge in node.children:
+            child = edge.child
+            # join current rows' bindings of `node` with child postings
+            alist = _distinct_postings(row[node.name] for row in rows)
+            pairs = list(stack_tree_desc(alist, index.postings(child.name),
+                                         parent_child=(edge.kind == "child")))
+            # group descendants by ancestor pre
+            by_anc: dict[int, list[Posting]] = {}
+            for a, d in pairs:
+                by_anc.setdefault(a.pre, []).append(d)
+            new_rows: list[dict[str, Posting]] = []
+            for row in rows:
+                anchor = row[node.name]
+                for d in by_anc.get(anchor.pre, ()):
+                    new_row = dict(row)
+                    new_row[child.name] = d
+                    new_rows.append(new_row)
+            rows = process(child, new_rows)
+        return rows
+
+    rows = process(pattern.root, rows)
+    return _distinct_postings(row[pattern.output.name] for row in rows)
+
+
+def _distinct_postings(postings) -> list[Posting]:
+    seen: set[int] = set()
+    out: list[Posting] = []
+    for posting in postings:
+        if posting.pre not in seen:
+            seen.add(posting.pre)
+            out.append(posting)
+    out.sort(key=lambda p: p.pre)
+    return out

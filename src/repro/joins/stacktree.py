@@ -1,0 +1,85 @@
+"""Stack-Tree structural joins (Al-Khalifa et al., ICDE 2002).
+
+Input: two posting lists, ``AList`` (potential ancestors) and
+``DList`` (potential descendants), both sorted by pre (document
+order).  A single merge pass with a stack of nested ancestors
+produces every (a, d) containment pair in time
+O(|AList| + |DList| + |output|) — never re-scanning either input, which
+is the whole point versus navigation or nested loops.
+
+``stack_tree_desc`` emits results sorted by descendant (the variant
+the paper calls Stack-Tree-Desc, whose output order is document order
+of d — what path semantics need).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.storage.indexes import Posting
+
+
+def stack_tree_desc(alist: list[Posting], dlist: list[Posting],
+                    parent_child: bool = False) -> Iterator[tuple[Posting, Posting]]:
+    """All (ancestor, descendant) pairs, sorted by descendant pre.
+
+    ``parent_child`` restricts to direct parents (level check).
+    """
+    stack: list[Posting] = []
+    ai, di = 0, 0
+    na, nd = len(alist), len(dlist)
+    while di < nd:
+        d = dlist[di]
+        # push every ancestor that starts before d
+        while ai < na and alist[ai].pre < d.pre:
+            a = alist[ai]
+            # pop finished ancestors (not containing a)
+            while stack and stack[-1].post < a.pre:
+                stack.pop()
+            stack.append(a)
+            ai += 1
+        # pop ancestors that end before d starts
+        while stack and stack[-1].post < d.pre:
+            stack.pop()
+        # every stack entry contains d (the stack is a nesting chain)
+        for a in stack:
+            if a.label.is_ancestor_of(d.label):
+                if not parent_child or a.level + 1 == d.level:
+                    yield (a, d)
+        di += 1
+
+
+def stack_tree_anc_desc(alist: list[Posting], dlist: list[Posting],
+                        parent_child: bool = False,
+                        distinct_descendants: bool = True) -> list[Posting]:
+    """The projection used by path evaluation: descendants of any ancestor.
+
+    Returns distinct descendants in document order (each descendant is
+    reported once even with many containing ancestors).
+    """
+    out: list[Posting] = []
+    last_pre = -1
+    for _a, d in stack_tree_desc(alist, dlist, parent_child):
+        if distinct_descendants:
+            if d.pre != last_pre:
+                out.append(d)
+                last_pre = d.pre
+        else:
+            out.append(d)
+    return out
+
+
+def stack_tree_ancestors(alist: list[Posting], dlist: list[Posting],
+                         parent_child: bool = False) -> list[Posting]:
+    """Distinct ancestors that contain at least one descendant.
+
+    (Answers ``//a[.//b]`` — the semi-join projection.)
+    """
+    seen: set[int] = set()
+    out: list[Posting] = []
+    for a, _d in stack_tree_desc(alist, dlist, parent_child):
+        if a.pre not in seen:
+            seen.add(a.pre)
+            out.append(a)
+    out.sort(key=lambda p: p.pre)
+    return out

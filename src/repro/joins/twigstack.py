@@ -1,0 +1,190 @@
+"""TwigStack — holistic twig joins (Bruno, Koudas, Srivastava, 2002).
+
+Matches a whole twig pattern in one coordinated pass over the per-tag
+posting streams.  The key invariant (maintained by ``getNext``):
+an element is pushed on its query node's stack only when it has a
+descendant match for *every* child of that query node — so, for
+ancestor–descendant-only twigs, no path solution is produced that does
+not join into a full twig match (the "no useless intermediate results"
+optimality).  Parent–child edges are post-filtered during path
+enumeration, as in the original paper.
+
+Phase 1 produces root-to-leaf *path solutions*; phase 2 merge-joins
+them on the shared branch nodes into full matches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.joins.patterns import TwigNode, TwigPattern
+from repro.storage.indexes import ElementIndex, Posting
+
+
+class _Stream:
+    __slots__ = ("postings", "cursor")
+
+    def __init__(self, postings: list[Posting]):
+        self.postings = postings
+        self.cursor = 0
+
+    def head(self) -> Optional[Posting]:
+        if self.cursor < len(self.postings):
+            return self.postings[self.cursor]
+        return None
+
+    def advance(self) -> None:
+        self.cursor += 1
+
+
+class _TwigState:
+    def __init__(self, index: ElementIndex, pattern: TwigPattern):
+        self.pattern = pattern
+        self.streams: dict[str, _Stream] = {
+            node.name: _Stream(index.postings(node.name))
+            for node in pattern.nodes()}
+        #: per query node: list of (posting, index-into-parent-stack)
+        self.stacks: dict[str, list[tuple[Posting, int]]] = {
+            node.name: [] for node in pattern.nodes()}
+        self.parent_of: dict[str, TwigNode] = {}
+        self.edge_kind: dict[str, str] = {}
+        for node in pattern.nodes():
+            for edge in node.children:
+                self.parent_of[edge.child.name] = node
+                self.edge_kind[edge.child.name] = edge.kind
+        #: path solutions per leaf name: list of posting tuples root→leaf
+        self.path_solutions: dict[str, list[tuple[Posting, ...]]] = {
+            leaf.name: [] for leaf in pattern.leaves()}
+        #: the root→leaf name path per leaf
+        self.paths: dict[str, list[str]] = {}
+        for leaf in pattern.leaves():
+            path = [leaf.name]
+            current = leaf.name
+            while current in self.parent_of:
+                current = self.parent_of[current].name
+                path.append(current)
+            self.paths[leaf.name] = list(reversed(path))
+
+
+def twig_stack(index: ElementIndex, pattern: TwigPattern) -> list[dict[str, Posting]]:
+    """All full matches of ``pattern``: list of name → posting bindings."""
+    state = _TwigState(index, pattern)
+    root = pattern.root
+
+    while True:
+        q = _get_next(state, root)
+        stream = state.streams[q.name]
+        head = stream.head()
+        if head is None:
+            break  # nothing actionable remains anywhere
+
+        parent = state.parent_of.get(q.name)
+        if parent is not None:
+            _clean_stack(state, parent.name, head.pre)
+        if parent is None or state.stacks[parent.name]:
+            _clean_stack(state, q.name, head.pre)
+            parent_ptr = len(state.stacks[parent.name]) - 1 if parent is not None else -1
+            state.stacks[q.name].append((head, parent_ptr))
+            if not q.children:  # leaf: emit path solutions now
+                _emit_paths(state, q)
+                state.stacks[q.name].pop()
+        stream.advance()
+
+    return _merge_paths(state)
+
+
+def _get_next(state: _TwigState, q: TwigNode) -> TwigNode:
+    """The getNext of the paper, extended for stream exhaustion.
+
+    A child subtree whose streams have drained stops constraining its
+    parent: we skip it and coordinate on the remaining live children.
+    New parent pushes are then no longer guaranteed to join with the
+    drained branch (mild loss of the optimality property near stream
+    end); the merge phase filters any unjoinable path solutions, so
+    results stay exact.
+    """
+    if not q.children:
+        return q
+    heads: list[tuple[TwigNode, Posting]] = []
+    for edge in q.children:
+        ni = _get_next(state, edge.child)
+        head = state.streams[ni.name].head()
+        if ni is not edge.child:
+            if head is not None:
+                return ni  # actionable deeper node
+            continue  # that branch is fully drained; ignore it
+        if head is None:
+            continue  # exhausted child: no longer a constraint
+        heads.append((edge.child, head))
+    if not heads:
+        return q  # all children drained; caller acts on (or drains) q
+    nmin = min(heads, key=lambda pair: pair[1].pre)
+    nmax = max(heads, key=lambda pair: pair[1].pre)
+    own = state.streams[q.name]
+    while own.head() is not None and own.head().post < nmax[1].pre:
+        own.advance()
+    head = own.head()
+    if head is not None and head.pre < nmin[1].pre:
+        return q
+    return nmin[0]
+
+
+def _clean_stack(state: _TwigState, name: str, next_pre: int) -> None:
+    stack = state.stacks[name]
+    while stack and stack[-1][0].post < next_pre:
+        stack.pop()
+
+
+def _emit_paths(state: _TwigState, leaf: TwigNode) -> None:
+    """Enumerate path solutions ending at the just-pushed leaf entry."""
+    name = leaf.name
+    entry = state.stacks[name][-1]
+    solutions = _expand(state, name, entry)
+    state.path_solutions[name].extend(tuple(s) for s in solutions)
+
+
+def _expand(state: _TwigState, name: str, entry: tuple[Posting, int]) -> list[list[Posting]]:
+    posting, parent_ptr = entry
+    parent = state.parent_of.get(name)
+    if parent is None:
+        return [[posting]]
+    kind = state.edge_kind[name]
+    parent_stack = state.stacks[parent.name]
+    out: list[list[Posting]] = []
+    for i in range(parent_ptr + 1):
+        parent_posting = parent_stack[i][0]
+        if kind == "child" and parent_posting.level + 1 != posting.level:
+            continue  # parent-child edges are post-filtered
+        for prefix in _expand(state, parent.name, parent_stack[i]):
+            out.append(prefix + [posting])
+    return out
+
+
+def _merge_paths(state: _TwigState) -> list[dict[str, Posting]]:
+    """Phase 2: join per-leaf path solutions on shared query nodes."""
+    leaves = list(state.path_solutions)
+    if not leaves:
+        return []
+    first = leaves[0]
+    matches: list[dict[str, Posting]] = [
+        dict(zip(state.paths[first], solution))
+        for solution in state.path_solutions[first]]
+    for leaf in leaves[1:]:
+        path = state.paths[leaf]
+        shared = [n for n in path if n in state.paths[first] or
+                  any(n in state.paths[prev] for prev in leaves[: leaves.index(leaf)])]
+        # hash-join on the shared prefix bindings
+        new_matches: list[dict[str, Posting]] = []
+        by_key: dict[tuple, list[dict[str, Posting]]] = {}
+        for match in matches:
+            key = tuple(match[n].pre for n in shared if n in match)
+            by_key.setdefault(key, []).append(match)
+        for solution in state.path_solutions[leaf]:
+            bindings = dict(zip(path, solution))
+            key = tuple(bindings[n].pre for n in shared if n in bindings)
+            for match in by_key.get(key, ()):
+                merged = dict(match)
+                merged.update(bindings)
+                new_matches.append(merged)
+        matches = new_matches
+    return matches

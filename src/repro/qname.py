@@ -1,0 +1,162 @@
+"""Qualified names and namespace machinery.
+
+XML names are pairs ``(namespace-uri, local-name)``; the prefix used in
+the source document is lexical sugar resolved against in-scope
+namespace bindings.  The paper's data model slides stress that
+``name(book element) = {www.amazon.com}:book`` — i.e. names compare by
+URI + local part, never by prefix.  We keep the prefix around purely
+for serialization and error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Well-known namespace URIs.
+XS_NS = "http://www.w3.org/2001/XMLSchema"
+XSI_NS = "http://www.w3.org/2001/XMLSchema-instance"
+XDT_NS = "http://www.w3.org/2003/11/xpath-datatypes"
+FN_NS = "http://www.w3.org/2003/11/xpath-functions"
+ERR_NS = "http://www.w3.org/2004/07/xqt-errors"
+XML_NS = "http://www.w3.org/XML/1998/namespace"
+XMLNS_NS = "http://www.w3.org/2000/xmlns/"
+LOCAL_NS = "http://www.w3.org/2003/11/xquery-local-functions"
+
+
+@dataclass(frozen=True, slots=True)
+class QName:
+    """An expanded XML name: ``(uri, local)`` with an advisory prefix.
+
+    Equality and hashing ignore the prefix, matching XDM semantics.
+    """
+
+    uri: str
+    local: str
+    prefix: str = field(default="", compare=False)
+
+    def __str__(self) -> str:
+        if self.prefix:
+            return f"{self.prefix}:{self.local}"
+        if self.uri:
+            return f"{{{self.uri}}}{self.local}"
+        return self.local
+
+    @property
+    def clark(self) -> str:
+        """Clark notation ``{uri}local`` (unambiguous, prefix-free)."""
+        return f"{{{self.uri}}}{self.local}" if self.uri else self.local
+
+    def with_prefix(self, prefix: str) -> "QName":
+        """A copy of this name carrying ``prefix`` (equality unchanged)."""
+        return QName(self.uri, self.local, prefix)
+
+    @staticmethod
+    def parse(lexical: str, resolver: "NamespaceBindings | None" = None,
+              default_uri: str = "") -> "QName":
+        """Resolve a lexical QName (``pfx:local`` or ``local``).
+
+        ``resolver`` supplies prefix → URI bindings; unprefixed names get
+        ``default_uri`` (the default *element* namespace — attributes
+        pass ``""``).
+        """
+        if ":" in lexical:
+            prefix, local = lexical.split(":", 1)
+            if resolver is None:
+                raise LookupError(f"no namespace resolver for prefix '{prefix}'")
+            uri = resolver.lookup(prefix)
+            if uri is None:
+                raise LookupError(f"undeclared namespace prefix '{prefix}'")
+            return QName(uri, local, prefix)
+        return QName(default_uri, lexical, "")
+
+
+def xs(local: str) -> QName:
+    """Shorthand for a name in the XML Schema namespace."""
+    return QName(XS_NS, local, "xs")
+
+
+def xdt(local: str) -> QName:
+    """Shorthand for a name in the XPath datatypes namespace."""
+    return QName(XDT_NS, local, "xdt")
+
+
+def fn(local: str) -> QName:
+    """Shorthand for a name in the standard function namespace."""
+    return QName(FN_NS, local, "fn")
+
+
+class NamespaceBindings:
+    """A chain-of-scopes prefix → URI mapping.
+
+    Element constructors in XQuery open *nested scopes* (a point the
+    paper emphasises because it blocks naive LET folding); this class
+    models exactly that: ``push()`` opens a scope, ``pop()`` closes it,
+    and lookups walk outward.
+    """
+
+    __slots__ = ("_scopes",)
+
+    def __init__(self, initial: dict[str, str] | None = None):
+        base = {"xml": XML_NS, "xs": XS_NS, "xsi": XSI_NS,
+                "xdt": XDT_NS, "fn": FN_NS, "local": LOCAL_NS}
+        if initial:
+            base.update(initial)
+        self._scopes: list[dict[str, str]] = [base]
+
+    def push(self, bindings: dict[str, str] | None = None) -> None:
+        """Open a nested namespace scope with optional initial bindings."""
+        self._scopes.append(dict(bindings) if bindings else {})
+
+    def pop(self) -> None:
+        """Close the innermost scope (the outermost cannot be popped)."""
+        if len(self._scopes) == 1:
+            raise IndexError("cannot pop the outermost namespace scope")
+        self._scopes.pop()
+
+    def bind(self, prefix: str, uri: str) -> None:
+        """Bind ``prefix`` to ``uri`` in the current scope."""
+        self._scopes[-1][prefix] = uri
+
+    def lookup(self, prefix: str) -> str | None:
+        """The URI bound to ``prefix``, searching inner scopes first."""
+        for scope in reversed(self._scopes):
+            if prefix in scope:
+                return scope[prefix]
+        return None
+
+    def lookup_prefix(self, uri: str) -> str | None:
+        """Find some in-scope prefix bound to ``uri`` (for serialization)."""
+        for scope in reversed(self._scopes):
+            for prefix, bound in scope.items():
+                if bound == uri:
+                    return prefix
+        return None
+
+    def in_scope(self) -> dict[str, str]:
+        """Flatten the scope chain into a single mapping."""
+        flat: dict[str, str] = {}
+        for scope in self._scopes:
+            flat.update(scope)
+        return flat
+
+    def copy(self) -> "NamespaceBindings":
+        """An independent deep copy of the scope chain."""
+        clone = NamespaceBindings.__new__(NamespaceBindings)
+        clone._scopes = [dict(s) for s in self._scopes]
+        return clone
+
+
+def is_ncname(text: str) -> bool:
+    """True if ``text`` is a valid NCName (no-colon XML name).
+
+    We accept the pragmatic subset: a letter or underscore followed by
+    letters, digits, hyphens, underscores, and dots.  Full XML 1.0
+    character classes include many Unicode ranges; ``str.isalpha``
+    covers them for our purposes.
+    """
+    if not text:
+        return False
+    first = text[0]
+    if not (first.isalpha() or first == "_"):
+        return False
+    return all(c.isalnum() or c in "_-." for c in text[1:])

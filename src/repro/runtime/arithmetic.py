@@ -1,0 +1,226 @@
+"""Arithmetic with the XQuery promotion/atomization rules.
+
+The tutorial's recipe: atomize both operands; empty → empty; untyped →
+cast to xs:double (error if not castable); promote mixed numeric types
+to a common type; apply the operator or raise a type error.  Plus the
+date/duration arithmetic the F&O spec defines (date ± duration,
+duration ± duration, duration × number, dateTime − dateTime).
+"""
+
+from __future__ import annotations
+
+import math
+from datetime import date, datetime, time, timedelta
+from decimal import Decimal, InvalidOperation
+from typing import Any, Optional
+
+from repro.errors import ArithmeticError_, TypeError_
+from repro.xdm.items import AtomicValue
+from repro.xsd import types as T
+from repro.xsd.casting import Duration, cast_value
+
+_RANK = {"decimal": 0, "float": 1, "double": 2}
+
+
+def _is_num(atype: T.AtomicType) -> bool:
+    return T.is_numeric(atype)
+
+
+def _result_type(ta: T.AtomicType, tb: T.AtomicType, op: str) -> T.AtomicType:
+    ra = _RANK[ta.primitive.name.local]
+    rb = _RANK[tb.primitive.name.local]
+    if max(ra, rb) == 2:
+        return T.XS_DOUBLE
+    if max(ra, rb) == 1:
+        return T.XS_FLOAT
+    both_integer = ta.derives_from(T.XS_INTEGER) and tb.derives_from(T.XS_INTEGER)
+    if both_integer and op in ("+", "-", "*", "idiv", "mod"):
+        return T.XS_INTEGER
+    return T.XS_DECIMAL
+
+
+def arithmetic(op: str, a: Optional[AtomicValue],
+               b: Optional[AtomicValue]) -> Optional[AtomicValue]:
+    """Apply a binary arithmetic operator; None models the empty sequence."""
+    if a is None or b is None:
+        return None
+    if a.type is T.UNTYPED_ATOMIC:
+        a = _untyped_to_double(a)
+    if b.type is T.UNTYPED_ATOMIC:
+        b = _untyped_to_double(b)
+    ta, tb = a.type, b.type
+
+    if _is_num(ta) and _is_num(tb):
+        return _numeric(op, a, b)
+
+    # -- date/time/duration algebra -------------------------------------------
+    pa, pb = ta.primitive, tb.primitive
+    if pa is T.XS_DURATION and pb is T.XS_DURATION:
+        if op == "+":
+            return AtomicValue(a.value + b.value, _dur_type(a, b))
+        if op == "-":
+            return AtomicValue(a.value - b.value, _dur_type(a, b))
+        if op == "div":
+            # dayTimeDuration div dayTimeDuration → decimal
+            if b.value.seconds == 0 and b.value.months == 0:
+                raise ArithmeticError_("division of duration by zero duration")
+            if a.value.months or b.value.months:
+                if b.value.months == 0:
+                    raise TypeError_("mixed duration division")
+                return AtomicValue(Decimal(a.value.months) / Decimal(b.value.months),
+                                   T.XS_DECIMAL)
+            return AtomicValue(Decimal(str(a.value.seconds)) / Decimal(str(b.value.seconds)),
+                               T.XS_DECIMAL)
+        raise TypeError_(f"operator {op} not defined on durations")
+    if pa is T.XS_DURATION and _is_num(tb):
+        if op == "*":
+            return AtomicValue(a.value.scaled(float(b.value)), a.type)
+        if op == "div":
+            if float(b.value) == 0:
+                raise ArithmeticError_("division of duration by zero")
+            return AtomicValue(a.value.scaled(1.0 / float(b.value)), a.type)
+        raise TypeError_(f"operator {op} not defined on duration and number")
+    if _is_num(ta) and pb is T.XS_DURATION and op == "*":
+        return AtomicValue(b.value.scaled(float(a.value)), b.type)
+
+    if pa in (T.XS_DATE, T.XS_DATETIME, T.XS_TIME) and pb is T.XS_DURATION:
+        if op in ("+", "-"):
+            return AtomicValue(_shift(a.value, b.value, op == "-"), a.type)
+        raise TypeError_(f"operator {op} not defined on date/time and duration")
+    if pa is T.XS_DURATION and pb in (T.XS_DATE, T.XS_DATETIME) and op == "+":
+        return AtomicValue(_shift(b.value, a.value, False), b.type)
+    if pa is pb and pa in (T.XS_DATE, T.XS_DATETIME) and op == "-":
+        delta = _to_datetime(a.value) - _to_datetime(b.value)
+        return AtomicValue(Duration(0, delta.total_seconds()), T.DAY_TIME_DURATION)
+
+    raise TypeError_(f"operator {op} not defined for {ta} and {tb}", code="XPTY0004")
+
+
+def negate(a: Optional[AtomicValue]) -> Optional[AtomicValue]:
+    """Unary minus."""
+    if a is None:
+        return None
+    if a.type is T.UNTYPED_ATOMIC:
+        a = _untyped_to_double(a)
+    if not _is_num(a.type):
+        if a.type.primitive is T.XS_DURATION:
+            return AtomicValue(-a.value, a.type)
+        raise TypeError_(f"cannot negate {a.type}")
+    rtype = a.type if a.type.primitive is not T.XS_DECIMAL else (
+        T.XS_INTEGER if a.type.derives_from(T.XS_INTEGER) else T.XS_DECIMAL)
+    return AtomicValue(-a.value, rtype)
+
+
+def unary_plus(a: Optional[AtomicValue]) -> Optional[AtomicValue]:
+    """Unary ``+``: type-checks the operand, returns it unchanged."""
+    if a is None:
+        return None
+    if a.type is T.UNTYPED_ATOMIC:
+        a = _untyped_to_double(a)
+    if not _is_num(a.type):
+        raise TypeError_(f"unary + undefined for {a.type}")
+    return a
+
+
+def _untyped_to_double(a: AtomicValue) -> AtomicValue:
+    return AtomicValue(cast_value(a.value, T.UNTYPED_ATOMIC, T.XS_DOUBLE), T.XS_DOUBLE)
+
+
+def _coerce(value: Any, rtype: T.AtomicType) -> Any:
+    if rtype in (T.XS_FLOAT, T.XS_DOUBLE):
+        return float(value)
+    if rtype is T.XS_INTEGER:
+        return int(value)
+    # decimal arithmetic: ints interoperate, floats must convert exactly
+    if isinstance(value, float):
+        return Decimal(str(value))
+    return value
+
+
+def _numeric(op: str, a: AtomicValue, b: AtomicValue) -> AtomicValue:
+    rtype = _result_type(a.type, b.type, op)
+    va = _coerce(a.value, rtype)
+    vb = _coerce(b.value, rtype)
+
+    try:
+        if op == "+":
+            return AtomicValue(va + vb, rtype)
+        if op == "-":
+            return AtomicValue(va - vb, rtype)
+        if op == "*":
+            return AtomicValue(va * vb, rtype)
+        if op == "div":
+            if rtype is T.XS_INTEGER or rtype is T.XS_DECIMAL:
+                if vb == 0:
+                    raise ArithmeticError_("division by zero")
+                result = (Decimal(va) if not isinstance(va, Decimal) else va) / \
+                         (Decimal(vb) if not isinstance(vb, Decimal) else vb)
+                return AtomicValue(result, T.XS_DECIMAL)
+            if vb == 0:
+                if va == 0 or (isinstance(va, float) and math.isnan(va)):
+                    return AtomicValue(math.nan, rtype)
+                return AtomicValue(math.copysign(math.inf, va) *
+                                   math.copysign(1.0, vb), rtype)
+            return AtomicValue(va / vb, rtype)
+        if op == "idiv":
+            if vb == 0:
+                raise ArithmeticError_("integer division by zero")
+            quotient = va / vb if isinstance(va, float) or isinstance(vb, float) \
+                else Decimal(va) / Decimal(vb)
+            if isinstance(quotient, float) and (math.isnan(quotient) or math.isinf(quotient)):
+                raise ArithmeticError_("idiv overflow")
+            return AtomicValue(int(quotient), T.XS_INTEGER)
+        if op == "mod":
+            if vb == 0:
+                if rtype in (T.XS_FLOAT, T.XS_DOUBLE):
+                    return AtomicValue(math.nan, rtype)
+                raise ArithmeticError_("modulus by zero")
+            if isinstance(va, float) or isinstance(vb, float):
+                result: Any = math.fmod(va, vb)
+            else:
+                result = va - vb * int(va / vb)  # truncating remainder
+            return AtomicValue(result, rtype)
+    except (InvalidOperation, OverflowError) as exc:
+        raise ArithmeticError_(str(exc)) from None
+    raise TypeError_(f"unknown arithmetic operator {op!r}")
+
+
+def _dur_type(a: AtomicValue, b: AtomicValue) -> T.AtomicType:
+    if a.type is b.type:
+        return a.type
+    return T.XS_DURATION
+
+
+def _to_datetime(value: Any) -> datetime:
+    if isinstance(value, datetime):
+        return value
+    if isinstance(value, date):
+        return datetime(value.year, value.month, value.day)
+    raise TypeError_(f"expected a date/dateTime, got {value!r}")
+
+
+def _shift(value: Any, duration: Duration, subtract: bool) -> Any:
+    months = -duration.months if subtract else duration.months
+    seconds = -duration.seconds if subtract else duration.seconds
+    if isinstance(value, time):
+        base = datetime(2000, 1, 1, value.hour, value.minute, value.second,
+                        value.microsecond, tzinfo=value.tzinfo)
+        shifted = base + timedelta(seconds=seconds)
+        return shifted.timetz()
+    was_date = not isinstance(value, datetime)
+    dt = _to_datetime(value)
+    if months:
+        total = dt.year * 12 + (dt.month - 1) + months
+        year, month = divmod(total, 12)
+        month += 1
+        day = min(dt.day, _days_in_month(year, month))
+        dt = dt.replace(year=year, month=month, day=day)
+    dt = dt + timedelta(seconds=seconds)
+    return dt.date() if was_date else dt
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 2:
+        leap = year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+        return 29 if leap else 28
+    return 31 if month in (1, 3, 5, 7, 8, 10, 12) else 30

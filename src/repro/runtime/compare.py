@@ -1,0 +1,191 @@
+"""The four comparison families.
+
+Value comparisons (``eq ne lt le gt ge``) compare *single* atomic
+values with type checking; general comparisons (``= != < <= > >=``)
+add existential quantification over both operands plus dynamic casts
+of untyped data — which is why they are not transitive, as the
+tutorial's ``(1,3) = (1,2)`` example shows; node comparisons (``is``)
+test identity; order comparisons (``<< >>``) test document order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+from repro.errors import TypeError_
+from repro.qname import QName
+from repro.xdm.items import AtomicValue
+from repro.xdm.nodes import Node
+from repro.xdm.order import doc_order_key
+from repro.xsd import types as T
+from repro.xsd.casting import cast_value
+
+_NUMERIC_RANK = {"decimal": 0, "float": 1, "double": 2}
+
+
+def _numeric_rank(atype: T.AtomicType) -> int:
+    return _NUMERIC_RANK[atype.primitive.name.local]
+
+
+def _promote_pair(a: AtomicValue, b: AtomicValue) -> tuple[Any, Any]:
+    """Promote two numerics to their common type; returns raw values."""
+    ra, rb = _numeric_rank(a.type), _numeric_rank(b.type)
+    if ra == rb:
+        va, vb = a.value, b.value
+        # Decimal and int interoperate natively; float needs care
+        return va, vb
+    target = a.type if ra > rb else b.type
+    target_prim = target.primitive
+    va = cast_value(a.value, a.type, target_prim) if ra < rb else a.value
+    vb = cast_value(b.value, b.type, target_prim) if rb < ra else b.value
+    return va, vb
+
+
+def _apply(op: str, va: Any, vb: Any) -> bool:
+    if op == "eq":
+        return va == vb
+    if op == "ne":
+        return va != vb
+    if op == "lt":
+        return va < vb
+    if op == "le":
+        return va <= vb
+    if op == "gt":
+        return va > vb
+    if op == "ge":
+        return va >= vb
+    raise TypeError_(f"unknown value comparison {op!r}")
+
+
+def value_compare(op: str, a: AtomicValue, b: AtomicValue) -> bool:
+    """``a op b`` for single atomic values; raises on incomparable types."""
+    ta, tb = a.type, b.type
+
+    # untypedAtomic behaves as string in value comparisons
+    if ta is T.UNTYPED_ATOMIC:
+        a = AtomicValue(str(a.value), T.XS_STRING)
+        ta = T.XS_STRING
+    if tb is T.UNTYPED_ATOMIC:
+        b = AtomicValue(str(b.value), T.XS_STRING)
+        tb = T.XS_STRING
+
+    if T.is_numeric(ta) and T.is_numeric(tb):
+        va, vb = _promote_pair(a, b)
+        if isinstance(va, float) and isinstance(vb, (int,)) or \
+           isinstance(vb, float) and isinstance(va, (int,)):
+            va, vb = float(va), float(vb)
+        # Decimal vs float: compare as float
+        from decimal import Decimal
+        if isinstance(va, Decimal) and isinstance(vb, float):
+            va = float(va)
+        if isinstance(vb, Decimal) and isinstance(va, float):
+            vb = float(vb)
+        if isinstance(va, float) and math.isnan(va) or \
+           isinstance(vb, float) and math.isnan(vb):
+            return op == "ne"  # NaN compares false except ne
+        return _apply(op, va, vb)
+
+    pa, pb = ta.primitive, tb.primitive
+
+    if pa.derives_from(T.XS_STRING) and pb.derives_from(T.XS_STRING):
+        return _apply(op, str(a.value), str(b.value))
+    # anyURI compares with string
+    if (pa is T.XS_ANYURI or pa.derives_from(T.XS_STRING)) and \
+       (pb is T.XS_ANYURI or pb.derives_from(T.XS_STRING)):
+        return _apply(op, str(a.value), str(b.value))
+
+    if pa is T.XS_BOOLEAN and pb is T.XS_BOOLEAN:
+        return _apply(op, a.value, b.value)
+
+    if pa is pb and pa in (T.XS_DATE, T.XS_TIME, T.XS_DATETIME):
+        va, vb = a.value, b.value
+        return _apply(op, va, vb)
+
+    if pa is T.XS_DURATION and pb is T.XS_DURATION:
+        if op in ("eq", "ne"):
+            return _apply(op, (a.value.months, a.value.seconds),
+                          (b.value.months, b.value.seconds))
+        # ordering requires the restricted sub-types
+        sub = (T.YEAR_MONTH_DURATION, T.DAY_TIME_DURATION)
+        if a.type in sub and b.type is a.type:
+            key = (lambda d: d.months) if a.type is T.YEAR_MONTH_DURATION \
+                else (lambda d: d.seconds)
+            return _apply(op, key(a.value), key(b.value))
+        raise TypeError_("general xs:duration values are not ordered")
+
+    if pa is T.XS_QNAME and pb is T.XS_QNAME:
+        if op not in ("eq", "ne"):
+            raise TypeError_("QNames support only eq/ne")
+        return _apply(op, a.value, b.value)
+
+    if pa in (T.XS_HEXBINARY, T.XS_BASE64BINARY) and pb is pa:
+        if op not in ("eq", "ne"):
+            raise TypeError_("binary values support only eq/ne")
+        return _apply(op, a.value, b.value)
+
+    raise TypeError_(f"cannot compare {ta} with {tb}", code="XPTY0004")
+
+
+_GENERAL_TO_VALUE = {"=": "eq", "!=": "ne", "<": "lt", "<=": "le",
+                     ">": "gt", ">=": "ge"}
+
+
+def general_compare(op: str, left: Iterable[AtomicValue],
+                    right: Iterable[AtomicValue]) -> bool:
+    """Existential comparison with the dynamic-cast coercion rules.
+
+    Lazy in the left operand; the right operand is buffered since every
+    left item must see every right item.
+    """
+    value_op = _GENERAL_TO_VALUE[op]
+    right_items = list(right)
+    if not right_items:
+        return False
+    for a in left:
+        for b in right_items:
+            if _general_pair(value_op, a, b):
+                return True
+    return False
+
+
+def _general_pair(value_op: str, a: AtomicValue, b: AtomicValue) -> bool:
+    ta, tb = a.type, b.type
+    if ta is T.UNTYPED_ATOMIC and tb is T.UNTYPED_ATOMIC:
+        return _apply(value_op, str(a.value), str(b.value))
+    if ta is T.UNTYPED_ATOMIC:
+        a = _coerce_untyped(a, tb)
+    elif tb is T.UNTYPED_ATOMIC:
+        b = _coerce_untyped(b, ta)
+    return value_compare(value_op, a, b)
+
+
+def _coerce_untyped(untyped: AtomicValue, other_type: T.AtomicType) -> AtomicValue:
+    """Cast an untyped operand toward the other operand's type."""
+    if T.is_numeric(other_type):
+        target: T.AtomicType = T.XS_DOUBLE
+    elif other_type.derives_from(T.XS_STRING) or other_type is T.XS_ANYURI:
+        target = T.XS_STRING
+    else:
+        target = other_type.primitive
+    return AtomicValue(cast_value(untyped.value, T.UNTYPED_ATOMIC, target), target)
+
+
+def node_compare(op: str, a: Node | None, b: Node | None) -> bool | None:
+    """``is`` / ``isnot``; empty operands yield empty (None)."""
+    if a is None or b is None:
+        return None
+    if not isinstance(a, Node) or not isinstance(b, Node):
+        raise TypeError_("node comparison requires nodes", code="XPTY0004")
+    same = a is b
+    return same if op == "is" else not same
+
+
+def order_compare(op: str, a: Node | None, b: Node | None) -> bool | None:
+    """``<<`` / ``>>``; empty operands yield empty (None)."""
+    if a is None or b is None:
+        return None
+    if not isinstance(a, Node) or not isinstance(b, Node):
+        raise TypeError_("order comparison requires nodes", code="XPTY0004")
+    ka, kb = doc_order_key(a), doc_order_key(b)
+    return ka < kb if op == "<<" else ka > kb

@@ -1,0 +1,203 @@
+"""Node construction — the side-effecting corner of XQuery.
+
+"Constructing new nodes ... Side-effect operation: affects
+optimization and expression rewriting."  Every constructor call makes
+nodes with *fresh identity*; copied content is deep-copied.  This is
+why LET folding needs the "never generates new nodes" guard.
+
+The XQuery content rules implemented by :func:`assemble_content`:
+
+- adjacent atomic values are joined with a single space into one text
+  node;
+- node content is deep-copied (new identity);
+- document nodes are replaced by their children;
+- attribute nodes must precede all other content and attach to the
+  element;
+- adjacent text nodes merge; empty text nodes vanish.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import DynamicError, TypeError_
+from repro.qname import QName
+from repro.xdm.atomize import string_value_of
+from repro.xdm.items import AtomicValue
+from repro.xdm.nodes import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    NamespaceNode,
+    Node,
+    PINode,
+    TextNode,
+)
+
+
+def copy_node(node: Node, parent: Node | None = None) -> Node:
+    """Deep copy with fresh identity (the constructor copy semantics)."""
+    if isinstance(node, ElementNode):
+        clone = ElementNode(node.name, parent)
+        clone.ns_decls = node.ns_decls
+        clone.set_type(node.type_annotation,
+                       node._typed_value,  # noqa: SLF001 — faithful annotation copy
+                       bool(node.nilled))
+        for attr in node.attributes:
+            clone.attributes.append(_copy_attribute(attr, clone))
+        for child in node.children:
+            clone.children.append(copy_node(child, clone))
+        return clone
+    if isinstance(node, AttributeNode):
+        return _copy_attribute(node, parent)
+    if isinstance(node, TextNode):
+        return TextNode(node.content, parent)
+    if isinstance(node, CommentNode):
+        return CommentNode(node.content, parent)
+    if isinstance(node, PINode):
+        return PINode(node.target, node.content, parent)
+    if isinstance(node, DocumentNode):
+        clone_doc = DocumentNode(node.base_uri)
+        for child in node.children:
+            clone_doc.children.append(copy_node(child, clone_doc))
+        return clone_doc
+    if isinstance(node, NamespaceNode):
+        return NamespaceNode(node.prefix, node.uri, parent)
+    raise TypeError_(f"cannot copy node kind {node.kind!r}")
+
+
+def _copy_attribute(attr: AttributeNode, parent: Node | None) -> AttributeNode:
+    clone = AttributeNode(attr.name, attr.value, parent)
+    clone.set_type(attr.type_annotation, attr._typed_value)  # noqa: SLF001
+    return clone
+
+
+def assemble_content(element: Node, items: Iterable[Any],
+                     attributes_allowed: bool = True) -> None:
+    """Fill ``element`` (element or document node) from a content sequence."""
+    children = element.children
+    saw_non_attribute = False
+    pending_text: list[str] = []
+    pending_was_atomic = False
+
+    def flush_text() -> None:
+        nonlocal pending_was_atomic
+        if pending_text:
+            content = "".join(pending_text)
+            pending_text.clear()
+            if content:
+                if children and isinstance(children[-1], TextNode):
+                    children[-1].content += content
+                else:
+                    children.append(TextNode(content, element))
+        pending_was_atomic = False
+
+    for item in items:
+        if isinstance(item, AtomicValue):
+            if pending_was_atomic:
+                pending_text.append(" ")
+            pending_text.append(item.lexical)
+            pending_was_atomic = True
+            saw_non_attribute = True
+            continue
+        if isinstance(item, AttributeNode):
+            if not attributes_allowed:
+                raise TypeError_("attribute nodes not allowed in document content",
+                                 code="XPTY0004")
+            if saw_non_attribute:
+                raise DynamicError(
+                    "attribute node follows non-attribute content in constructor",
+                    code="XQTY0024")
+            assert isinstance(element, ElementNode)
+            for existing in element.attributes:
+                if existing.name == item.name:
+                    raise DynamicError(f"duplicate attribute {item.name}",
+                                       code="XQDY0025")
+            element.attributes.append(_copy_attribute(item, element))
+            continue
+        if isinstance(item, DocumentNode):
+            flush_text()
+            saw_non_attribute = True
+            for child in item.children:
+                children.append(copy_node(child, element))
+            continue
+        if isinstance(item, TextNode):
+            flush_text()
+            saw_non_attribute = True
+            if item.content:
+                if children and isinstance(children[-1], TextNode):
+                    children[-1].content += item.content
+                else:
+                    children.append(TextNode(item.content, element))
+            continue
+        if isinstance(item, Node):
+            flush_text()
+            saw_non_attribute = True
+            children.append(copy_node(item, element))
+            continue
+        raise TypeError_(f"invalid content item {type(item).__name__}")
+    flush_text()
+
+
+def construct_element(name: QName, attribute_items: Iterable[AttributeNode],
+                      content_items: Iterable[Any],
+                      ns_decls: tuple[tuple[str, str], ...] = ()) -> ElementNode:
+    """Build a new element with fresh identity."""
+    element = ElementNode(name, None)
+    element.ns_decls = ns_decls
+    for attr in attribute_items:
+        for existing in element.attributes:
+            if existing.name == attr.name:
+                raise DynamicError(f"duplicate attribute {attr.name}", code="XQDY0025")
+        element.attributes.append(_copy_attribute(attr, element))
+    assemble_content(element, content_items)
+    return element
+
+
+def construct_attribute(name: QName, value_items: Iterable[Any]) -> AttributeNode:
+    """Build an attribute; the value is the space-joined atomization."""
+    parts = [string_value_of(item) for item in value_items]
+    return AttributeNode(name, " ".join(parts) if parts else "", None)
+
+
+def construct_attribute_from_parts(name: QName, part_values: Iterable[Iterable[Any]]) -> AttributeNode:
+    """Direct-constructor attribute: literal chunks concatenate directly,
+    each enclosed expression joins its items with spaces."""
+    chunks: list[str] = []
+    for part in part_values:
+        items = [string_value_of(item) for item in part]
+        chunks.append(" ".join(items))
+    return AttributeNode(name, "".join(chunks), None)
+
+
+def construct_text(items: Iterable[Any]) -> TextNode | None:
+    """Computed text constructor; empty content yields no node."""
+    parts = [string_value_of(item) for item in items]
+    if not parts:
+        return None
+    return TextNode(" ".join(parts), None)
+
+
+def construct_comment(items: Iterable[Any]) -> CommentNode:
+    """Computed comment constructor; rejects ``--`` content (XQDY0072)."""
+    parts = [string_value_of(item) for item in items]
+    content = " ".join(parts)
+    if "--" in content or content.endswith("-"):
+        raise DynamicError("comment content may not contain '--'", code="XQDY0072")
+    return CommentNode(content, None)
+
+
+def construct_pi(target: str, items: Iterable[Any]) -> PINode:
+    """Computed PI constructor; the target ``xml`` is reserved."""
+    parts = [string_value_of(item) for item in items]
+    if target.lower() == "xml":
+        raise DynamicError("PI target 'xml' is reserved", code="XQDY0064")
+    return PINode(target, " ".join(parts), None)
+
+
+def construct_document(content_items: Iterable[Any]) -> DocumentNode:
+    """Computed document constructor (attributes are not allowed)."""
+    doc = DocumentNode("")
+    assemble_content(doc, content_items, attributes_allowed=False)
+    return doc

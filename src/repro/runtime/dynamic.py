@@ -1,0 +1,176 @@
+"""The dynamic (evaluation-time) context.
+
+Mirrors the tutorial's "Dynamic context" slide: values for external
+variables, the current item / position / size, available documents and
+collections, current date-time and implicit timezone.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.errors import DynamicError
+from repro.qname import QName
+
+if TYPE_CHECKING:
+    from repro.compiler.context import StaticContext
+    from repro.xdm.nodes import DocumentNode
+
+
+class DynamicContext:
+    """Evaluation state.
+
+    Contexts are immutable from the evaluator's point of view: binding
+    a variable or moving the focus returns a *child* context.  The
+    shared slots (documents, functions, counters) live in one
+    ``_shared`` record so children stay cheap.
+    """
+
+    __slots__ = ("variables", "item", "position", "size", "_shared")
+
+    def __init__(self, static_ctx: "StaticContext | None" = None,
+                 current_datetime: datetime | None = None):
+        self.variables: dict[QName, Any] = {}
+        self.item: Any = None
+        self.position: int = 0
+        self.size: int = 0
+        self._shared = _Shared(static_ctx, current_datetime)
+
+    # -- derivation -------------------------------------------------------------
+
+    def _child(self) -> "DynamicContext":
+        clone = object.__new__(DynamicContext)
+        clone.variables = self.variables
+        clone.item = self.item
+        clone.position = self.position
+        clone.size = self.size
+        clone._shared = self._shared
+        return clone
+
+    def bind(self, name: QName, value: Any) -> "DynamicContext":
+        """A child context with ``$name`` bound to ``value``."""
+        clone = self._child()
+        clone.variables = dict(self.variables)
+        clone.variables[name] = value
+        return clone
+
+    def bind_many(self, bindings: dict[QName, Any]) -> "DynamicContext":
+        """A child context with several variables bound at once."""
+        clone = self._child()
+        clone.variables = dict(self.variables)
+        clone.variables.update(bindings)
+        return clone
+
+    def with_focus(self, item: Any, position: int, size: int) -> "DynamicContext":
+        """A child context whose focus (., position(), last()) is set."""
+        clone = self._child()
+        clone.item = item
+        clone.position = position
+        clone.size = size
+        return clone
+
+    # -- lookups ------------------------------------------------------------------
+
+    def variable(self, name: QName) -> Any:
+        """The value of ``$name``; err:XPDY0002 when unbound."""
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise DynamicError(f"variable ${name} is not bound", code="XPDY0002") from None
+
+    def context_item(self) -> Any:
+        """The context item; err:XPDY0002 when undefined."""
+        if self.item is None:
+            raise DynamicError("the context item is undefined", code="XPDY0002")
+        return self.item
+
+    # -- shared state accessors --------------------------------------------------
+
+    @property
+    def static_context(self):
+        return self._shared.static_ctx
+
+    @property
+    def current_datetime(self) -> datetime:
+        return self._shared.current_datetime
+
+    def register_document(self, uri: str, provider) -> None:
+        """Make a document available to ``fn:doc(uri)``.
+
+        ``provider`` is a DocumentNode, XML text, or a zero-argument
+        callable returning either.
+        """
+        self._shared.documents[uri] = provider
+
+    def register_collection(self, uri: str, nodes: list) -> None:
+        """Make a node list available to ``fn:collection(uri)``."""
+        self._shared.collections[uri] = nodes
+
+    def set_document_loader(self, loader) -> None:
+        """Fallback for fn:doc: ``loader(uri)`` returns XML text, a node,
+        or None (not found).  The CLI plugs the filesystem in here."""
+        self._shared.document_loader = loader
+
+    def resolve_document(self, uri: str) -> "DocumentNode":
+        provider = self._shared.documents.get(uri)
+        if provider is None and self._shared.document_loader is not None:
+            provider = self._shared.document_loader(uri)
+        if provider is None:
+            raise DynamicError(f"document {uri!r} is not available", code="FODC0002")
+        if callable(provider):
+            provider = provider()
+        if isinstance(provider, str):
+            from repro.xdm.build import parse_document
+
+            provider = parse_document(provider, base_uri=uri)
+        self._shared.documents[uri] = provider  # cache parsed form
+        return provider
+
+    def resolve_collection(self, uri: str) -> list:
+        """The collection registered under ``uri``; err:FODC0004 if absent."""
+        nodes = self._shared.collections.get(uri)
+        if nodes is None:
+            raise DynamicError(f"collection {uri!r} is not available", code="FODC0004")
+        return nodes
+
+    def user_function(self, name: QName, arity: int):
+        """The user FunctionDecl for (name, arity), if declared."""
+        ctx = self._shared.static_ctx
+        return ctx.lookup_function(name, arity) if ctx is not None else None
+
+    @property
+    def node_ids_required(self) -> bool:
+        return self._shared.node_ids_required
+
+    @node_ids_required.setter
+    def node_ids_required(self, flag: bool) -> None:
+        self._shared.node_ids_required = flag
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Cheap instrumentation counters (benchmarks read these)."""
+        return self._shared.stats
+
+    def count(self, key: str, amount: int = 1) -> None:
+        """Bump an instrumentation counter (read via :attr:`stats`)."""
+        stats = self._shared.stats
+        stats[key] = stats.get(key, 0) + amount
+
+
+class _Shared:
+    """State shared by all contexts derived from one evaluation."""
+
+    __slots__ = ("static_ctx", "current_datetime", "documents", "collections",
+                 "node_ids_required", "stats", "document_loader")
+
+    def __init__(self, static_ctx, current_datetime):
+        self.static_ctx = static_ctx
+        self.current_datetime = current_datetime or datetime.now(timezone.utc)
+        self.documents: dict[str, Any] = {}
+        self.collections: dict[str, list] = {}
+        self.document_loader = None
+        #: set by the compiler when the plan contains identity-sensitive
+        #: operators; constructors consult it (experiment E4)
+        self.node_ids_required = True
+        self.stats: dict[str, int] = {}

@@ -1,0 +1,58 @@
+"""Effective boolean value.
+
+The tutorial's rules (which are the 2003-draft rules, and two-valued —
+"not three value logic like SQL!"):
+
+- empty sequence → false
+- first item a node → true (without consuming the rest: lazy)
+- singleton boolean → itself
+- singleton string/anyURI/untypedAtomic → length > 0
+- singleton numeric → false for 0 and NaN
+- anything else → type error
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+from repro.errors import TypeError_
+from repro.xdm.items import AtomicValue
+from repro.xdm.nodes import Node
+from repro.xsd import types as T
+
+
+def effective_boolean_value(sequence: Iterable[Any]) -> bool:
+    """Compute the EBV, consuming as little of the input as possible."""
+    iterator = iter(sequence)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return False
+    if isinstance(first, Node):
+        return True
+    # a second item alongside a non-node first item is a type error
+    try:
+        next(iterator)
+    except StopIteration:
+        return _atomic_ebv(first)
+    raise TypeError_("effective boolean value of a multi-item atomic sequence",
+                     code="FORG0006")
+
+
+def _atomic_ebv(item: Any) -> bool:
+    if not isinstance(item, AtomicValue):
+        raise TypeError_(f"no effective boolean value for {type(item).__name__}",
+                         code="FORG0006")
+    atype = item.type
+    if atype.derives_from(T.XS_BOOLEAN):
+        return bool(item.value)
+    if (atype.derives_from(T.XS_STRING) or atype is T.UNTYPED_ATOMIC
+            or atype.derives_from(T.XS_ANYURI)):
+        return len(str(item.value)) > 0
+    if T.is_numeric(atype):
+        value = item.value
+        if isinstance(value, float) and math.isnan(value):
+            return False
+        return value != 0
+    raise TypeError_(f"no effective boolean value for type {atype}", code="FORG0006")

@@ -1,0 +1,26 @@
+"""The built-in function library ("A built-in function sampler").
+
+Importing this package registers every built-in; :func:`lookup`
+resolves a (name, arity) pair to its :class:`BuiltinFunction` record,
+whose declared flags (lazy, context-sensitive, deterministic,
+creates-nodes) the compiler's analysis reads.
+"""
+
+from repro.runtime.functions.registry import (
+    BuiltinFunction,
+    all_functions,
+    lookup,
+    register,
+)
+
+# Importing the modules populates the registry.
+from repro.runtime.functions import (  # noqa: F401  (import for side effects)
+    booleans,
+    datetime_fns,
+    nodes_fns,
+    numbers,
+    sequences,
+    strings,
+)
+
+__all__ = ["BuiltinFunction", "lookup", "register", "all_functions"]

@@ -1,0 +1,47 @@
+"""Boolean and existence functions."""
+
+from __future__ import annotations
+
+from repro.runtime.ebv import effective_boolean_value
+from repro.runtime.functions.registry import register
+from repro.xdm.items import FALSE, TRUE, boolean
+
+
+@register("true", 0)
+def fn_true(dctx):
+    """``fn:true() as xs:boolean``"""
+    return [TRUE]
+
+
+@register("false", 0)
+def fn_false(dctx):
+    """``fn:false() as xs:boolean``"""
+    return [FALSE]
+
+
+@register("not", 1, lazy=True)
+def fn_not(dctx, arg):
+    """``fn:not(item()*) as xs:boolean`` — negated effective boolean value."""
+    return [boolean(not effective_boolean_value(arg))]
+
+
+@register("boolean", 1, lazy=True)
+def fn_boolean(dctx, arg):
+    """``fn:boolean(item()*) as xs:boolean`` — the effective boolean value."""
+    return [boolean(effective_boolean_value(arg))]
+
+
+@register("empty", 1, lazy=True)
+def fn_empty(dctx, arg):
+    """``fn:empty(item()*) as xs:boolean`` — lazily checks for no items."""
+    for _ in arg:
+        return [FALSE]
+    return [TRUE]
+
+
+@register("exists", 1, lazy=True)
+def fn_exists(dctx, arg):
+    """``fn:exists(item()*) as xs:boolean`` — lazily checks for any item."""
+    for _ in arg:
+        return [TRUE]
+    return [FALSE]

@@ -1,0 +1,91 @@
+"""Date/time functions, including the tutorial's xf:date / xf:add-date."""
+
+from __future__ import annotations
+
+from repro.errors import TypeError_
+from repro.runtime.functions.registry import one_atomic, opt_atomic, register
+from repro.xdm.items import AtomicValue
+from repro.xsd import types as T
+from repro.xsd.casting import cast_value
+
+
+@register("current-dateTime", 0, context_sensitive=True, deterministic=False)
+def fn_current_datetime(dctx):
+    """``fn:current-dateTime() as xs:dateTime`` — stable within one evaluation."""
+    return [AtomicValue(dctx.current_datetime, T.XS_DATETIME)]
+
+
+@register("current-date", 0, context_sensitive=True, deterministic=False)
+def fn_current_date(dctx):
+    """``fn:current-date() as xs:date``"""
+    return [AtomicValue(dctx.current_datetime.date(), T.XS_DATE)]
+
+
+@register("current-time", 0, context_sensitive=True, deterministic=False)
+def fn_current_time(dctx):
+    """``fn:current-time() as xs:time``"""
+    return [AtomicValue(dctx.current_datetime.timetz(), T.XS_TIME)]
+
+
+@register("date", 1)
+def fn_date(dctx, arg):
+    """Constructor-style cast, as in the tutorial's ``xf:date("2002-5-20")``."""
+    value = opt_atomic(arg)
+    if value is None:
+        return []
+    return [AtomicValue(cast_value(value.value, value.type, T.XS_DATE), T.XS_DATE)]
+
+
+@register("add-date", 2)
+def fn_add_date(dctx, date_arg, duration_arg):
+    """``xf:add-date(xs:date, xs:duration) => xs:date`` from the sampler."""
+    from repro.runtime.arithmetic import arithmetic
+
+    date_value = one_atomic(date_arg, "date argument")
+    duration_value = one_atomic(duration_arg, "duration argument")
+    if date_value.type.primitive is not T.XS_DATE:
+        date_value = AtomicValue(
+            cast_value(date_value.value, date_value.type, T.XS_DATE), T.XS_DATE)
+    if duration_value.type.primitive is not T.XS_DURATION:
+        raise TypeError_("second argument of add-date must be a duration")
+    return [arithmetic("+", date_value, duration_value)]
+
+
+def _component(value, what: str) -> int:
+    out = getattr(value, what, None)
+    if out is None:
+        raise TypeError_(f"value has no {what} component")
+    return out
+
+
+@register("year-from-date", 1)
+def fn_year_from_date(dctx, arg):
+    """``fn:year-from-date(xs:date?) as xs:integer?``"""
+    value = opt_atomic(arg)
+    if value is None:
+        return []
+    from repro.xdm.items import integer
+
+    return [integer(_component(value.value, "year"))]
+
+
+@register("month-from-date", 1)
+def fn_month_from_date(dctx, arg):
+    """``fn:month-from-date(xs:date?) as xs:integer?``"""
+    value = opt_atomic(arg)
+    if value is None:
+        return []
+    from repro.xdm.items import integer
+
+    return [integer(_component(value.value, "month"))]
+
+
+@register("day-from-date", 1)
+def fn_day_from_date(dctx, arg):
+    """``fn:day-from-date(xs:date?) as xs:integer?``"""
+    value = opt_atomic(arg)
+    if value is None:
+        return []
+    from repro.xdm.items import integer
+
+    return [integer(_component(value.value, "day"))]

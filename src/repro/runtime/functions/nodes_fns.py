@@ -1,0 +1,164 @@
+"""Node accessors and document functions."""
+
+from __future__ import annotations
+
+from repro.errors import DynamicError
+from repro.qname import QName
+from repro.runtime.functions.registry import (
+    one_atomic,
+    opt_node,
+    opt_string,
+    register,
+    string_arg,
+)
+from repro.xdm.atomize import atomize, string_value_of
+from repro.xdm.items import AtomicValue, string
+from repro.xdm.nodes import Node
+from repro.xsd import types as T
+
+
+@register("data", 1, lazy=True)
+def fn_data(dctx, arg):
+    """``fn:data(item()*) as anyAtomicType*`` — atomization."""
+    return atomize(arg)
+
+
+@register("name", 0, 1, context_sensitive=True)
+def fn_name(dctx, *args):
+    """``fn:name(node()?) as xs:string`` — lexical QName of the argument or context node."""
+    node = _focus_node(dctx, args)
+    if node is None:
+        return [string("")]
+    qname = node.node_name
+    if qname is None:
+        return [string("")]
+    return [string(f"{qname.prefix}:{qname.local}" if qname.prefix else qname.local)]
+
+
+@register("local-name", 0, 1, context_sensitive=True)
+def fn_local_name(dctx, *args):
+    """``fn:local-name(node()?) as xs:string``"""
+    node = _focus_node(dctx, args)
+    if node is None or node.node_name is None:
+        return [string("")]
+    return [string(node.node_name.local)]
+
+
+@register("namespace-uri", 0, 1, context_sensitive=True)
+def fn_namespace_uri(dctx, *args):
+    """``fn:namespace-uri(node()?) as xs:anyURI``"""
+    node = _focus_node(dctx, args)
+    if node is None or node.node_name is None:
+        return [AtomicValue("", T.XS_ANYURI)]
+    return [AtomicValue(node.node_name.uri, T.XS_ANYURI)]
+
+
+@register("node-name", 1)
+def fn_node_name(dctx, arg):
+    """``fn:node-name(node()?) as xs:QName?``"""
+    node = opt_node(arg)
+    if node is None or node.node_name is None:
+        return []
+    return [AtomicValue(node.node_name, T.XS_QNAME)]
+
+
+@register("root", 0, 1, context_sensitive=True)
+def fn_root(dctx, *args):
+    """``fn:root(node()?) as node()?``"""
+    node = _focus_node(dctx, args)
+    if node is None:
+        return []
+    return [node.root()]
+
+
+@register("base-uri", 0, 1, context_sensitive=True)
+def fn_base_uri(dctx, *args):
+    """``fn:base-uri(node()?) as xs:anyURI?``"""
+    node = _focus_node(dctx, args)
+    if node is None:
+        return []
+    return [AtomicValue(node.base_uri, T.XS_ANYURI)]
+
+
+@register("nilled", 1)
+def fn_nilled(dctx, arg):
+    """``fn:nilled(node()?) as xs:boolean?``"""
+    node = opt_node(arg)
+    if node is None or node.nilled is None:
+        return []
+    from repro.xdm.items import boolean
+
+    return [boolean(node.nilled)]
+
+
+def _focus_node(dctx, args) -> Node | None:
+    if args:
+        return opt_node(args[0])
+    item = dctx.context_item()
+    if not isinstance(item, Node):
+        raise DynamicError("the context item is not a node", code="XPTY0004")
+    return item
+
+
+@register("doc", 1, context_sensitive=True, deterministic=True)
+def fn_doc(dctx, uri_arg):
+    """``fn:doc(xs:string?) as document-node()?`` — resolved against registered documents / the loader."""
+    uri = opt_string(uri_arg)
+    if uri is None:
+        return []
+    return [dctx.resolve_document(uri)]
+
+
+@register("document", 1, context_sensitive=True)
+def fn_document(dctx, uri_arg):
+    """The tutorial's spelling of fn:doc."""
+    return fn_doc(dctx, uri_arg)
+
+
+@register("collection", 1, context_sensitive=True)
+def fn_collection(dctx, uri_arg):
+    """``fn:collection(xs:string?) as node()*``"""
+    uri = opt_string(uri_arg)
+    if uri is None:
+        return []
+    return list(dctx.resolve_collection(uri))
+
+
+@register("error", 0, 2)
+def fn_error(dctx, *args):
+    """``fn:error([code[, description]]) as none`` — raises a DynamicError."""
+    code = "FOER0000"
+    description = "error signalled by fn:error()"
+    if args:
+        value = opt_string(args[0])
+        if value:
+            code = value
+    if len(args) > 1:
+        description = string_arg(args[1], description)
+    raise DynamicError(description, code=code)
+
+
+@register("trace", 2, lazy=True)
+def fn_trace(dctx, seq, label):
+    """``fn:trace(item()*, xs:string) as item()*`` — counts items into the stats, lazily."""
+    label_text = string_arg(label)
+    for item in seq:
+        dctx.count(f"trace:{label_text}")
+        yield item
+
+
+@register("resolve-QName", 2)
+def fn_resolve_qname(dctx, name_arg, element_arg):
+    """``fn:resolve-QName(xs:string?, element()) as xs:QName?``"""
+    lexical = opt_string(name_arg)
+    if lexical is None:
+        return []
+    element = opt_node(element_arg)
+    bindings = element.in_scope_namespaces() if hasattr(element, "in_scope_namespaces") else {}
+    if ":" in lexical:
+        prefix, local = lexical.split(":", 1)
+        uri = bindings.get(prefix)
+        if uri is None:
+            raise DynamicError(f"prefix {prefix!r} not in scope", code="FONS0004")
+        return [AtomicValue(QName(uri, local, prefix), T.XS_QNAME)]
+    return [AtomicValue(QName(bindings.get("", ""), lexical), T.XS_QNAME)]

@@ -1,0 +1,32 @@
+"""Storage modes and node labeling.
+
+The tutorial's "Possible XML Storage Modes" slide, implemented:
+
+- :class:`TextStore` — plain UNICODE text; must re-parse per query
+  ("not an option for XQuery processing" — E8 quantifies why);
+- :class:`TreeStore` — materialized XDM trees with indexes ("good
+  support of navigation; difficult to use in streaming");
+- :class:`TokenStore` — the binary pooled TokenStream on (simulated)
+  disk ("low overhead: separate indexes from data");
+
+plus the **(pre, post, level) + Dewey labeling** scheme
+(:mod:`repro.storage.labels`) and inverted element/value indexes
+(:mod:`repro.storage.indexes`) that the structural-join algorithms of
+:mod:`repro.joins` run on.
+"""
+
+from repro.storage.labels import DeweyLabel, Label, label_document
+from repro.storage.indexes import ElementIndex, Posting, ValueIndex
+from repro.storage.stores import TextStore, TokenStore, TreeStore
+
+__all__ = [
+    "Label",
+    "DeweyLabel",
+    "label_document",
+    "ElementIndex",
+    "ValueIndex",
+    "Posting",
+    "TextStore",
+    "TreeStore",
+    "TokenStore",
+]

@@ -1,0 +1,39 @@
+"""Streaming XML query evaluation.
+
+Two pieces, both cited in the tutorial's "Streaming evaluation of XML
+queries" slide:
+
+- :mod:`repro.stream.xpath_subset` + :mod:`repro.stream.matcher` — an
+  NFA that evaluates one simple path query over a parse-event stream,
+  materializing only matching subtrees (this is how the engine gets
+  results out before the document finishes parsing, E1);
+- :mod:`repro.stream.automaton` + :mod:`repro.stream.broker` — the
+  lazy-DFA construction of Green/Miklau/Onizuka/Suciu for *many*
+  simultaneous path queries over a message stream (the XML
+  message-broker scenario, E9).
+"""
+
+from repro.stream.xpath_subset import PathQuery, PathStep, parse_path
+from repro.stream.matcher import stream_path
+from repro.stream.automaton import LazyDFA
+from repro.stream.broker import MessageBroker, NaiveBroker
+from repro.stream.projection import (
+    ProjectionChain,
+    project_events,
+    project_text,
+    projection_spec,
+)
+
+__all__ = [
+    "PathQuery",
+    "PathStep",
+    "parse_path",
+    "stream_path",
+    "LazyDFA",
+    "MessageBroker",
+    "NaiveBroker",
+    "ProjectionChain",
+    "projection_spec",
+    "project_events",
+    "project_text",
+]

@@ -1,0 +1,112 @@
+"""Single-query streaming path matcher.
+
+Evaluates one :class:`~repro.stream.xpath_subset.PathQuery` over a
+parse-event stream, yielding matching elements as materialized
+subtrees *as soon as their end tag arrives*.  Only the subtrees of
+matches are ever built; everything else streams through in O(depth)
+state — which is exactly the paper's "produce results before input is
+fully read / minimize the memory footprint" requirement (E1 measures
+both).
+
+The state machine is the standard XPath NFA: per document depth we
+keep the set of step positions that could match there.  ``child``
+steps apply at one depth only; ``descendant`` steps persist downward.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.stream.xpath_subset import PathQuery
+from repro.xdm.nodes import AttributeNode, CommentNode, ElementNode, Node, PINode, TextNode
+from repro.xmlio.events import (
+    Comment,
+    EndDocument,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+    Text,
+)
+
+
+def stream_path(events: Iterable[Event], query: PathQuery) -> Iterator[ElementNode]:
+    """Yield matches of ``query`` over ``events``, in document order.
+
+    Matches nested inside other matches are yielded as nodes *within*
+    the outer match's tree (shared structure, correct document order).
+    """
+    steps = query.steps
+    last = len(steps) - 1
+
+    # per-depth NFA state: a tuple of step positions awaiting elements
+    # at that depth; depth 0 is children of the document node
+    state_stack: list[tuple[int, ...]] = [_initial_state(steps)]
+
+    # subtree building: non-None while inside some matched element
+    build_stack: list[ElementNode] = []
+    #: matches in start-tag (pre) order: (node, emit_depth) where
+    #: emit_depth is the build-stack depth at which the node completes
+    pending: list[ElementNode] = []
+
+    for event in events:
+        if isinstance(event, StartElement):
+            local = event.name.local
+            current = state_stack[-1]
+            next_state: list[int] = []
+            matched = False
+            for position in current:
+                step = steps[position]
+                if step.axis == "descendant":
+                    next_state.append(position)  # keep searching deeper
+                if step.matches(local):
+                    if position == last:
+                        matched = True
+                    else:
+                        next_state.append(position + 1)
+            state_stack.append(tuple(dict.fromkeys(next_state)))
+
+            # building
+            if build_stack or matched:
+                parent = build_stack[-1] if build_stack else None
+                element = ElementNode(event.name, parent)
+                element.ns_decls = event.ns_decls
+                for aname, avalue in event.attributes:
+                    element.attributes.append(AttributeNode(aname, avalue, element))
+                if parent is not None:
+                    parent.children.append(element)
+                build_stack.append(element)
+                if matched:
+                    pending.append(element)
+        elif isinstance(event, EndElement):
+            state_stack.pop()
+            if build_stack:
+                completed = build_stack.pop()
+                if not build_stack:
+                    # outermost build finished: emit every pending match
+                    # (they were recorded in start order = document order)
+                    for node in pending:
+                        yield node
+                    pending.clear()
+        elif isinstance(event, Text):
+            if build_stack:
+                parent = build_stack[-1]
+                if parent.children and isinstance(parent.children[-1], TextNode):
+                    parent.children[-1].content += event.content
+                elif event.content:
+                    parent.children.append(TextNode(event.content, parent))
+        elif isinstance(event, Comment):
+            if build_stack:
+                parent = build_stack[-1]
+                parent.children.append(CommentNode(event.content, parent))
+        elif isinstance(event, ProcessingInstruction):
+            if build_stack:
+                parent = build_stack[-1]
+                parent.children.append(PINode(event.target, event.content, parent))
+        elif isinstance(event, (StartDocument, EndDocument)):
+            continue
+
+
+def _initial_state(steps) -> tuple[int, ...]:
+    return (0,)

@@ -1,0 +1,319 @@
+"""Document projection (Marian & Siméon, cited on the tutorial's
+streaming slide: "Projecting XML Documents").
+
+Idea: analyze the compiled query for the set of absolute paths it can
+touch, then build a *pruned* tree from the input event stream keeping
+only (a) nodes on the spine toward a potential match and (b) matched
+subtrees.  The engine then runs unchanged over a fraction of the
+nodes — the memory-footprint savings the paper reports.
+
+Safety model (conservative, like the original):
+
+- only forward axes (child / descendant / descendant-or-self / self /
+  attribute) are analyzable; any reverse or sibling axis anywhere in
+  the query disables projection (``projection_spec`` returns None);
+- ``fn:root`` disables projection (it escapes the kept region);
+- a for-variable bound to an analyzable absolute path *extends* the
+  chain set with the variable's relative continuations; every other
+  use of the variable is covered because terminal subtrees are kept
+  whole;
+- name tests project by local name; wildcard and kind tests keep
+  everything below (chain truncates to a subtree-keep).
+
+Over-keeping is always safe; the analysis only has to never
+under-keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.qname import QName
+from repro.stream.xpath_subset import PathStep
+from repro.xdm.nodes import AttributeNode, CommentNode, DocumentNode, ElementNode, PINode, TextNode
+from repro.xmlio.events import (
+    Comment,
+    EndDocument,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from repro.xquery import ast
+
+_FORWARD_AXES = {"child", "descendant", "descendant-or-self", "self", "attribute"}
+_UNSAFE_FUNCTIONS = {"root"}
+
+
+@dataclass(frozen=True)
+class ProjectionChain:
+    """One absolute path whose matches (whole subtrees) must be kept."""
+
+    steps: tuple[PathStep, ...]
+
+    def __str__(self) -> str:
+        return "".join(("//" if s.axis == "descendant" else "/") + s.name
+                       for s in self.steps) or "/"
+
+
+def projection_spec(expr: ast.Expr) -> Optional[list[ProjectionChain]]:
+    """The projection chains for a core/optimized expression tree.
+
+    Returns None when the query is not safely projectable.
+    """
+    # global safety: no reverse/sibling axes, no fn:root
+    for node in expr.walk():
+        if isinstance(node, ast.Step) and node.axis not in _FORWARD_AXES:
+            return None
+        if isinstance(node, ast.FunctionCall) and \
+                node.name.local in _UNSAFE_FUNCTIONS:
+            return None
+
+    chains: list[ProjectionChain] = []
+    ok = _collect(expr, {}, chains)
+    if not ok:
+        return None
+    # the empty chain means "keep the whole document": projection useless
+    if any(not chain.steps for chain in chains):
+        return None
+    return _dedupe(chains)
+
+
+def _dedupe(chains: list[ProjectionChain]) -> list[ProjectionChain]:
+    seen = set()
+    out = []
+    for chain in chains:
+        if chain.steps not in seen:
+            seen.add(chain.steps)
+            out.append(chain)
+    return out
+
+
+#: sentinels from _step_to_pathstep
+_SKIP = "skip"          # self::node(): chain unchanged, keep going
+_TRUNCATE = "truncate"  # wildcard/kind/attribute: keep subtree, stop refining
+
+
+def _step_to_pathstep(step: ast.Step):
+    """Translate a core Step into a projection step or a sentinel."""
+    axis = step.axis
+    if axis == "self":
+        return _SKIP
+    if axis == "attribute":
+        return _TRUNCATE  # the owner element's subtree covers its attributes
+    mapped = "child" if axis == "child" else "descendant"
+    test = step.test
+    if test.kind in ("element",) or (test.kind == "node" and test.name is not None):
+        if test.name is not None and test.name.local != "*" \
+                and test.name.uri != "*":
+            return PathStep(mapped, test.name.local)
+    return _TRUNCATE  # kind/wildcard test: keep subtree from here
+
+
+@dataclass(frozen=True)
+class _Chain:
+    anchor: str               # "doc" | "other"
+    steps: tuple[PathStep, ...]
+    truncated: bool = False   # True: no further narrowing is sound
+
+
+def _chain_of(expr: ast.Expr, env: dict) -> Optional[_Chain]:
+    """The analyzable-absolute-path view of ``expr``, if it has one."""
+    if isinstance(expr, ast.DDO) or isinstance(expr, ast.OrderedExpr):
+        return _chain_of(expr.operand, env)
+    if isinstance(expr, (ast.RootExpr, ast.ContextItem)):
+        return _Chain("doc", ())
+    if isinstance(expr, ast.VarRef):
+        bound = env.get(expr.name)
+        if bound is not None:
+            return bound  # a _Chain recorded at the binding site
+        return _Chain("other", ())
+    if isinstance(expr, ast.Filter):
+        base = _chain_of(expr.base, env)
+        if base is None:
+            return None
+        # the predicate sees the matched node: its subtree is kept
+        # whole, so the chain may not be narrowed past this point
+        return _Chain(base.anchor, base.steps, truncated=True)
+    if isinstance(expr, ast.PathExpr):
+        left = _chain_of(expr.left, env)
+        if left is None:
+            return None
+        if left.truncated:
+            return left  # subtree keep already covers anything below
+        right = expr.right
+        truncated_by_filter = False
+        while isinstance(right, ast.Filter):
+            right = right.base
+            truncated_by_filter = True
+        if isinstance(right, ast.Step):
+            mapped = _step_to_pathstep(right)
+            if mapped is _SKIP:
+                return left
+            if mapped is _TRUNCATE:
+                return _Chain(left.anchor, left.steps, truncated=True)
+            steps = left.steps + (mapped,)
+            return _Chain(left.anchor, steps, truncated=truncated_by_filter)
+        # a non-step right side evaluates inside the kept subtree
+        return _Chain(left.anchor, left.steps, truncated=True)
+    return None
+
+
+def _bind(env: dict, var, chain: Optional[_Chain]) -> dict:
+    inner = dict(env)
+    if chain is not None and chain.anchor == "doc":
+        inner[var] = chain
+    else:
+        inner.pop(var, None)
+    return inner
+
+
+def _collect(expr: ast.Expr, env: dict, chains: list[ProjectionChain]) -> bool:
+    """Walk the tree gathering chains; False = not projectable."""
+    chain = _chain_of(expr, env)
+    if chain is not None:
+        if chain.anchor == "doc":
+            chains.append(ProjectionChain(chain.steps))
+        # children already folded into the chain; still scan predicates
+        # (they may contain fresh absolute paths)
+        for node in expr.walk():
+            if isinstance(node, ast.Filter):
+                if not _collect(node.predicate, env, chains):
+                    return False
+        return True
+
+    if isinstance(expr, ast.ForExpr):
+        if not _collect(expr.seq, env, chains):
+            return False
+        inner = _bind(env, expr.var, _chain_of(expr.seq, env))
+        return _collect(expr.body, inner, chains)
+
+    if isinstance(expr, ast.LetExpr):
+        if not _collect(expr.value, env, chains):
+            return False
+        inner = _bind(env, expr.var, _chain_of(expr.value, env))
+        return _collect(expr.body, inner, chains)
+
+    if isinstance(expr, ast.Quantified):
+        if not _collect(expr.seq, env, chains):
+            return False
+        inner = _bind(env, expr.var, _chain_of(expr.seq, env))
+        return _collect(expr.cond, inner, chains)
+
+    for child in expr.children():
+        if not _collect(child, env, chains):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# The projecting loader
+# ---------------------------------------------------------------------------
+
+
+def project_events(events: Iterable[Event],
+                   chains: list[ProjectionChain]) -> DocumentNode:
+    """Build a pruned tree: spine nodes + matched subtrees only.
+
+    NFA states per depth, as in the streaming matcher; an element is
+
+    - a *match* when any chain completes on it → its whole subtree is
+      kept;
+    - on the *spine* when some chain is still alive below it → the
+      element is kept (with attributes) but its non-matching, non-spine
+      children are dropped.
+    """
+    doc = DocumentNode()
+    # per-depth: (alive step-state per chain, node or None)
+    state_stack: list[list[tuple[int, ...]]] = [
+        [(0,) for _ in chains]]
+    node_stack: list[Optional[ElementNode | DocumentNode]] = [doc]
+    keep_depth = 0  # >0: inside a fully-kept subtree
+
+    for event in events:
+        if isinstance(event, StartElement):
+            if keep_depth:
+                keep_depth += 1
+                parent = node_stack[-1]
+                element = _make_element(event, parent)
+                node_stack.append(element)
+                state_stack.append([()] * len(chains))
+                continue
+            local = event.name.local
+            matched = False
+            next_states: list[tuple[int, ...]] = []
+            spine_alive = False
+            for chain, positions in zip(chains, state_stack[-1]):
+                out: list[int] = []
+                for position in positions:
+                    step = chain.steps[position]
+                    if step.axis == "descendant":
+                        out.append(position)
+                    if step.matches(local):
+                        if position == len(chain.steps) - 1:
+                            matched = True
+                        else:
+                            out.append(position + 1)
+                deduped = tuple(dict.fromkeys(out))
+                next_states.append(deduped)
+                if deduped:
+                    spine_alive = True
+            if matched or spine_alive:
+                parent = node_stack[-1]
+                element = _make_element(event, parent)
+                node_stack.append(element)
+            else:
+                node_stack.append(None)  # dropped
+            state_stack.append(next_states)
+            if matched:
+                keep_depth = 1
+        elif isinstance(event, EndElement):
+            state_stack.pop()
+            node = node_stack.pop()
+            if keep_depth:
+                keep_depth -= 1
+            if node is not None and node_stack[-1] is None:
+                pass  # parent dropped: subtree dangles (cannot happen: spine)
+        elif isinstance(event, Text):
+            if keep_depth and node_stack[-1] is not None:
+                parent = node_stack[-1]
+                if parent.children and isinstance(parent.children[-1], TextNode):
+                    parent.children[-1].content += event.content
+                elif event.content:
+                    parent.children.append(TextNode(event.content, parent))
+        elif isinstance(event, Comment):
+            if keep_depth and node_stack[-1] is not None:
+                parent = node_stack[-1]
+                parent.children.append(CommentNode(event.content, parent))
+        elif isinstance(event, ProcessingInstruction):
+            if keep_depth and node_stack[-1] is not None:
+                parent = node_stack[-1]
+                parent.children.append(PINode(event.target, event.content, parent))
+        elif isinstance(event, (StartDocument, EndDocument)):
+            continue
+    return doc
+
+
+def _make_element(event: StartElement, parent) -> ElementNode:
+    element = ElementNode(event.name, parent)
+    element.ns_decls = event.ns_decls
+    for aname, avalue in event.attributes:
+        element.attributes.append(AttributeNode(aname, avalue, element))
+    if parent is not None:
+        parent.children.append(element)
+    return element
+
+
+def project_text(xml_text: str, chains: list[ProjectionChain]) -> DocumentNode:
+    """Parse + project in one streaming pass."""
+    from repro.xmlio.parser import parse_events
+
+    return project_events(parse_events(xml_text), chains)
+
+
+def node_count(doc: DocumentNode) -> int:
+    """Nodes in a tree (for the memory-saving metric)."""
+    return sum(1 for _ in doc.descendants_or_self())

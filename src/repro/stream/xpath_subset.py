@@ -1,0 +1,71 @@
+"""The path subset streaming evaluation accepts.
+
+Message-broker queries are "simple path expressions, single input
+message" (the tutorial's scenario slide): chains of ``/`` and ``//``
+steps with name or ``*`` tests, e.g. ``/site/people/person/name`` or
+``//keyword``.  This module parses them into :class:`PathQuery`
+objects shared by the single-query matcher and the multi-query DFA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+
+@dataclass(frozen=True, slots=True)
+class PathStep:
+    """One step: axis ``child`` or ``descendant``, a local-name or ``*``."""
+
+    axis: str  # "child" | "descendant"
+    name: str  # local name, or "*"
+
+    def matches(self, local_name: str) -> bool:
+        return self.name == "*" or self.name == local_name
+
+
+@dataclass(frozen=True, slots=True)
+class PathQuery:
+    """A parsed streaming path query."""
+
+    steps: tuple[PathStep, ...]
+    source: str = ""
+
+    def __str__(self) -> str:
+        return self.source or "".join(
+            ("//" if s.axis == "descendant" else "/") + s.name for s in self.steps)
+
+
+def parse_path(text: str) -> PathQuery:
+    """Parse ``/a/b``, ``//a//b``, ``/a//b/*`` into a PathQuery."""
+    source = text.strip()
+    text = source
+    if not text.startswith("/"):
+        # relative paths are implicitly descendant from the root
+        text = "//" + text
+    steps: list[PathStep] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        if text.startswith("//", i):
+            axis = "descendant"
+            i += 2
+        elif text.startswith("/", i):
+            axis = "child"
+            i += 1
+        else:
+            raise ParseError(f"expected '/' at position {i} in path {source!r}")
+        j = i
+        while j < n and text[j] not in "/":
+            j += 1
+        name = text[i:j]
+        if not name:
+            raise ParseError(f"empty step in path {source!r}")
+        if name != "*" and not all(c.isalnum() or c in "_-." for c in name):
+            raise ParseError(f"unsupported step {name!r} in streaming path")
+        steps.append(PathStep(axis, name))
+        i = j
+    if not steps:
+        raise ParseError(f"no steps in path {source!r}")
+    return PathQuery(tuple(steps), source)

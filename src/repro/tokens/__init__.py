@@ -1,0 +1,37 @@
+"""TokenStream — the array/event representation of XDM instances.
+
+"Each node -> sequence of tokens/events; linear representation of XML
+data (pre-order traversal of the XML tree)."  This is BEA's answer to
+*how do we stream a tree*: a flat token sequence that supports
+stream-based processing, separates indexes from data, and serializes
+to a compact pooled binary format.
+
+Unlike SAX events, tokens cover the *full XQuery data model*: atomic
+values and whole-subtree references are tokens too ("special tokens
+represent whole sub-trees"), and node-identity tokens are optional —
+the compiler only asks for them when the plan needs identity (E4).
+"""
+
+from repro.tokens.token import Tok, Token
+from repro.tokens.stream import TokenStream
+from repro.tokens.pool import StringPool
+from repro.tokens.build import (
+    events_from_tokens,
+    tokens_from_events,
+    tokens_from_node,
+    tree_from_tokens,
+)
+from repro.tokens.binary import read_binary, write_binary
+
+__all__ = [
+    "Tok",
+    "Token",
+    "TokenStream",
+    "StringPool",
+    "tokens_from_events",
+    "tokens_from_node",
+    "tree_from_tokens",
+    "events_from_tokens",
+    "write_binary",
+    "read_binary",
+]

@@ -1,0 +1,257 @@
+"""Binary (de)serialization of token streams.
+
+The disk/wire form of the TokenStream: "Disk: binary representation
+(compressed)".  A single-pass, streaming-friendly format:
+
+- one opcode byte per token ("special encodings for all END tokens" —
+  END is exactly one byte);
+- varint-encoded lengths and ids;
+- optional **pooling**: every string (QName parts, text, attribute
+  values) is emitted once as a DEFINE pragma and referenced by id
+  afterwards — "serialization: use special pragma tokens for
+  compression";
+- optional node-id stamping.
+
+Layout::
+
+    magic "RTS1" | flags | token records ...
+
+The reader is incremental and rebuilds the pool from DEFINE pragmas,
+so decoding is single-pass too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import StorageError
+from repro.qname import QName
+from repro.tokens.pool import StringPool
+from repro.tokens.token import (
+    BEGIN_DOCUMENT_TOKEN,
+    END_DOCUMENT_TOKEN,
+    END_ELEMENT_TOKEN,
+    Tok,
+    Token,
+)
+from repro.xsd import types as T
+from repro.xsd.casting import canonical_lexical, parse_lexical
+
+_MAGIC = b"RTS1"
+_OP_DEFINE = 20
+_FLAG_POOLED = 1
+_FLAG_NODE_IDS = 2
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise StorageError(f"cannot encode negative varint {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise StorageError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+class _Writer:
+    def __init__(self, pooled: bool, node_ids: bool):
+        self.out = bytearray(_MAGIC)
+        flags = (_FLAG_POOLED if pooled else 0) | (_FLAG_NODE_IDS if node_ids else 0)
+        self.out.append(flags)
+        self.pooled = pooled
+        self.node_ids = node_ids
+        self.pool = StringPool()
+
+    def string(self, text: str) -> None:
+        if self.pooled:
+            # 0 = "new string: DEFINE inline", otherwise pool-id + 1.
+            pool_id, is_new = self.pool.intern(text)
+            if is_new:
+                raw = text.encode("utf-8")
+                _write_varint(self.out, 0)
+                _write_varint(self.out, len(raw))
+                self.out.extend(raw)
+            else:
+                _write_varint(self.out, pool_id + 1)
+        else:
+            raw = text.encode("utf-8")
+            _write_varint(self.out, len(raw))
+            self.out.extend(raw)
+
+    def qname(self, name: QName) -> None:
+        self.string(name.uri)
+        self.string(name.local)
+        self.string(name.prefix)
+
+    def maybe_node_id(self, token: Token) -> None:
+        if self.node_ids:
+            _write_varint(self.out, (token.node_id or 0))
+
+
+def write_binary(tokens: Iterable[Token], pooled: bool = True,
+                 node_ids: bool = False) -> bytes:
+    """Serialize tokens to the binary format.
+
+    ``pooled`` toggles dictionary compression (E3 measures the
+    difference); ``node_ids`` preserves identity stamps.
+    """
+    w = _Writer(pooled, node_ids)
+    out = w.out
+    for token in tokens:
+        kind = token.kind
+        if kind == Tok.TREE:
+            # expand subtree references on the way to disk
+            from repro.tokens.build import tokens_from_node
+
+            for sub in tokens_from_node(token.value):
+                _write_token(w, sub)
+            continue
+        _write_token(w, token)
+    return bytes(out)
+
+
+def _write_token(w: _Writer, token: Token) -> None:
+    kind = token.kind
+    w.out.append(int(kind))
+    if kind == Tok.BEGIN_ELEMENT:
+        w.qname(token.name)
+        w.maybe_node_id(token)
+    elif kind == Tok.ATTRIBUTE:
+        w.qname(token.name)
+        w.string(token.value)
+        w.maybe_node_id(token)
+    elif kind == Tok.NAMESPACE:
+        w.string(token.name or "")
+        w.string(token.value)
+    elif kind in (Tok.TEXT, Tok.COMMENT):
+        w.string(token.value)
+        w.maybe_node_id(token)
+    elif kind == Tok.PI:
+        w.string(token.name)
+        w.string(token.value)
+        w.maybe_node_id(token)
+    elif kind == Tok.ATOMIC:
+        w.qname(token.type.name)
+        w.string(canonical_lexical(token.value, token.type))
+    elif kind in (Tok.BEGIN_DOCUMENT,):
+        w.maybe_node_id(token)
+    elif kind in (Tok.END_ELEMENT, Tok.END_DOCUMENT):
+        pass  # single-byte END encodings
+    else:  # pragma: no cover - exhaustive above
+        raise StorageError(f"cannot serialize token kind {kind!r}")
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        if data[:4] != _MAGIC:
+            raise StorageError("bad magic: not a repro token stream")
+        self.data = data
+        self.pos = 5
+        flags = data[4]
+        self.pooled = bool(flags & _FLAG_POOLED)
+        self.node_ids = bool(flags & _FLAG_NODE_IDS)
+        self.pool = StringPool()
+
+    def _raw_string(self) -> str:
+        length, self.pos = _read_varint(self.data, self.pos)
+        end = self.pos + length
+        if end > len(self.data):
+            raise StorageError("truncated string")
+        text = self.data[self.pos: end].decode("utf-8")
+        self.pos = end
+        return text
+
+    def string(self) -> str:
+        if self.pooled:
+            marker, self.pos = _read_varint(self.data, self.pos)
+            if marker == 0:
+                text = self._raw_string()
+                self.pool.add(text)
+                return text
+            try:
+                return self.pool.lookup(marker - 1)
+            except IndexError:
+                raise StorageError(f"dangling pool reference {marker - 1}") from None
+        return self._raw_string()
+
+    def qname(self) -> QName:
+        uri = self.string()
+        local = self.string()
+        prefix = self.string()
+        return QName(uri, local, prefix)
+
+    def maybe_node_id(self) -> int | None:
+        if self.node_ids:
+            value, self.pos = _read_varint(self.data, self.pos)
+            return value or None
+        return None
+
+
+def read_binary(data: bytes,
+                type_registry: T.TypeRegistry | None = None) -> Iterator[Token]:
+    """Decode the binary format back into tokens, lazily.
+
+    ``type_registry`` resolves ATOMIC token types; defaults to the
+    built-in types.
+    """
+    r = _Reader(data)
+    registry = type_registry or T.TypeRegistry()
+    data_len = len(data)
+    while r.pos < data_len:
+        opcode = data[r.pos]
+        r.pos += 1
+        try:
+            kind = Tok(opcode)
+        except ValueError:
+            raise StorageError(f"unknown opcode {opcode} at offset {r.pos - 1}") from None
+        if kind == Tok.BEGIN_ELEMENT:
+            name = r.qname()
+            yield Token(kind, name=name, node_id=r.maybe_node_id())
+        elif kind == Tok.ATTRIBUTE:
+            name = r.qname()
+            value = r.string()
+            yield Token(kind, name=name, value=value, node_id=r.maybe_node_id())
+        elif kind == Tok.NAMESPACE:
+            prefix = r.string()
+            uri = r.string()
+            yield Token(kind, name=prefix, value=uri)
+        elif kind in (Tok.TEXT, Tok.COMMENT):
+            value = r.string()
+            yield Token(kind, value=value, node_id=r.maybe_node_id())
+        elif kind == Tok.PI:
+            target = r.string()
+            value = r.string()
+            yield Token(kind, name=target, value=value, node_id=r.maybe_node_id())
+        elif kind == Tok.ATOMIC:
+            tname = r.qname()
+            lexical = r.string()
+            atype = registry.lookup(tname)
+            if atype is None:
+                raise StorageError(f"ATOMIC token references unknown type {tname}")
+            yield Token(kind, value=parse_lexical(atype, lexical), type=atype)
+        elif kind == Tok.BEGIN_DOCUMENT:
+            node_id = r.maybe_node_id()
+            yield Token(kind, node_id=node_id) if node_id else BEGIN_DOCUMENT_TOKEN
+        elif kind == Tok.END_ELEMENT:
+            yield END_ELEMENT_TOKEN
+        elif kind == Tok.END_DOCUMENT:
+            yield END_DOCUMENT_TOKEN
+        else:  # pragma: no cover
+            raise StorageError(f"unhandled kind {kind!r}")

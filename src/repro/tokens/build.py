@@ -1,0 +1,157 @@
+"""Converters between events, trees, and token streams.
+
+All converters are lazy generators where the source allows it, so a
+pipeline ``parse → tokens → query`` never materializes the document
+unless an operator asks for it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator
+
+from repro.errors import ParseError
+from repro.qname import QName
+from repro.tokens.token import (
+    BEGIN_DOCUMENT_TOKEN,
+    END_DOCUMENT_TOKEN,
+    END_ELEMENT_TOKEN,
+    Tok,
+    Token,
+)
+from repro.xdm.nodes import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    PINode,
+    TextNode,
+)
+from repro.xmlio.events import (
+    Comment,
+    EndDocument,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+    Text,
+)
+
+_node_id_counter = itertools.count(1)
+
+
+def tokens_from_events(events: Iterable[Event],
+                       with_node_ids: bool = False) -> Iterator[Token]:
+    """Convert parse events to tokens, lazily.
+
+    ``with_node_ids`` stamps fresh identities on structural tokens;
+    leave it off unless the consumer needs identity (E4).
+    """
+    next_id = (lambda: next(_node_id_counter)) if with_node_ids else (lambda: None)
+    for event in events:
+        if isinstance(event, StartElement):
+            yield Token(Tok.BEGIN_ELEMENT, name=event.name, node_id=next_id())
+            for prefix, uri in event.ns_decls:
+                yield Token(Tok.NAMESPACE, name=prefix, value=uri)
+            for name, value in event.attributes:
+                yield Token(Tok.ATTRIBUTE, name=name, value=value, node_id=next_id())
+        elif isinstance(event, EndElement):
+            yield END_ELEMENT_TOKEN
+        elif isinstance(event, Text):
+            yield Token(Tok.TEXT, value=event.content, node_id=next_id())
+        elif isinstance(event, StartDocument):
+            yield Token(Tok.BEGIN_DOCUMENT, node_id=next_id()) \
+                if with_node_ids else BEGIN_DOCUMENT_TOKEN
+        elif isinstance(event, EndDocument):
+            yield END_DOCUMENT_TOKEN
+        elif isinstance(event, Comment):
+            yield Token(Tok.COMMENT, value=event.content, node_id=next_id())
+        elif isinstance(event, ProcessingInstruction):
+            yield Token(Tok.PI, name=event.target, value=event.content,
+                        node_id=next_id())
+        else:
+            raise ParseError(f"unknown event {event!r}")
+
+
+def tokens_from_node(node: Node, with_node_ids: bool = False,
+                     as_tree_ref: bool = False) -> Iterator[Token]:
+    """Stream a tree into tokens.
+
+    With ``as_tree_ref`` the whole subtree is passed as one ``TREE``
+    token — the paper's whole-subtree optimization for operators that
+    forward fragments untouched.
+    """
+    if as_tree_ref:
+        yield Token(Tok.TREE, value=node)
+        return
+    from repro.xdm.build import node_events
+
+    yield from tokens_from_events(node_events(node), with_node_ids)
+
+
+def events_from_tokens(tokens: Iterable[Token]) -> Iterator[Event]:
+    """Convert tokens back to parse events (expanding TREE refs).
+
+    Attribute and namespace tokens must directly follow their
+    BEGIN_ELEMENT; this converter regroups them onto the StartElement
+    event, buffering only the current start tag.
+    """
+    from repro.xdm.build import node_events
+
+    pending_name: QName | None = None
+    pending_attrs: list[tuple[QName, str]] = []
+    pending_ns: list[tuple[str, str]] = []
+    open_names: list[QName] = []
+
+    def flush() -> Iterator[Event]:
+        nonlocal pending_name
+        if pending_name is not None:
+            yield StartElement(pending_name, tuple(pending_attrs), tuple(pending_ns))
+            open_names.append(pending_name)
+            pending_name = None
+            pending_attrs.clear()
+            pending_ns.clear()
+
+    for token in tokens:
+        kind = token.kind
+        if kind == Tok.ATTRIBUTE and pending_name is not None:
+            pending_attrs.append((token.name, token.value))
+            continue
+        if kind == Tok.NAMESPACE and pending_name is not None:
+            pending_ns.append((token.name, token.value))
+            continue
+        yield from flush()
+        if kind == Tok.BEGIN_ELEMENT:
+            pending_name = token.name
+        elif kind == Tok.END_ELEMENT:
+            # END tokens are shared singletons without names; recover the
+            # element name from the open-tag stack.
+            if not open_names:
+                raise ParseError("unbalanced END_ELEMENT token")
+            yield EndElement(open_names.pop())
+        elif kind == Tok.TEXT:
+            yield Text(token.value)
+        elif kind == Tok.BEGIN_DOCUMENT:
+            yield StartDocument()
+        elif kind == Tok.END_DOCUMENT:
+            yield EndDocument()
+        elif kind == Tok.COMMENT:
+            yield Comment(token.value)
+        elif kind == Tok.PI:
+            yield ProcessingInstruction(token.name, token.value)
+        elif kind == Tok.TREE:
+            yield from node_events(token.value, with_document=False)
+        elif kind == Tok.ATOMIC:
+            raise ParseError("cannot convert a bare ATOMIC token to XML events")
+        else:
+            raise ParseError(f"unknown token {token!r}")
+    yield from flush()
+
+
+def tree_from_tokens(tokens: Iterable[Token]) -> DocumentNode:
+    """Materialize a token stream into a document tree."""
+    from repro.xdm.build import build_tree
+
+    return build_tree(events_from_tokens(tokens))

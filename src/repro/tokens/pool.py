@@ -1,0 +1,56 @@
+"""String pooling — dictionary compression for token streams.
+
+"Pooling: store strings only once (dictionary-based compression);
+works for all QNames (names and types) and text."  The pool maps
+strings to small integer ids; the binary writer emits each string once
+(as a DEFINE pragma) and references it afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class StringPool:
+    """An append-only string → id dictionary.
+
+    Ids are dense and allocated in first-seen order, which is exactly
+    what a single-pass streaming serializer needs: the reader can
+    rebuild the pool incrementally as DEFINE pragmas arrive.
+    """
+
+    __slots__ = ("_ids", "_strings")
+
+    def __init__(self):
+        self._ids: dict[str, int] = {}
+        self._strings: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._ids
+
+    def intern(self, text: str) -> tuple[int, bool]:
+        """Return (id, is_new) for ``text``, adding it if unseen."""
+        existing = self._ids.get(text)
+        if existing is not None:
+            return existing, False
+        new_id = len(self._strings)
+        self._ids[text] = new_id
+        self._strings.append(text)
+        return new_id, True
+
+    def lookup(self, pool_id: int) -> str:
+        return self._strings[pool_id]
+
+    def add(self, text: str) -> int:
+        """Reader-side: record a DEFINE'd string, returning its id."""
+        return self.intern(text)[0]
+
+    def strings(self) -> Iterator[str]:
+        return iter(self._strings)
+
+    def byte_size(self) -> int:
+        """Approximate size of the pooled strings (UTF-8 bytes)."""
+        return sum(len(s.encode("utf-8")) for s in self._strings)

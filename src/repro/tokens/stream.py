@@ -1,0 +1,90 @@
+"""TokenStream: a materialized token array with subtree navigation.
+
+The in-memory form of the paper's "array" storage mode: a flat list of
+tokens in pre-order.  Because BEGIN/END tokens bracket subtrees, the
+stream supports the ``skip()`` operation iterators need — jump from a
+BEGIN token to just past its matching END without visiting the
+interior — in O(1) once the skip table is built (and O(subtree) the
+first time).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.tokens.token import CLOSING, OPENING, Tok, Token
+
+
+class TokenStream:
+    """A materialized, indexable token sequence."""
+
+    __slots__ = ("tokens", "_skip")
+
+    def __init__(self, tokens: Iterable[Token] | None = None):
+        self.tokens: list[Token] = list(tokens) if tokens is not None else []
+        self._skip: dict[int, int] | None = None
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __iter__(self) -> Iterator[Token]:
+        return iter(self.tokens)
+
+    def __getitem__(self, index):
+        return self.tokens[index]
+
+    def append(self, token: Token) -> None:
+        self.tokens.append(token)
+        self._skip = None
+
+    def extend(self, tokens: Iterable[Token]) -> None:
+        self.tokens.extend(tokens)
+        self._skip = None
+
+    # -- structure ----------------------------------------------------------
+
+    def _skip_table(self) -> dict[int, int]:
+        """position of each opening token → position just past its END."""
+        if self._skip is None:
+            table: dict[int, int] = {}
+            stack: list[int] = []
+            for i, token in enumerate(self.tokens):
+                if token.kind in OPENING:
+                    stack.append(i)
+                elif token.kind in CLOSING:
+                    if stack:
+                        table[stack.pop()] = i + 1
+            self._skip = table
+        return self._skip
+
+    def skip_from(self, position: int) -> int:
+        """Index just past the subtree starting at ``position``.
+
+        For non-opening tokens this is simply ``position + 1``.
+        """
+        token = self.tokens[position]
+        if token.kind in OPENING:
+            return self._skip_table()[position]
+        return position + 1
+
+    def subtree(self, position: int) -> "TokenStream":
+        """The token slice for the subtree rooted at ``position``."""
+        return TokenStream(self.tokens[position: self.skip_from(position)])
+
+    def depth_profile(self) -> list[int]:
+        """Nesting depth at each token (diagnostics / tests)."""
+        depth = 0
+        out: list[int] = []
+        for token in self.tokens:
+            if token.kind in CLOSING:
+                depth -= 1
+            out.append(depth)
+            if token.kind in OPENING:
+                depth += 1
+        return out
+
+    def count(self, kind: Tok) -> int:
+        return sum(1 for t in self.tokens if t.kind == kind)
+
+    def __repr__(self) -> str:
+        return f"TokenStream({len(self.tokens)} tokens)"

@@ -1,0 +1,99 @@
+"""Token kinds and the Token record.
+
+A token is one cell of the linear (array) representation of a data
+model instance.  The kinds mirror the paper's example stream
+(``BD BE(order) A(id) T(4711) ... EE ED``) plus the two extensions the
+paper calls out as optimizations and data-model completeness:
+
+- ``ATOMIC`` — a typed atomic value in a sequence (TokenStream carries
+  full XDM instances, not just Infoset);
+- ``TREE`` — a reference to an already-materialized subtree ("special
+  tokens represent whole sub-trees"), which lets operators pass large
+  untouched fragments by reference instead of re-streaming them.
+
+``node_id`` is optional on structural tokens.  Generating identities
+costs time and space, so builders only stamp them when asked — the
+decoupling the compiler exploits (experiment E4).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Any
+
+
+class Tok(IntEnum):
+    """Token kind tags."""
+
+    BEGIN_DOCUMENT = 0
+    END_DOCUMENT = 1
+    BEGIN_ELEMENT = 2
+    END_ELEMENT = 3
+    ATTRIBUTE = 4
+    NAMESPACE = 5
+    TEXT = 6
+    COMMENT = 7
+    PI = 8
+    ATOMIC = 9
+    TREE = 10
+
+
+#: Kinds that open a nested scope closed by a matching END token.
+OPENING = frozenset({Tok.BEGIN_DOCUMENT, Tok.BEGIN_ELEMENT})
+#: Kinds that close a scope.
+CLOSING = frozenset({Tok.END_DOCUMENT, Tok.END_ELEMENT})
+
+
+class Token:
+    """One token.
+
+    Field usage by kind::
+
+        BEGIN_ELEMENT   name=QName
+        ATTRIBUTE       name=QName, value=str (the attribute value)
+        NAMESPACE       name=prefix(str), value=uri(str)
+        TEXT/COMMENT    value=str
+        PI              name=target(str), value=str
+        ATOMIC          value=python value, type=AtomicType
+        TREE            value=Node (a materialized subtree, passed by ref)
+        others          all None
+
+    Tokens are immutable by convention; END tokens are shared
+    singletons ("use static objects for END tokens").
+    """
+
+    __slots__ = ("kind", "name", "value", "type", "node_id")
+
+    def __init__(self, kind: Tok, name: Any = None, value: Any = None,
+                 type: Any = None, node_id: int | None = None):
+        self.kind = kind
+        self.name = name
+        self.value = value
+        self.type = type
+        self.node_id = node_id
+
+    def __repr__(self) -> str:
+        bits = [self.kind.name]
+        if self.name is not None:
+            bits.append(f"name={self.name}")
+        if self.value is not None:
+            text = repr(self.value)
+            bits.append(f"value={text[:30]}")
+        if self.node_id is not None:
+            bits.append(f"id={self.node_id}")
+        return f"Token({', '.join(bits)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (self.kind == other.kind and self.name == other.name
+                and self.value == other.value and self.type is other.type)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.name, str(self.value)))
+
+
+#: Shared END tokens — the paper's "use static objects for END tokens".
+END_ELEMENT_TOKEN = Token(Tok.END_ELEMENT)
+END_DOCUMENT_TOKEN = Token(Tok.END_DOCUMENT)
+BEGIN_DOCUMENT_TOKEN = Token(Tok.BEGIN_DOCUMENT)

@@ -1,0 +1,33 @@
+"""Workload generators for the experiment suite.
+
+Substitutes for data the paper used but we cannot have:
+
+- :mod:`repro.workloads.xmark` — an XMark-like auction-site document
+  generator (the standard scaling workload of the era);
+- :mod:`repro.workloads.ebxml` — trading-partner configuration
+  documents with the element vocabulary of the tutorial's "fraction of
+  a real customer XQuery", plus that query itself (trimmed to the
+  features our subset supports, shape preserved);
+- :mod:`repro.workloads.synthetic` — parametric deep/wide/recursive
+  trees for join selectivity sweeps;
+- :mod:`repro.workloads.messages` — small-message streams for the
+  broker scenario.
+
+All generators are deterministic given a seed.
+"""
+
+from repro.workloads.xmark import generate_xmark
+from repro.workloads.ebxml import EBXML_QUERY, generate_ebxml
+from repro.workloads.synthetic import deep_document, nested_sections, random_tree, wide_document
+from repro.workloads.messages import generate_messages
+
+__all__ = [
+    "generate_xmark",
+    "generate_ebxml",
+    "EBXML_QUERY",
+    "deep_document",
+    "wide_document",
+    "nested_sections",
+    "random_tree",
+    "generate_messages",
+]

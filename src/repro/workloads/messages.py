@@ -1,0 +1,40 @@
+"""Small-message streams for the broker scenario.
+
+Order/quote/invoice messages of a few hundred bytes each — the
+"simple path expressions, single input message, small data sets"
+profile of the tutorial's XML-message-broker use case.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+_KINDS = ("order", "quote", "invoice", "shipnotice")
+_SYMBOLS = ("ACME", "GLOBEX", "INITECH", "UMBRELLA", "WAYNE", "STARK")
+
+
+def generate_messages(count: int, seed: int = 3) -> Iterator[str]:
+    """Yield ``count`` small XML messages, deterministic per seed."""
+    rng = random.Random(seed)
+    for i in range(count):
+        kind = rng.choice(_KINDS)
+        if kind == "order":
+            lines = "".join(
+                f'<line sku="sku{rng.randint(1, 999)}"><qty>{rng.randint(1, 9)}</qty>'
+                f"<price>{round(rng.uniform(1, 250), 2)}</price></line>"
+                for _ in range(rng.randint(1, 5)))
+            yield (f'<order id="{i}"><customer>cust{rng.randint(1, 50)}</customer>'
+                   f"<lines>{lines}</lines><total/></order>")
+        elif kind == "quote":
+            yield (f'<quote id="{i}"><symbol>{rng.choice(_SYMBOLS)}</symbol>'
+                   f"<bid>{round(rng.uniform(10, 500), 2)}</bid>"
+                   f"<ask>{round(rng.uniform(10, 500), 2)}</ask></quote>")
+        elif kind == "invoice":
+            yield (f'<invoice id="{i}"><order-ref>{rng.randint(0, max(i, 1))}</order-ref>'
+                   f"<amount>{round(rng.uniform(5, 2000), 2)}</amount>"
+                   f"<due>2004-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}</due>"
+                   f"</invoice>")
+        else:
+            yield (f'<shipnotice id="{i}"><carrier>carrier{rng.randint(1, 5)}</carrier>'
+                   f"<tracking>TRK{rng.randint(100000, 999999)}</tracking></shipnotice>")

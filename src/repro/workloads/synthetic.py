@@ -1,0 +1,64 @@
+"""Parametric synthetic trees for selectivity/scaling sweeps."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+def deep_document(depth: int, tag: str = "n", leaf_text: str = "x") -> str:
+    """A single chain of ``depth`` nested elements."""
+    return f"<{tag}>" * depth + leaf_text + f"</{tag}>" * depth
+
+
+def wide_document(fanout: int, tag: str = "item", root: str = "root") -> str:
+    """One root with ``fanout`` leaf children."""
+    body = "".join(f"<{tag}>{i}</{tag}>" for i in range(fanout))
+    return f"<{root}>{body}</{root}>"
+
+
+def nested_sections(depth: int, fanout: int) -> str:
+    """Recursive <section> nesting with <title>/<para> leaves.
+
+    Total elements ≈ fanout^depth; useful for //section//title style
+    joins where matches nest.
+    """
+    def section(d: int) -> str:
+        title = f"<title>t{d}</title>"
+        if d == 0:
+            return f"<section>{title}<para>text</para></section>"
+        children = "".join(section(d - 1) for _ in range(fanout))
+        return f"<section>{title}{children}</section>"
+    return f"<doc>{section(depth)}</doc>"
+
+
+def random_tree(n_nodes: int, tags: Sequence[str] = ("a", "b", "c", "d"),
+                seed: int = 11, max_fanout: int = 5,
+                max_depth: int = 60) -> str:
+    """A random tree with ``n_nodes`` elements over the given tag set.
+
+    Tags repeat along root-to-leaf paths, so ancestor–descendant joins
+    see nesting — the hard case for order/distinct reasoning.
+    ``max_depth`` bounds nesting so large trees stay stack-safe.
+    """
+    rng = random.Random(seed)
+    counter = [0]
+
+    def build(depth: int) -> str:
+        counter[0] += 1
+        tag = rng.choice(tags)
+        if counter[0] >= n_nodes or depth >= max_depth:
+            return f"<{tag}>leaf</{tag}>"
+        children = []
+        for _ in range(rng.randint(1, max_fanout)):
+            if counter[0] >= n_nodes:
+                break
+            children.append(build(depth + 1))
+        if not children:
+            return f"<{tag}>leaf</{tag}>"
+        return f"<{tag}>{''.join(children)}</{tag}>"
+
+    body = []
+    while counter[0] < n_nodes:
+        body.append(build(0))
+    return "<root>" + "".join(body) + "</root>"

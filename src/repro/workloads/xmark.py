@@ -1,0 +1,127 @@
+"""An XMark-like auction-site document generator.
+
+Follows the entity schema of the XMark benchmark (site → regions /
+people / open_auctions / closed_auctions) with the element names its
+queries use, so path shapes like ``/site/people/person/name`` and
+``//item[location]//keyword`` behave like the original.  ``scale=1.0``
+yields roughly 1 MB of XML; size grows linearly.
+"""
+
+from __future__ import annotations
+
+import random
+
+_FIRST = ("Alice", "Bob", "Carol", "Dan", "Erin", "Frank", "Grace", "Heidi",
+          "Ivan", "Judy", "Mallory", "Niaj", "Olivia", "Peggy", "Rupert",
+          "Sybil", "Trent", "Victor", "Wendy", "Yves")
+_LAST = ("Smith", "Jones", "Miller", "Davis", "Garcia", "Chen", "Kumar",
+         "Moore", "Taylor", "Lopez", "Khan", "Silva", "Sato", "Nguyen")
+_CITIES = ("Paris", "Berlin", "Madrid", "Rome", "Vienna", "Prague", "Oslo",
+           "Dublin", "Lisbon", "Athens")
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+_WORDS = ("great", "vintage", "rare", "mint", "signed", "classic", "unique",
+          "antique", "restored", "original", "boxed", "limited", "edition",
+          "collector", "pristine", "museum", "quality", "certified")
+
+
+def _words(rng: random.Random, n: int) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(n))
+
+
+def generate_xmark(scale: float = 0.1, seed: int = 42) -> str:
+    """Generate an auction document; ``scale=1.0`` ≈ 1 MB."""
+    rng = random.Random(seed)
+    n_people = max(2, int(250 * scale))
+    n_items = max(2, int(200 * scale))
+    n_open = max(1, int(120 * scale))
+    n_closed = max(1, int(80 * scale))
+
+    out: list[str] = ['<site>']
+
+    # regions/items
+    out.append("<regions>")
+    per_region: dict[str, list[int]] = {r: [] for r in _REGIONS}
+    for i in range(n_items):
+        per_region[rng.choice(_REGIONS)].append(i)
+    for region in _REGIONS:
+        out.append(f"<{region}>")
+        for i in per_region[region]:
+            quantity = rng.randint(1, 5)
+            out.append(
+                f'<item id="item{i}"><location>{rng.choice(_CITIES)}</location>'
+                f"<quantity>{quantity}</quantity>"
+                f"<name>{_words(rng, 2)}</name>"
+                f"<payment>Creditcard</payment>"
+                f"<description><text>{_words(rng, rng.randint(5, 30))}</text></description>"
+                f"<keyword>{rng.choice(_WORDS)}</keyword>"
+                f"</item>")
+        out.append(f"</{region}>")
+    out.append("</regions>")
+
+    # people
+    out.append("<people>")
+    for p in range(n_people):
+        first = rng.choice(_FIRST)
+        last = rng.choice(_LAST)
+        income = round(rng.uniform(9000, 120000), 2)
+        out.append(
+            f'<person id="person{p}"><name>{first} {last}</name>'
+            f"<emailaddress>mailto:{first.lower()}.{last.lower()}{p}@example.com</emailaddress>"
+            f"<address><street>{rng.randint(1, 99)} {rng.choice(_LAST)} St</street>"
+            f"<city>{rng.choice(_CITIES)}</city>"
+            f"<country>United States</country></address>"
+            f'<profile income="{income}">'
+            f"<interest category=\"category{rng.randint(0, 9)}\"/>"
+            f"<education>{rng.choice(('High School', 'College', 'Graduate School'))}</education>"
+            f"<age>{rng.randint(18, 80)}</age></profile>"
+            + "".join(f'<watches><watch open_auction="open_auction{rng.randrange(max(n_open, 1))}"/></watches>'
+                      for _ in range(rng.randint(0, 2)))
+            + "</person>")
+    out.append("</people>")
+
+    # open auctions with bidder history
+    out.append("<open_auctions>")
+    for a in range(n_open):
+        initial = round(rng.uniform(1, 100), 2)
+        bids = []
+        current = initial
+        for _b in range(rng.randint(0, 6)):
+            current = round(current + rng.uniform(1, 25), 2)
+            bids.append(
+                f'<bidder><date>{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}/2003</date>'
+                f'<personref person="person{rng.randrange(n_people)}"/>'
+                f"<increase>{round(rng.uniform(1, 25), 2)}</increase></bidder>")
+        out.append(
+            f'<open_auction id="open_auction{a}">'
+            f"<initial>{initial}</initial>"
+            + "".join(bids) +
+            f"<current>{current}</current>"
+            f'<itemref item="item{rng.randrange(n_items)}"/>'
+            f'<seller person="person{rng.randrange(n_people)}"/>'
+            f"<annotation><description><text>{_words(rng, rng.randint(3, 15))}</text>"
+            f"</description></annotation>"
+            f"<quantity>1</quantity>"
+            f"<type>Regular</type>"
+            f"<interval><start>01/01/2003</start><end>31/12/2003</end></interval>"
+            f"</open_auction>")
+    out.append("</open_auctions>")
+
+    # closed auctions
+    out.append("<closed_auctions>")
+    for a in range(n_closed):
+        out.append(
+            f"<closed_auction>"
+            f'<seller person="person{rng.randrange(n_people)}"/>'
+            f'<buyer person="person{rng.randrange(n_people)}"/>'
+            f'<itemref item="item{rng.randrange(n_items)}"/>'
+            f"<price>{round(rng.uniform(5, 500), 2)}</price>"
+            f"<date>{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}/2003</date>"
+            f"<quantity>1</quantity>"
+            f"<type>Regular</type>"
+            f"<annotation><description><text>{_words(rng, rng.randint(3, 12))}</text>"
+            f"</description></annotation>"
+            f"</closed_auction>")
+    out.append("</closed_auctions>")
+
+    out.append("</site>")
+    return "".join(out)

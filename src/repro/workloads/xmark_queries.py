@@ -1,0 +1,120 @@
+"""An XMark-style query suite, adapted to this engine's dialect.
+
+XMark's twenty queries were *the* workload for XML engines of the
+tutorial's era.  This module carries a representative dozen, rewritten
+against our generator's vocabulary and the engine's XQuery subset, each
+tagged with the capability it stresses (exact path lookup, joins,
+aggregation, ordering, construction, quantifiers, ...).
+
+Use :data:`QUERIES` programmatically, or ``run_suite`` for a quick
+correctness/consistency sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class XMarkQuery:
+    """One suite entry."""
+
+    key: str
+    stresses: str
+    text: str
+
+
+QUERIES: dict[str, XMarkQuery] = {q.key: q for q in [
+    XMarkQuery(
+        "q01-exact-lookup", "exact path match, positional predicate",
+        """for $b in /site/open_auctions/open_auction
+           where $b/itemref/@item = 'item0'
+           return $b/initial/text()"""),
+    XMarkQuery(
+        "q02-ordered-access", "positional access inside groups",
+        """for $b in /site/open_auctions/open_auction
+           return <increase>{$b/bidder[1]/increase/text()}</increase>"""),
+    XMarkQuery(
+        "q03-filtered-positional", "positions + arithmetic comparison",
+        """for $b in /site/open_auctions/open_auction
+           where count($b/bidder) > 2
+             and xs:double($b/bidder[1]/increase)
+                 * 2 <= xs:double($b/bidder[last()]/increase) * 10
+           return <increase first="{$b/bidder[1]/increase}"
+                            last="{$b/bidder[last()]/increase}"/>"""),
+    XMarkQuery(
+        "q04-quantifier", "existential quantification over history",
+        """for $b in /site/open_auctions/open_auction
+           where some $i in $b/bidder/increase
+                 satisfies xs:double($i) > 20
+           return <hot>{$b/itemref/@item}</hot>"""),
+    XMarkQuery(
+        "q05-aggregate-count", "count over a selection",
+        """count(for $i in /site/closed_auctions/closed_auction
+                 where xs:double($i/price) >= 40 return $i/price)"""),
+    XMarkQuery(
+        "q06-descendant-count", "descendant axis cardinality",
+        """for $b in /site/regions return count($b//item)"""),
+    XMarkQuery(
+        "q07-multi-count", "several descendant counts in one query",
+        """count(/site//description) + count(/site//annotation)
+           + count(/site//emailaddress)"""),
+    XMarkQuery(
+        "q08-value-join", "value join buyers × people ('who bought what')",
+        """for $p in /site/people/person
+           let $a := for $t in /site/closed_auctions/closed_auction
+                     where $t/buyer/@person = $p/@id
+                     return $t
+           return <item person="{$p/name/text()}">{count($a)}</item>"""),
+    XMarkQuery(
+        "q09-join-triple", "three-way join people × closed × items",
+        """for $p in /site/people/person
+           let $a := for $t in /site/closed_auctions/closed_auction
+                     where $p/@id = $t/buyer/@person
+                     return let $n := for $t2 in /site/regions//item
+                                      where $t/itemref/@item = $t2/@id
+                                      return $t2
+                            return <item>{$n/name/text()}</item>
+           return <person name="{$p/name/text()}">{$a}</person>"""),
+    XMarkQuery(
+        "q10-grouping", "grouping by category via distinct-values",
+        """for $c in distinct-values(/site/people/person/profile/interest/@category)
+           let $members := for $p in /site/people/person
+                           where $p/profile/interest/@category = $c
+                           return $p
+           order by xs:string($c)
+           return <category id="{$c}" members="{count($members)}"/>"""),
+    XMarkQuery(
+        "q15-deep-path", "a long fully-specified child chain",
+        """for $a in /site/closed_auctions/closed_auction/annotation
+                     /description/text
+           return <text>{$a/text()}</text>"""),
+    XMarkQuery(
+        "q17-missing-data", "absence predicates (empty())",
+        """for $p in /site/people/person
+           where empty($p/homepage)
+           return <person name="{$p/name/text()}"/>"""),
+    XMarkQuery(
+        "q18-function", "user function application",
+        """declare function local:convert($v as xs:double) as xs:double
+           { 2.20371e0 * $v };
+           for $i in /site/open_auctions/open_auction
+           return local:convert(xs:double($i/current))"""),
+    XMarkQuery(
+        "q20-partition", "multi-branch conditional aggregation",
+        """<result>
+             <preferred>{count(/site/people/person/profile[xs:double(@income) >= 100000])}</preferred>
+             <standard>{count(/site/people/person/profile[
+                 xs:double(@income) < 100000 and xs:double(@income) >= 30000])}</standard>
+             <challenge>{count(/site/people/person/profile[xs:double(@income) < 30000])}</challenge>
+           </result>"""),
+]}
+
+
+def run_suite(engine, document, keys: list[str] | None = None) -> dict[str, str]:
+    """Compile and run (a subset of) the suite; returns key → serialized."""
+    out: dict[str, str] = {}
+    for key in keys or list(QUERIES):
+        compiled = engine.compile(QUERIES[key].text)
+        out[key] = compiled.execute(context_item=document).serialize()
+    return out

@@ -1,0 +1,66 @@
+"""The XQuery Data Model (XDM).
+
+"Instance of the data model: a sequence composed of zero or more
+items; items are nodes or atomic values."  This package implements
+that abstraction: atomic values that carry their type, the seven node
+kinds with the accessors the paper lists (node-kind, node-name, parent,
+string-value, typed-value, children, attributes, ...), document order,
+and atomization.
+
+Sequences are represented as ordinary Python lists (materialized) or
+iterators (streamed) of items; nesting never occurs because every
+producer flattens, mirroring "nested sequences are automatically
+flattened".
+"""
+
+from repro.xdm.items import (
+    AtomicValue,
+    Item,
+    boolean,
+    decimal,
+    double,
+    integer,
+    string,
+    untyped_atomic,
+)
+from repro.xdm.nodes import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    NamespaceNode,
+    Node,
+    PINode,
+    TextNode,
+)
+from repro.xdm.build import build_tree, node_events, parse_document
+from repro.xdm.order import doc_order_key, in_document_order, is_before
+from repro.xdm.atomize import atomize, atomize_item, string_value_of
+
+__all__ = [
+    "Item",
+    "AtomicValue",
+    "string",
+    "integer",
+    "decimal",
+    "double",
+    "boolean",
+    "untyped_atomic",
+    "Node",
+    "DocumentNode",
+    "ElementNode",
+    "AttributeNode",
+    "TextNode",
+    "CommentNode",
+    "PINode",
+    "NamespaceNode",
+    "build_tree",
+    "parse_document",
+    "node_events",
+    "doc_order_key",
+    "is_before",
+    "in_document_order",
+    "atomize",
+    "atomize_item",
+    "string_value_of",
+]

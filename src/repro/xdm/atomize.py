@@ -1,0 +1,40 @@
+"""Atomization (``fn:data``) and string values.
+
+"If every item in the input sequence is either an atomic value or a
+node whose typed value is a sequence of atomic values, then return it;
+otherwise raise a type error."  Atomization is the implicit first step
+of arithmetic, comparisons, casts, sorting keys, and function
+conversion — making it fast and correct pays everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import TypeError_
+from repro.xdm.items import AtomicValue
+from repro.xdm.nodes import Node
+
+
+def atomize_item(item: Any) -> list[AtomicValue]:
+    """Atomize a single item into zero or more atomic values."""
+    if isinstance(item, AtomicValue):
+        return [item]
+    if isinstance(item, Node):
+        return item.typed_value()
+    raise TypeError_(f"cannot atomize {type(item).__name__}")
+
+
+def atomize(sequence: Iterable[Any]) -> Iterator[AtomicValue]:
+    """Atomize a sequence lazily (the ``fn:data`` function)."""
+    for item in sequence:
+        yield from atomize_item(item)
+
+
+def string_value_of(item: Any) -> str:
+    """The ``fn:string`` view of an item."""
+    if isinstance(item, Node):
+        return item.string_value
+    if isinstance(item, AtomicValue):
+        return item.lexical
+    raise TypeError_(f"cannot take string value of {type(item).__name__}")

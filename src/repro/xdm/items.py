@@ -1,0 +1,85 @@
+"""Items: the members of XDM sequences.
+
+An item is either a node (see :mod:`repro.xdm.nodes`) or an
+:class:`AtomicValue`.  Atomic values carry their dynamic type with the
+value — the tutorial's ``(8, myNS:ShoeSize) != (8, xs:integer)`` point
+— so :class:`AtomicValue` is a (value, type) pair and equality compares
+both.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import Any, Union
+
+from repro.xsd import types as T
+from repro.xsd.casting import canonical_lexical
+
+
+class AtomicValue:
+    """A typed atomic value: Python value + dynamic type annotation."""
+
+    __slots__ = ("value", "type")
+
+    def __init__(self, value: Any, type_: T.AtomicType):
+        self.value = value
+        self.type = type_
+
+    def __repr__(self) -> str:
+        return f"AtomicValue({self.value!r}, {self.type})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AtomicValue):
+            return NotImplemented
+        return self.type is other.type and self.value == other.value
+
+    def __hash__(self) -> int:
+        try:
+            return hash((self.type.name, self.value))
+        except TypeError:
+            return hash((self.type.name, str(self.value)))
+
+    @property
+    def lexical(self) -> str:
+        """The canonical lexical form of the value."""
+        return canonical_lexical(self.value, self.type)
+
+
+# A sequence item is a node or an atomic value.  Nodes are imported
+# lazily to avoid a circular dependency; the alias is for documentation
+# and annotations.
+Item = Union[AtomicValue, "object"]
+
+
+def string(value: str) -> AtomicValue:
+    """An xs:string item."""
+    return AtomicValue(value, T.XS_STRING)
+
+
+def integer(value: int) -> AtomicValue:
+    """An xs:integer item."""
+    return AtomicValue(int(value), T.XS_INTEGER)
+
+
+def decimal(value: "Decimal | int | str") -> AtomicValue:
+    """An xs:decimal item."""
+    return AtomicValue(Decimal(value), T.XS_DECIMAL)
+
+
+def double(value: float) -> AtomicValue:
+    """An xs:double item."""
+    return AtomicValue(float(value), T.XS_DOUBLE)
+
+
+def boolean(value: bool) -> AtomicValue:
+    """An xs:boolean item."""
+    return AtomicValue(bool(value), T.XS_BOOLEAN)
+
+
+def untyped_atomic(value: str) -> AtomicValue:
+    """An xdt:untypedAtomic item (text from non-validated data)."""
+    return AtomicValue(value, T.UNTYPED_ATOMIC)
+
+
+TRUE = boolean(True)
+FALSE = boolean(False)

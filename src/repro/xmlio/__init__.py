@@ -1,0 +1,42 @@
+"""XML 1.0 parsing and serialization, built from scratch.
+
+This package is the ``parse`` / ``serialize`` edge of the data-model
+life cycle in the paper (steps DM1 and DM4): text in, a stream of
+well-formedness-checked events out, and back again.
+
+Public API:
+
+- :func:`parse_events` — lazily parse a document into parse events.
+- :class:`XMLPullParser` — the underlying incremental parser.
+- :func:`serialize_events` — turn an event stream back into XML text.
+- event classes in :mod:`repro.xmlio.events`.
+"""
+
+from repro.xmlio.events import (
+    Comment,
+    EndDocument,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from repro.xmlio.parser import XMLPullParser, parse_events
+from repro.xmlio.serializer import escape_attribute, escape_text, serialize_events
+
+__all__ = [
+    "Event",
+    "StartDocument",
+    "EndDocument",
+    "StartElement",
+    "EndElement",
+    "Text",
+    "Comment",
+    "ProcessingInstruction",
+    "XMLPullParser",
+    "parse_events",
+    "serialize_events",
+    "escape_text",
+    "escape_attribute",
+]

@@ -1,0 +1,67 @@
+"""Parse events — the wire format between parser, stores, and engine.
+
+An event stream is the SAX-like push view of a document; the paper's
+TokenStream is its pull twin.  Keeping events tiny matters: every byte
+of every document passes through these objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.qname import QName
+
+
+class Event:
+    """Base class for all parse events."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class StartDocument(Event):
+    """Beginning of a document; carries the base URI when known."""
+
+    base_uri: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class EndDocument(Event):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class StartElement(Event):
+    """An opening tag.
+
+    ``attributes`` excludes namespace declarations, which are reported
+    separately in ``ns_decls`` as (prefix, uri) pairs (prefix ``""`` is
+    the default-namespace declaration).
+    """
+
+    name: QName
+    attributes: tuple[tuple[QName, str], ...] = ()
+    ns_decls: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class EndElement(Event):
+    name: QName
+
+
+@dataclass(frozen=True, slots=True)
+class Text(Event):
+    """Character data (entity references already resolved)."""
+
+    content: str
+
+
+@dataclass(frozen=True, slots=True)
+class Comment(Event):
+    content: str
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessingInstruction(Event):
+    target: str
+    content: str = ""

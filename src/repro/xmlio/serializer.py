@@ -1,0 +1,182 @@
+"""Serialization: event streams back to XML text (life-cycle step DM4).
+
+The serializer is incremental — it consumes events and yields string
+chunks, so a streaming pipeline never has to hold the whole result.
+``serialize_events`` joins the chunks for convenience.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.xmlio.events import (
+    Comment,
+    EndDocument,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+    Text,
+)
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    if not any(c in value for c in "<>&"):
+        return value
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    out = value.replace("&", "&amp;").replace("<", "&lt;")
+    return out.replace('"', "&quot;").replace("\n", "&#10;").replace("\t", "&#9;")
+
+
+def serialize_chunks(events: Iterable[Event], xml_decl: bool = False) -> Iterator[str]:
+    """Yield XML text chunks for a well-formed event stream."""
+    if xml_decl:
+        yield '<?xml version="1.0" encoding="UTF-8"?>'
+    pending_open = False  # a start tag whose '>' has not been emitted
+
+    def close_pending() -> Iterator[str]:
+        nonlocal pending_open
+        if pending_open:
+            pending_open = False
+            yield ">"
+
+    for event in events:
+        if isinstance(event, StartElement):
+            yield from close_pending()
+            parts = [f"<{_tag_name(event)}"]
+            for prefix, uri in event.ns_decls:
+                attr = f"xmlns:{prefix}" if prefix else "xmlns"
+                parts.append(f' {attr}="{escape_attribute(uri)}"')
+            for name, value in event.attributes:
+                lex = f"{name.prefix}:{name.local}" if name.prefix else name.local
+                parts.append(f' {lex}="{escape_attribute(value)}"')
+            yield "".join(parts)
+            pending_open = True
+        elif isinstance(event, EndElement):
+            if pending_open:
+                pending_open = False
+                yield "/>"
+            else:
+                yield f"</{_tag_name(event)}>"
+        elif isinstance(event, Text):
+            yield from close_pending()
+            yield escape_text(event.content)
+        elif isinstance(event, Comment):
+            yield from close_pending()
+            yield f"<!--{event.content}-->"
+        elif isinstance(event, ProcessingInstruction):
+            yield from close_pending()
+            body = f" {event.content}" if event.content else ""
+            yield f"<?{event.target}{body}?>"
+        elif isinstance(event, (StartDocument, EndDocument)):
+            continue
+        else:
+            raise TypeError(f"cannot serialize event {event!r}")
+
+
+def _tag_name(event: StartElement | EndElement) -> str:
+    name = event.name
+    return f"{name.prefix}:{name.local}" if name.prefix else name.local
+
+
+def serialize_events(events: Iterable[Event], xml_decl: bool = False,
+                     indent: int = 0) -> str:
+    """Serialize a complete event stream to a string.
+
+    ``indent > 0`` pretty-prints: every element-only level is broken
+    onto its own line (text-bearing elements stay inline, so mixed
+    content is never altered).
+    """
+    if indent <= 0:
+        return "".join(serialize_chunks(events, xml_decl))
+    return _pretty(list(events), xml_decl, indent)
+
+
+def _pretty(events: list[Event], xml_decl: bool, indent: int) -> str:
+    # group events per element to decide inline vs block rendering
+    out: list[str] = []
+    if xml_decl:
+        out.append('<?xml version="1.0" encoding="UTF-8"?>\n')
+
+    def has_text(start: int) -> bool:
+        """Does the element opened at events[start] directly contain text?"""
+        depth = 0
+        for event in events[start:]:
+            if isinstance(event, StartElement):
+                depth += 1
+            elif isinstance(event, EndElement):
+                depth -= 1
+                if depth == 0:
+                    return False
+            elif isinstance(event, Text) and depth == 1 and event.content.strip():
+                return True
+        return False
+
+    def emit(start: int, level: int) -> int:
+        """Emit the element at events[start]; returns index past its end."""
+        event = events[start]
+        if isinstance(event, Text):
+            out.append(escape_text(event.content))
+            return start + 1
+        if isinstance(event, Comment):
+            out.append("  " * 0 + f"<!--{event.content}-->")
+            return start + 1
+        if isinstance(event, ProcessingInstruction):
+            body = f" {event.content}" if event.content else ""
+            out.append(f"<?{event.target}{body}?>")
+            return start + 1
+        if isinstance(event, (StartDocument, EndDocument)):
+            return start + 1
+        assert isinstance(event, StartElement)
+        pad = " " * (indent * level)
+        open_tag = "".join(serialize_chunks([event, EndElement(event.name)]))
+        if open_tag.endswith("/>"):
+            # reconstruct the start tag text without closing it
+            head = open_tag[:-2]
+        else:  # pragma: no cover - serialize_chunks always collapses
+            head = open_tag
+        # find the span of this element
+        depth = 0
+        i = start
+        while i < len(events):
+            if isinstance(events[i], StartElement):
+                depth += 1
+            elif isinstance(events[i], EndElement):
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        end = i
+        inner = events[start + 1: end]
+        if not inner:
+            out.append(pad + head + "/>\n")
+            return end + 1
+        if has_text(start):
+            # inline: no reformatting of mixed/text content
+            out.append(pad + "".join(serialize_chunks(events[start: end + 1])) + "\n")
+            return end + 1
+        out.append(pad + head + ">\n")
+        j = start + 1
+        while j < end:
+            if isinstance(events[j], Text) and not events[j].content.strip():
+                j += 1
+                continue
+            if isinstance(events[j], (Comment, ProcessingInstruction)):
+                out.append(" " * (indent * (level + 1)))
+                j = emit(j, level + 1)
+                out.append("\n")
+                continue
+            j = emit(j, level + 1)
+        out.append(pad + f"</{_tag_name(event)}>\n")
+        return end + 1
+
+    i = 0
+    while i < len(events):
+        i = emit(i, 0)
+    return "".join(out).rstrip("\n") + ("\n" if out else "")

@@ -1,0 +1,16 @@
+"""XQuery front end: source text → expression tree.
+
+"Internal XQuery representations: text → abstract syntax tree →
+expression tree → annotated expression tree → TokenIterator.  We
+preserve the lineage through all those representations!"  Every
+expression node carries its source position; the compiler copies it
+through rewrites, so errors and EXPLAIN output can always point back
+at the query text.
+"""
+
+from repro.xquery.ast import Expr, Module, Prolog, FunctionDecl, VariableDecl
+from repro.xquery.parser import parse_query
+from repro.xquery.unparse import Unparsable, unparse
+
+__all__ = ["parse_query", "unparse", "Unparsable",
+           "Expr", "Module", "Prolog", "FunctionDecl", "VariableDecl"]

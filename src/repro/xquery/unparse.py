@@ -1,0 +1,322 @@
+"""Unparsing: core expression trees back to XQuery text.
+
+The inverse of the parser (modulo normalization): any core tree the
+compiler produces can be rendered as a query that parses and evaluates
+to the same result.  Used for EXPLAIN-style output and for the
+round-trip property tests (`parse → normalize → unparse → parse →
+evaluate` must agree with direct evaluation).
+
+Notes on fidelity:
+
+- DDO operators render as their operand — re-parsing re-inserts them
+  (DDO is idempotent, so semantics are unchanged);
+- computed constructors are used everywhere (direct syntax carries
+  whitespace subtleties the core tree no longer has);
+- :class:`~repro.xquery.ast.ParamConvert` has no surface syntax; trees
+  containing it (inlined typed functions) raise :class:`Unparsable`;
+- names in namespaces get generated ``declare namespace`` prologs.
+"""
+
+from __future__ import annotations
+
+from repro.qname import FN_NS, QName, XDT_NS, XS_NS
+from repro.xquery import ast
+from repro.xsd import types as T
+from repro.xsd.casting import canonical_lexical
+
+
+class Unparsable(ValueError):
+    """The tree contains a construct with no surface syntax."""
+
+
+_WELL_KNOWN = {XS_NS: "xs", XDT_NS: "xdt", FN_NS: "fn"}
+
+
+class Unparser:
+    def __init__(self):
+        self._prefixes: dict[str, str] = {}
+
+    # -- names ---------------------------------------------------------------
+
+    def _prefix_for(self, uri: str) -> str:
+        if uri in _WELL_KNOWN:
+            return _WELL_KNOWN[uri]
+        if uri not in self._prefixes:
+            self._prefixes[uri] = f"ns{len(self._prefixes) + 1}"
+        return self._prefixes[uri]
+
+    def name(self, qname: QName) -> str:
+        if not qname.uri:
+            return qname.local
+        return f"{self._prefix_for(qname.uri)}:{qname.local}"
+
+    def var(self, qname: QName) -> str:
+        # compiler-generated names contain '#'; rewrite to parseable form
+        local = qname.local.replace("#", "__gen_")
+        return "$" + (f"{self._prefix_for(qname.uri)}:{local}" if qname.uri else local)
+
+    # -- entry ---------------------------------------------------------------
+
+    def unparse(self, expr: ast.Expr) -> str:
+        body = self.expr(expr)
+        prolog = "".join(
+            f"declare namespace {prefix} = '{uri}'; "
+            for uri, prefix in self._prefixes.items())
+        return prolog + body
+
+    # -- expressions -----------------------------------------------------------
+
+    def expr(self, e: ast.Expr) -> str:
+        method = getattr(self, f"_u_{type(e).__name__}", None)
+        if method is None:
+            raise Unparsable(f"no unparse rule for {type(e).__name__}")
+        return method(e)
+
+    def _u_Literal(self, e: ast.Literal) -> str:
+        value = e.value
+        if value.type is T.XS_STRING or value.type is T.UNTYPED_ATOMIC:
+            text = str(value.value).replace('"', '""')
+            return f'"{text}"'
+        if value.type.derives_from(T.XS_INTEGER):
+            return str(value.value)
+        if value.type.primitive is T.XS_DECIMAL:
+            text = canonical_lexical(value.value, value.type)
+            return text if "." in text else text + ".0"
+        if value.type.primitive in (T.XS_DOUBLE, T.XS_FLOAT):
+            lex = canonical_lexical(value.value, value.type)
+            if lex in ("INF", "-INF", "NaN"):
+                return f"xs:double('{lex}')"
+            return lex if "e" in lex or "E" in lex else lex + "e0"
+        if value.type.primitive is T.XS_BOOLEAN:
+            return "fn:true()" if value.value else "fn:false()"
+        # everything else via a constructor function on the lexical form
+        type_name = self.name(value.type.name)
+        return f"{type_name}('{value.lexical}')"
+
+    def _u_EmptySequence(self, e) -> str:
+        return "()"
+
+    def _u_VarRef(self, e: ast.VarRef) -> str:
+        return self.var(e.name)
+
+    def _u_ContextItem(self, e) -> str:
+        return "."
+
+    def _u_SequenceExpr(self, e: ast.SequenceExpr) -> str:
+        return "(" + ", ".join(self.expr(item) for item in e.items) + ")"
+
+    def _u_RangeExpr(self, e: ast.RangeExpr) -> str:
+        return f"({self.expr(e.low)} to {self.expr(e.high)})"
+
+    def _u_ForExpr(self, e: ast.ForExpr) -> str:
+        at = f" at {self.var(e.pos_var)}" if e.pos_var is not None else ""
+        return (f"(for {self.var(e.var)}{at} in {self.expr(e.seq)} "
+                f"return {self.expr(e.body)})")
+
+    def _u_LetExpr(self, e: ast.LetExpr) -> str:
+        return (f"(let {self.var(e.var)} := {self.expr(e.value)} "
+                f"return {self.expr(e.body)})")
+
+    def _u_Quantified(self, e: ast.Quantified) -> str:
+        return (f"({e.kind} {self.var(e.var)} in {self.expr(e.seq)} "
+                f"satisfies {self.expr(e.cond)})")
+
+    def _u_IfExpr(self, e: ast.IfExpr) -> str:
+        return (f"(if ({self.expr(e.cond)}) then {self.expr(e.then)} "
+                f"else {self.expr(e.orelse)})")
+
+    def _u_Typeswitch(self, e: ast.Typeswitch) -> str:
+        parts = [f"(typeswitch ({self.expr(e.operand)})"]
+        for case in e.cases:
+            var = f"{self.var(case.var)} as " if case.var is not None else ""
+            parts.append(f" case {var}{self.seq_type(case.seq_type)} "
+                         f"return {self.expr(case.body)}")
+        dvar = f"{self.var(e.default.var)} " if e.default.var is not None else ""
+        parts.append(f" default {dvar}return {self.expr(e.default.body)})")
+        return "".join(parts)
+
+    def _u_InstanceOf(self, e: ast.InstanceOf) -> str:
+        return f"({self.expr(e.operand)} instance of {self.seq_type(e.seq_type)})"
+
+    def _u_CastExpr(self, e: ast.CastExpr) -> str:
+        opt = "?" if e.optional else ""
+        return f"({self.expr(e.operand)} cast as {self.name(e.type_name)}{opt})"
+
+    def _u_CastableExpr(self, e: ast.CastableExpr) -> str:
+        opt = "?" if e.optional else ""
+        return f"({self.expr(e.operand)} castable as {self.name(e.type_name)}{opt})"
+
+    def _u_TreatExpr(self, e: ast.TreatExpr) -> str:
+        return f"({self.expr(e.operand)} treat as {self.seq_type(e.seq_type)})"
+
+    def _u_ValidateExpr(self, e: ast.ValidateExpr) -> str:
+        return f"validate {e.mode} {{ {self.expr(e.operand)} }}"
+
+    def _u_ParamConvert(self, e: ast.ParamConvert) -> str:
+        raise Unparsable("ParamConvert has no surface syntax "
+                         "(inlined typed-function conversion)")
+
+    def _u_AndExpr(self, e: ast.AndExpr) -> str:
+        return f"({self.expr(e.left)} and {self.expr(e.right)})"
+
+    def _u_OrExpr(self, e: ast.OrExpr) -> str:
+        return f"({self.expr(e.left)} or {self.expr(e.right)})"
+
+    def _u_Comparison(self, e: ast.Comparison) -> str:
+        return f"({self.expr(e.left)} {e.op} {self.expr(e.right)})"
+
+    def _u_Arithmetic(self, e: ast.Arithmetic) -> str:
+        return f"({self.expr(e.left)} {e.op} {self.expr(e.right)})"
+
+    def _u_UnaryExpr(self, e: ast.UnaryExpr) -> str:
+        return f"({e.op}{self.expr(e.operand)})"
+
+    def _u_SetOp(self, e: ast.SetOp) -> str:
+        return f"({self.expr(e.left)} {e.op} {self.expr(e.right)})"
+
+    # paths -----------------------------------------------------------------
+
+    def _u_RootExpr(self, e) -> str:
+        return "(/)"
+
+    def _u_DDO(self, e: ast.DDO) -> str:
+        # re-parsing re-inserts the DDO around path expressions
+        return self.expr(e.operand)
+
+    def _u_PathExpr(self, e: ast.PathExpr) -> str:
+        left = self.expr(e.left)
+        right = e.right
+        if isinstance(right, (ast.Step, ast.Filter)):
+            return f"{left}/{self._step_text(right)}"
+        return f"{left}/({self.expr(right)})"
+
+    def _u_Step(self, e: ast.Step) -> str:
+        # a bare step applies to the context item: render as ./step
+        return "./" + self._step_text(e)
+
+    def _u_Filter(self, e: ast.Filter) -> str:
+        if isinstance(e.base, (ast.Step,)):
+            return "./" + self._step_text(e)
+        return f"({self.expr(e.base)})[{self.expr(e.predicate)}]"
+
+    def _step_text(self, e: ast.Expr) -> str:
+        if isinstance(e, ast.Filter):
+            return f"{self._step_text(e.base)}[{self.expr(e.predicate)}]"
+        assert isinstance(e, ast.Step)
+        return f"{e.axis}::{self._node_test(e.test)}"
+
+    def _node_test(self, test: ast.NodeTest) -> str:
+        kind = test.kind
+        if kind in ("element", "attribute") or (kind == "node" and test.name):
+            name = test.name
+            if name is None:
+                return f"{kind}()" if kind != "node" else "node()"
+            if name.local == "*" and name.uri not in ("", "*"):
+                return f"{self._prefix_for(name.uri)}:*"
+            if name.uri == "*":
+                return f"*:{name.local}"
+            rendered = self.name(name)
+            if kind in ("element", "attribute") and test.type_name is None:
+                return rendered
+            return rendered
+        if kind == "document":
+            return "document-node()"
+        if kind == "processing-instruction" and test.pi_target:
+            return f"processing-instruction('{test.pi_target}')"
+        return f"{kind}()"
+
+    # constructors -----------------------------------------------------------
+
+    def _u_ElementCtor(self, e: ast.ElementCtor) -> str:
+        name = self.name(e.name) if e.name is not None else \
+            f"{{{self.expr(e.name_expr)}}}"
+        parts = [self.expr(a) for a in e.attributes]
+        parts += [self.expr(c) for c in e.content]
+        if e.ns_decls:
+            raise Unparsable("literal namespace declarations on constructors")
+        body = ", ".join(parts) if parts else "()"
+        return f"element {name} {{ {body} }}"
+
+    def _u_AttributeCtor(self, e: ast.AttributeCtor) -> str:
+        name = self.name(e.name) if e.name is not None else \
+            f"{{{self.expr(e.name_expr)}}}"
+        if not e.value_parts:
+            return f"attribute {name} {{ () }}"
+        # direct-constructor parts concatenate; computed form joins with
+        # spaces — string-join the stringified parts for exactness
+        rendered = ", ".join(
+            f"string({self.expr(p)})" if not isinstance(p, ast.Literal)
+            else self.expr(p)
+            for p in e.value_parts)
+        return (f"attribute {name} {{ fn:string-join(({rendered}), '') }}")
+
+    def _u_TextCtor(self, e: ast.TextCtor) -> str:
+        return f"text {{ {self.expr(e.content)} }}"
+
+    def _u_CommentCtor(self, e: ast.CommentCtor) -> str:
+        return f"comment {{ {self.expr(e.content)} }}"
+
+    def _u_PICtor(self, e: ast.PICtor) -> str:
+        target = e.target if e.target is not None else f"{{{self.expr(e.target_expr)}}}"
+        return f"processing-instruction {target} {{ {self.expr(e.content)} }}"
+
+    def _u_DocumentCtor(self, e: ast.DocumentCtor) -> str:
+        return f"document {{ {self.expr(e.content)} }}"
+
+    def _u_OrderedExpr(self, e: ast.OrderedExpr) -> str:
+        keyword = "ordered" if e.ordered else "unordered"
+        return f"{keyword} {{ {self.expr(e.operand)} }}"
+
+    # functions / FLWOR --------------------------------------------------------
+
+    def _u_FunctionCall(self, e: ast.FunctionCall) -> str:
+        name = self.name(e.name)
+        args = ", ".join(self.expr(a) for a in e.args)
+        return f"{name}({args})"
+
+    def _u_FLWOR(self, e: ast.FLWOR) -> str:
+        parts = ["("]
+        for clause in e.clauses:
+            if isinstance(clause, ast.ForClause):
+                at = f" at {self.var(clause.pos_var)}" if clause.pos_var else ""
+                parts.append(f"for {self.var(clause.var)}{at} in "
+                             f"{self.expr(clause.expr)} ")
+            else:
+                parts.append(f"let {self.var(clause.var)} := "
+                             f"{self.expr(clause.expr)} ")
+        if e.where is not None:
+            parts.append(f"where {self.expr(e.where)} ")
+        if e.group:
+            rendered = ", ".join(f"{self.var(gvar)} := {self.expr(key)}"
+                                 for gvar, key in e.group)
+            parts.append(f"group by {rendered} ")
+        if e.order:
+            prefix = "stable order by " if e.stable else "order by "
+            keys = []
+            for spec in e.order:
+                key = self.expr(spec.expr)
+                if spec.descending:
+                    key += " descending"
+                key += " empty least" if spec.empty_least else " empty greatest"
+                keys.append(key)
+            parts.append(prefix + ", ".join(keys) + " ")
+        parts.append(f"return {self.expr(e.ret)})")
+        return "".join(parts)
+
+    # types ----------------------------------------------------------------------
+
+    def seq_type(self, st: ast.SequenceTypeAST) -> str:
+        if st.item_kind == "empty":
+            return "empty()"
+        if st.item_kind == "atomic":
+            return self.name(st.type_name) + st.occurrence
+        if st.item_kind == "item":
+            return "item()" + st.occurrence
+        inner = self.name(st.name) if st.name is not None else ""
+        kind = "document-node" if st.item_kind == "document" else st.item_kind
+        return f"{kind}({inner})" + st.occurrence
+
+
+def unparse(expr: ast.Expr) -> str:
+    """Render a core expression tree as XQuery text."""
+    return Unparser().unparse(expr)

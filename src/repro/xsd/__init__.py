@@ -1,0 +1,69 @@
+"""Simplified XML Schema: the type system under the XQuery data model.
+
+The paper: "Xquery types are imported from XML Schemas"; "Atomic values
+carry their type together with the value"; "(8, myNS:ShoeSize) is not
+the same as (8, xs:integer)".  This package supplies:
+
+- :mod:`repro.xsd.types` — the atomic type hierarchy (19 primitives,
+  the built-in derived types, and user-derived types);
+- :mod:`repro.xsd.casting` — lexical parsing and the cast matrix;
+- :mod:`repro.xsd.facets` — constraining facets for derived types;
+- :mod:`repro.xsd.schema` — element/attribute declarations and content
+  models;
+- :mod:`repro.xsd.validate` — validation, which *annotates* a tree with
+  types (the PSVI), changing query semantics exactly as the tutorial's
+  typed-vs-untyped slides show.
+
+``schema``/``validate`` are re-exported lazily because they build on
+the data model, which in turn builds on :mod:`repro.xsd.types`.
+"""
+
+from repro.xsd.types import (
+    ANY_ATOMIC,
+    ANY_SIMPLE_TYPE,
+    ANY_TYPE,
+    UNTYPED,
+    UNTYPED_ATOMIC,
+    AtomicType,
+    TypeRegistry,
+    builtin_types,
+    xs_type,
+)
+from repro.xsd.casting import cast_value, castable, parse_lexical
+
+__all__ = [
+    "AtomicType",
+    "TypeRegistry",
+    "builtin_types",
+    "xs_type",
+    "ANY_TYPE",
+    "ANY_SIMPLE_TYPE",
+    "ANY_ATOMIC",
+    "UNTYPED",
+    "UNTYPED_ATOMIC",
+    "parse_lexical",
+    "cast_value",
+    "castable",
+    "Schema",
+    "ElementDecl",
+    "AttributeDecl",
+    "ComplexType",
+    "validate",
+]
+
+_LAZY = {
+    "Schema": ("repro.xsd.schema", "Schema"),
+    "ElementDecl": ("repro.xsd.schema", "ElementDecl"),
+    "AttributeDecl": ("repro.xsd.schema", "AttributeDecl"),
+    "ComplexType": ("repro.xsd.schema", "ComplexType"),
+    "validate": ("repro.xsd.validation", "validate"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro.xsd' has no attribute {name!r}")

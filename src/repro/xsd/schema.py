@@ -1,0 +1,280 @@
+"""Schema declarations and content models.
+
+A deliberately simplified XSDL in the spirit of the tutorial's
+"XML schema example" slide::
+
+    <schema xmlns:xs="...">
+      <type name="book-type">
+        <sequence>
+          <attribute name="year" type="xs:integer"/>
+          <element name="title" type="xs:string"/>
+          <sequence minoccurs="0">
+            <element name="author" type="xs:string"/>
+          </sequence>
+        </sequence>
+      </type>
+      <element name="book" type="book-type"/>
+    </schema>
+
+Supported pieces: global atomic-type derivations (``<simple name=...
+base=... pattern=... min=... max=.../>``), complex types with
+``sequence`` / ``choice`` content models and occurrence bounds,
+attribute declarations, mixed content, and global element
+declarations.  Schemas can also be assembled programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import ValidationError
+from repro.qname import QName, NamespaceBindings
+from repro.xsd import types as T
+from repro.xsd.facets import MaxInclusive, MinInclusive, Pattern
+
+
+@dataclass
+class AttributeDecl:
+    """A declared attribute: name, simple type, and use."""
+
+    name: QName
+    type: T.AtomicType
+    required: bool = False
+    default: str | None = None
+
+
+@dataclass
+class ElementParticle:
+    """A child-element slot in a content model."""
+
+    name: QName
+    type: Union[T.AtomicType, "ComplexType"]
+    min_occurs: int = 1
+    max_occurs: int | None = 1  # None = unbounded
+
+
+@dataclass
+class SequenceModel:
+    """Ordered content: each particle in order, honoring occurrences."""
+
+    particles: list = field(default_factory=list)
+    min_occurs: int = 1
+    max_occurs: int | None = 1
+
+
+@dataclass
+class ChoiceModel:
+    """Alternation: exactly one of the particles per occurrence."""
+
+    particles: list = field(default_factory=list)
+    min_occurs: int = 1
+    max_occurs: int | None = 1
+
+
+ContentModel = Union[SequenceModel, ChoiceModel, None]
+
+
+class ComplexType:
+    """A complex type: attributes + a content model.
+
+    ``content`` of None plus a ``simple_content`` type models
+    complex-with-simple-content (attributes + a text value).
+    """
+
+    def __init__(self, name: QName,
+                 attributes: list[AttributeDecl] | None = None,
+                 content: ContentModel = None,
+                 simple_content: T.AtomicType | None = None,
+                 mixed: bool = False):
+        self.name = name
+        self.attributes = attributes or []
+        self.content = content
+        self.simple_content = simple_content
+        self.mixed = mixed
+
+    def __repr__(self) -> str:
+        return f"ComplexType({self.name})"
+
+    def __str__(self) -> str:
+        return str(self.name)
+
+    def attribute(self, name: QName) -> AttributeDecl | None:
+        for decl in self.attributes:
+            if decl.name == name:
+                return decl
+        return None
+
+
+@dataclass
+class ElementDecl:
+    """A global element declaration."""
+
+    name: QName
+    type: Union[T.AtomicType, ComplexType]
+    nillable: bool = False
+
+
+class Schema:
+    """A set of type and element declarations plus a type registry."""
+
+    def __init__(self, target_namespace: str = ""):
+        self.target_namespace = target_namespace
+        self.types = T.TypeRegistry()
+        self.complex_types: dict[QName, ComplexType] = {}
+        self.elements: dict[QName, ElementDecl] = {}
+
+    # -- programmatic construction -------------------------------------------
+
+    def add_complex_type(self, ctype: ComplexType) -> ComplexType:
+        self.complex_types[ctype.name] = ctype
+        return ctype
+
+    def add_element(self, decl: ElementDecl) -> ElementDecl:
+        self.elements[decl.name] = decl
+        return decl
+
+    def lookup_type(self, name: QName) -> Union[T.AtomicType, ComplexType, None]:
+        if name in self.complex_types:
+            return self.complex_types[name]
+        return self.types.lookup(name)
+
+    def element_decl(self, name: QName) -> ElementDecl | None:
+        return self.elements.get(name)
+
+    # -- parsing the compact XSDL --------------------------------------------
+
+    @classmethod
+    def from_text(cls, xml_text: str) -> "Schema":
+        """Parse the simplified schema syntax shown in the module docstring."""
+        from repro.xdm.build import parse_document
+        from repro.xdm.nodes import ElementNode
+
+        doc = parse_document(xml_text)
+        root = doc.document_element()
+        if root is None or root.name.local != "schema":
+            raise ValidationError("schema document must have a <schema> root")
+
+        ns = NamespaceBindings(dict(root.ns_decls))
+        target = _attr(root, "targetnamespace") or _attr(root, "targetNamespace") or ""
+        schema = cls(target)
+
+        def resolve_type_name(lexical: str) -> QName:
+            return QName.parse(lexical, ns, default_uri=target)
+
+        def lookup(lexical: str):
+            name = resolve_type_name(lexical)
+            found = schema.lookup_type(name)
+            if found is None:
+                raise ValidationError(f"schema references unknown type {lexical!r}")
+            return found
+
+        def parse_model(node: ElementNode, top: bool):
+            """Parse <sequence>/<choice> contents into a content model."""
+            particles: list = []
+            attributes: list[AttributeDecl] = []
+            for child in node.children:
+                if not isinstance(child, ElementNode):
+                    continue
+                kind = child.name.local
+                if kind == "attribute":
+                    attributes.append(AttributeDecl(
+                        QName("", _attr(child, "name") or ""),
+                        lookup(_attr(child, "type") or "xs:string"),
+                        required=(_attr(child, "use") == "required"),
+                        default=_attr(child, "default")))
+                elif kind == "element":
+                    ename = QName(target, _attr(child, "name") or "")
+                    tref = _attr(child, "type")
+                    if tref:
+                        etype = lookup(tref)
+                    else:
+                        # anonymous inline type from nested model
+                        etype = _anonymous(schema, child, ename, parse_model)
+                    particles.append(ElementParticle(
+                        ename, etype,
+                        _occurs(child, "minoccurs", 1),
+                        _occurs(child, "maxoccurs", 1)))
+                elif kind in ("sequence", "choice"):
+                    model_cls = SequenceModel if kind == "sequence" else ChoiceModel
+                    inner_particles, inner_attrs = parse_model(child, top=False)
+                    attributes.extend(inner_attrs)
+                    particles.append(model_cls(
+                        inner_particles,
+                        _occurs(child, "minoccurs", 1),
+                        _occurs(child, "maxoccurs", 1)))
+            return particles, attributes
+
+        for child in root.children:
+            if not isinstance(child, ElementNode):
+                continue
+            kind = child.name.local
+            if kind == "simple":
+                name = QName(target, _attr(child, "name") or "")
+                base = lookup(_attr(child, "base") or "xs:string")
+                if isinstance(base, ComplexType):
+                    raise ValidationError(f"simple type {name} cannot restrict a complex type")
+                facets = []
+                if _attr(child, "pattern"):
+                    facets.append(Pattern(_attr(child, "pattern")))
+                if _attr(child, "min") is not None:
+                    facets.append(MinInclusive(_lexical_bound(base, _attr(child, "min"))))
+                if _attr(child, "max") is not None:
+                    facets.append(MaxInclusive(_lexical_bound(base, _attr(child, "max"))))
+                schema.types.derive(name, base, facets)
+            elif kind == "type":
+                name = QName(target, _attr(child, "name") or "")
+                mixed = (_attr(child, "mixed") == "true")
+                particles, attributes = parse_model(child, top=True)
+                content: ContentModel = None
+                if particles:
+                    if len(particles) == 1 and isinstance(particles[0], (SequenceModel, ChoiceModel)):
+                        content = particles[0]
+                    else:
+                        content = SequenceModel(particles)
+                simple_ref = _attr(child, "simplecontent")
+                simple = lookup(simple_ref) if simple_ref else None
+                if simple is not None and isinstance(simple, ComplexType):
+                    raise ValidationError("simplecontent must reference a simple type")
+                schema.add_complex_type(ComplexType(
+                    name, attributes, content, simple, mixed))
+            elif kind == "element":
+                name = QName(target, _attr(child, "name") or "")
+                etype = lookup(_attr(child, "type") or "xs:string")
+                schema.add_element(ElementDecl(
+                    name, etype, nillable=(_attr(child, "nillable") == "true")))
+        return schema
+
+
+def _anonymous(schema: Schema, element_node, ename: QName, parse_model) -> ComplexType:
+    particles, attributes = parse_model(element_node, top=True)
+    content: ContentModel = None
+    if particles:
+        if len(particles) == 1 and isinstance(particles[0], (SequenceModel, ChoiceModel)):
+            content = particles[0]
+        else:
+            content = SequenceModel(particles)
+    ctype = ComplexType(QName(ename.uri, f"__anon_{ename.local}"), attributes, content)
+    schema.add_complex_type(ctype)
+    return ctype
+
+
+def _attr(element, local: str) -> Optional[str]:
+    for attr in element.attributes:
+        if attr.name.local.lower() == local.lower():
+            return attr.value
+    return None
+
+
+def _occurs(element, attr_name: str, default: int) -> int | None:
+    raw = _attr(element, attr_name)
+    if raw is None:
+        return default
+    if raw == "unbounded":
+        return None
+    return int(raw)
+
+
+def _lexical_bound(base: T.AtomicType, lexical: str):
+    from repro.xsd.casting import parse_lexical
+    return parse_lexical(base, lexical)

@@ -1,0 +1,75 @@
+"""Shared fixtures: the bibliography document of the tutorial's
+examples, a small XMark instance, and engine helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine, execute_query
+from repro.workloads import generate_xmark
+from repro.xdm.build import parse_document
+
+BIB_XML = """<bib>
+  <book year="1967">
+    <title>The politics of experience</title>
+    <author><first>Ronald</first><last>Laing</last></author>
+    <publisher>Penguin</publisher>
+    <price>20</price>
+  </book>
+  <book year="1998">
+    <title>Data on the Web</title>
+    <author><first>Serge</first><last>Abiteboul</last></author>
+    <author><first>Dan</first><last>Suciu</last></author>
+    <publisher>Morgan Kaufmann</publisher>
+    <price>39.95</price>
+  </book>
+  <book year="1998">
+    <title>XML Query</title>
+    <author><first>D</first><last>F</last></author>
+    <publisher>Springer Verlag</publisher>
+    <price>55</price>
+  </book>
+</bib>"""
+
+
+@pytest.fixture(scope="session")
+def bib_xml() -> str:
+    return BIB_XML
+
+
+@pytest.fixture()
+def bib_doc():
+    return parse_document(BIB_XML)
+
+
+@pytest.fixture(scope="session")
+def xmark_small() -> str:
+    return generate_xmark(scale=0.05, seed=1)
+
+
+@pytest.fixture()
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture()
+def run():
+    """Run a query and return its Result."""
+    def _run(query: str, **kwargs):
+        return execute_query(query, **kwargs)
+    return _run
+
+
+@pytest.fixture()
+def values(run):
+    """Run a query, return atomized Python values."""
+    def _values(query: str, **kwargs):
+        return run(query, **kwargs).values()
+    return _values
+
+
+@pytest.fixture()
+def serialize(run):
+    def _serialize(query: str, **kwargs):
+        return run(query, **kwargs).serialize()
+    return _serialize

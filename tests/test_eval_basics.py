@@ -1,0 +1,319 @@
+"""Core expression semantics — many cases straight off tutorial slides."""
+
+import math
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import ArithmeticError_, DynamicError, TypeError_, XQueryError
+
+
+class TestSequences:
+    def test_flattening(self, values):
+        # "(1, 2, (3, 4)) = (1, 2, 3, 4)"
+        assert values("(1, 2, (3, 4))") == [1, 2, 3, 4]
+
+    def test_singleton_equals_item(self, values):
+        # "1 = (1)"
+        assert values("1 = (1)") == [True]
+
+    def test_heterogeneous(self, run):
+        items = run("(<a/>, 3)").items()
+        assert len(items) == 2
+
+    def test_empty_parens(self, values):
+        assert values("()") == []
+
+    def test_range(self, values):
+        assert values("(1 to 3)") == [1, 2, 3]
+
+    def test_range_empty_when_reversed(self, values):
+        assert values("3 to 1") == []
+
+    def test_range_single(self, values):
+        assert values("5 to 5") == [5]
+
+    def test_range_with_empty_operand(self, values):
+        assert values("() to 3") == []
+
+    def test_duplicates_kept(self, values):
+        assert values("(1, 1, 1)") == [1, 1, 1]
+
+
+class TestArithmetic:
+    def test_precedence(self, values):
+        assert values("1 - 4 * 8") == [-31]
+
+    def test_division_gives_decimal(self, values):
+        result = values("5 div 6")
+        assert isinstance(result[0], Decimal)
+
+    def test_idiv(self, values):
+        assert values("7 idiv 2") == [3]
+        assert values("-7 idiv 2") == [-3]
+
+    def test_mod(self, values):
+        assert values("7 mod 2") == [1]
+        assert values("-7 mod 2") == [-1]
+
+    def test_empty_propagates(self, values):
+        # "atomize all operands. If either operand is (), => ()"
+        assert values("() + 1") == []
+        assert values("1 + ()") == []
+
+    def test_untyped_casts_to_double(self, run):
+        # "<a>42</a> + 1" — untyped content becomes xs:double
+        result = run("<a>42</a> + 1").atomized()
+        assert result[0].value == 43.0
+        assert result[0].type.name.local == "double"
+
+    def test_untyped_non_numeric_errors(self, run):
+        # "<a>baz</a> + 1" — error
+        with pytest.raises(XQueryError):
+            run("<a>baz</a> + 1").items()
+
+    def test_validated_integer_adds(self, values):
+        # "validate {<a xsi:type="xs:integer">42</a>} + 1"
+        q = ('validate { <a xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" '
+             'xsi:type="xs:integer">42</a> } + 1')
+        assert values(q) == [43]
+
+    def test_validated_string_add_errors(self, run):
+        q = ('validate { <a xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" '
+             'xsi:type="xs:string">42</a> } + 1')
+        with pytest.raises(TypeError_):
+            run(q).items()
+
+    def test_division_by_zero(self, run):
+        with pytest.raises(ArithmeticError_):
+            run("1 idiv 0").items()
+
+    def test_double_div_zero_is_inf(self, values):
+        assert values("1.0e0 div 0") == [math.inf]
+
+    def test_mixed_promotion(self, run):
+        result = run("1 + 2.5").atomized()
+        assert result[0].type.name.local == "decimal"
+        result = run("1 + 2.5e0").atomized()
+        assert result[0].type.name.local == "double"
+
+    def test_unary_minus(self, values):
+        assert values("-(3)") == [-3]
+        assert values("--3") == [3]
+
+    def test_numeric_overflow_type_retained(self, values):
+        assert values("2 * 3.5") == [Decimal("7.0")]
+
+
+class TestLogic:
+    def test_two_valued(self, values):
+        # "() is converted into false before use" — not SQL's three-valued
+        assert values("() and 1 eq 1") == [False]
+        assert values("() or 1 eq 1") == [True]
+
+    def test_ebv_rules(self, values):
+        assert values("'' or 0") == [False]
+        assert values("'x' and 1") == [True]
+
+    def test_node_ebv_true(self, values):
+        assert values("<a/> and 1 eq 1") == [True]
+
+    def test_short_circuit_allowed(self, values):
+        # "false and error => false" is a legal outcome
+        assert values("1 eq 2 and (1 idiv 0 eq 1)") in ([False],)
+
+    def test_not(self, values):
+        assert values("fn:not(1 eq 1)") == [False]
+
+
+class TestComparisons:
+    """The tutorial's 'Value and general comparisons' table."""
+
+    def test_untyped_eq_string(self, values):
+        assert values("<a>42</a> eq '42'") == [True]
+
+    def test_untyped_eq_integer_errors(self, run):
+        # "<a>42</a> eq 42    error" — untyped acts as string in value comps
+        with pytest.raises(TypeError_):
+            run("<a>42</a> eq 42").items()
+
+    def test_general_untyped_vs_integer_casts(self, values):
+        # "<a>42</a> = 42    true"
+        assert values("<a>42</a> = 42") == [True]
+        assert values("<a>42</a> = 42.0") == [True]
+
+    def test_untyped_pair_string_compare(self, values):
+        # "<a>42</a> eq <b>42</b>  true; <a>42</a> eq <b> 42</b>  false"
+        assert values("<a>42</a> eq <b>42</b>") == [True]
+        assert values("<a>42</a> eq <b> 42</b>") == [False]
+
+    def test_value_comp_empty_gives_empty(self, values):
+        # "() eq 42    ()"
+        assert values("() eq 42") == []
+
+    def test_general_comp_empty_gives_false(self, values):
+        # "() = 42    false"
+        assert values("() = 42") == [False]
+
+    def test_existential(self, values):
+        # "(<a>42</a>, <b>43</b>) = 42    true"
+        assert values("(<a>42</a>, <b>43</b>) = 42") == [True]
+        # "(1,2) = (2,3)    true"
+        assert values("(1,2) = (2,3)") == [True]
+
+    def test_general_not_transitive(self, values):
+        # "(1,3) = (1,2)" and friends — existential semantics
+        assert values("(1,3) = (1,2)") == [True]
+        assert values("(1,3) != (1,3)") == [True]  # 1 != 3 exists
+
+    def test_negation_rule_fails(self, values):
+        # fn:not($x = $y) is not equivalent to $x != $y
+        assert values("fn:not((1,2) = (1,2))") == [False]
+        assert values("(1,2) != (1,2)") == [True]
+
+    def test_value_comparison_ops(self, values):
+        assert values("1 lt 2") == [True]
+        assert values("2 le 2") == [True]
+        assert values("3 gt 2") == [True]
+        assert values("3 ge 4") == [False]
+        assert values("1 ne 2") == [True]
+
+    def test_string_comparison(self, values):
+        assert values("'abc' lt 'abd'") == [True]
+
+    def test_incomparable_types_error(self, run):
+        with pytest.raises(TypeError_):
+            run("1 eq 'x'").items()
+
+    def test_date_comparison(self, values):
+        assert values("xs:date('2004-01-01') lt xs:date('2004-06-01')") == [True]
+
+    def test_nan_comparisons(self, values):
+        assert values("xs:double('NaN') eq xs:double('NaN')") == [False]
+        assert values("xs:double('NaN') ne 1.0e0") == [True]
+
+    def test_node_identity(self, values):
+        assert values("let $x := <a/> return $x is $x") == [True]
+        assert values("let $x := <a/> let $y := <a/> return $x is $y") == [False]
+
+    def test_constructed_nodes_distinct(self, values):
+        # each constructor evaluation creates a new node
+        assert values("<a/> is <a/>") == [False]
+
+    def test_order_comparison(self, values):
+        q = "let $d := <r><a/><b/></r> return ($d/a << $d/b, $d/b << $d/a)"
+        assert values(q) == [True, False]
+
+    def test_node_comparison_empty(self, values):
+        assert values("() is <a/>") == []
+
+
+class TestConditionals:
+    def test_basic(self, values):
+        assert values("if (1 lt 2) then 'a' else 'b'") == ["a"]
+
+    def test_untaken_branch_not_evaluated(self, values):
+        assert values("if (fn:true()) then 1 else (1 idiv 0)") == [1]
+
+    def test_nested(self, values):
+        assert values("if (1 eq 1) then if (2 eq 3) then 'x' else 'y' else 'z'") == ["y"]
+
+
+class TestQuantifiers:
+    def test_some(self, values):
+        assert values("some $x in (1,2,3) satisfies $x eq 2") == [True]
+        assert values("some $x in (1,2,3) satisfies $x eq 9") == [False]
+
+    def test_every(self, values):
+        assert values("every $x in (1,2,3) satisfies $x gt 0") == [True]
+        assert values("every $x in (1,2,3) satisfies $x gt 1") == [False]
+
+    def test_empty_sequence(self, values):
+        assert values("some $x in () satisfies fn:true()") == [False]
+        assert values("every $x in () satisfies fn:false()") == [True]
+
+    def test_multi_variable(self, values):
+        assert values("some $x in (1,2), $y in (2,3) satisfies $x eq $y") == [True]
+
+    def test_early_exit_skips_errors(self, values):
+        # finding a witness must not evaluate the rest
+        assert values("some $x in (1, 2, 0) satisfies (4 idiv $x) eq 2") == [True]
+
+
+class TestLetAndFor:
+    def test_let_binds_sequence(self, values):
+        assert values("let $x := (1, 2, 3) return count($x)") == [3]
+
+    def test_let_shared_identity(self, values):
+        # "let $x := <a/> return ($x, $x)" must NOT copy: same node twice
+        assert values("let $x := <a/> return ($x, $x)[1] is ($x, $x)[2]") == [True] or \
+            values("let $x := <a/> return (($x, $x)[1] is ($x, $x)[2])") == [True]
+
+    def test_for_iterates(self, values):
+        assert values("for $x in (1,2,3) return $x + 1") == [2, 3, 4]
+
+    def test_for_at_position(self, values):
+        assert values("for $x at $i in ('a','b','c') return $i") == [1, 2, 3]
+
+    def test_nested_for(self, values):
+        assert values("for $x in (1,2) for $y in (10,20) return $x + $y") == \
+            [11, 21, 12, 22]
+
+    def test_where(self, values):
+        assert values("for $x in (1 to 10) where $x mod 2 eq 0 return $x") == \
+            [2, 4, 6, 8, 10]
+
+    def test_scoping_shadows(self, values):
+        assert values("let $x := 1 return (let $x := 2 return $x)") == [2]
+
+    def test_undeclared_variable_static_error(self, run):
+        from repro.errors import StaticError
+
+        with pytest.raises(StaticError):
+            run("$nope + 1")
+
+
+class TestTypeswitchInstanceOf:
+    def test_instance_of(self, values):
+        assert values("3 instance of xs:integer") == [True]
+        assert values("3 instance of xs:string") == [False]
+        assert values("(1, 2) instance of xs:integer+") == [True]
+        assert values("() instance of xs:integer?") == [True]
+        assert values("() instance of xs:integer") == [False]
+        assert values("<a/> instance of element()") == [True]
+        assert values("3 instance of item()") == [True]
+
+    def test_typeswitch(self, values):
+        q = ("typeswitch (3) case xs:string return 'str' "
+             "case xs:integer return 'int' default return 'other'")
+        assert values(q) == ["int"]
+
+    def test_typeswitch_default(self, values):
+        q = ("typeswitch (<a/>) case xs:string return 'str' "
+             "default return 'other'")
+        assert values(q) == ["other"]
+
+    def test_typeswitch_binds_variable(self, values):
+        q = ("typeswitch ((1, 2)) case $v as xs:integer+ return count($v) "
+             "default return 0")
+        assert values(q) == [2]
+
+    def test_treat_as_passes(self, values):
+        assert values("(3 treat as xs:integer) + 1") == [4]
+
+    def test_treat_as_fails(self, run):
+        with pytest.raises(TypeError_):
+            run("('x' treat as xs:integer)").items()
+
+    def test_castable(self, values):
+        assert values("'5' castable as xs:integer") == [True]
+        assert values("'x' castable as xs:integer") == [False]
+        assert values("() castable as xs:integer?") == [True]
+        assert values("() castable as xs:integer") == [False]
+
+    def test_cast_empty_optional(self, values):
+        assert values("() cast as xs:integer?") == []
+
+    def test_cast_empty_required_errors(self, run):
+        with pytest.raises(TypeError_):
+            run("() cast as xs:integer").items()

@@ -1,0 +1,152 @@
+"""Node constructors: direct, computed, content rules, namespaces."""
+
+import pytest
+
+from repro.errors import DynamicError
+
+
+class TestDirectElements:
+    def test_literal_content(self, serialize):
+        assert serialize("<result>literal text</result>") == \
+            "<result>literal text</result>"
+
+    def test_evaluated_content(self, serialize):
+        assert serialize("<r>{1 + 1}</r>") == "<r>2</r>"
+
+    def test_mixed_content(self, serialize):
+        q = "let $x := <name>bob</name> return <r>here {$x/text()} there</r>"
+        assert serialize(q) == "<r>here bob there</r>"
+
+    def test_adjacent_atomics_space_joined(self, serialize):
+        assert serialize("<r>{1, 2, 3}</r>") == "<r>1 2 3</r>"
+
+    def test_adjacent_enclosed_atomics(self, serialize):
+        # atomic values adjacent in the full content sequence are
+        # space-separated, even across enclosed-expression boundaries
+        assert serialize("<r>{1}{2}</r>") == "<r>1 2</r>"
+
+    def test_brace_escapes(self, serialize):
+        assert serialize("<r>{{literal}}</r>") == "<r>{literal}</r>"
+
+    def test_boundary_whitespace_stripped(self, serialize):
+        assert serialize("<r>\n  <a/>\n</r>") == "<r><a/></r>"
+
+    def test_nested_constructors(self, serialize):
+        assert serialize("<a><b>{ <c/> }</b></a>") == "<a><b><c/></b></a>"
+
+    def test_content_copies_nodes(self, values):
+        q = ("let $x := <a><b/></a> "
+             "let $y := <wrap>{$x}</wrap> "
+             "return $y/a is $x")
+        assert values(q) == [False]  # constructor copies, fresh identity
+
+    def test_document_node_content_splices_children(self, serialize):
+        q = "let $d := document { <a/>, <b/> } return <r>{$d}</r>"
+        assert serialize(q) == "<r><a/><b/></r>"
+
+    def test_comment_in_constructor(self, serialize):
+        assert serialize("<r><!--note--></r>") == "<r><!--note--></r>"
+
+    def test_cdata_in_constructor(self, serialize):
+        assert serialize("<r><![CDATA[<raw>]]></r>") == "<r>&lt;raw&gt;</r>"
+
+
+class TestAttributes:
+    def test_literal_attribute(self, serialize):
+        assert serialize('<a x="v"/>') == '<a x="v"/>'
+
+    def test_computed_attribute_value(self, serialize):
+        assert serialize("<a x=\"{1+1}\"/>") == '<a x="2"/>'
+
+    def test_mixed_attribute_value(self, serialize):
+        assert serialize('<a x="n={1+1}!"/>') == '<a x="n=2!"/>'
+
+    def test_attribute_value_sequence_space_joined(self, serialize):
+        assert serialize('<a x="{1, 2}"/>') == '<a x="1 2"/>'
+
+    def test_attribute_node_in_content(self, serialize):
+        q = "<a>{ attribute x { 'v' } }</a>"
+        assert serialize(q) == '<a x="v"/>'
+
+    def test_conditional_attribute(self, serialize):
+        # the ebXML query's conditional-attribute idiom
+        q = ("let $ttl := 30000 return "
+             "<a>{ if ($ttl eq 0) then () else "
+             "attribute persist-duration { concat(xs:string($ttl div 1000), ' seconds') } }</a>")
+        assert serialize(q) == '<a persist-duration="30 seconds"/>'
+
+    def test_attribute_after_content_errors(self, run):
+        q = "<a>{ 'text', attribute x { 'v' } }</a>"
+        with pytest.raises(DynamicError):
+            run(q).items()
+
+    def test_duplicate_attribute_errors(self, run):
+        q = "<a x='1'>{ attribute x { '2' } }</a>"
+        with pytest.raises(DynamicError):
+            run(q).items()
+
+
+class TestComputedConstructors:
+    def test_computed_element_static_name(self, serialize):
+        assert serialize("element foo { 'body' }") == "<foo>body</foo>"
+
+    def test_computed_element_dynamic_name(self, serialize):
+        assert serialize("element { concat('f', 'oo') } { () }") == "<foo/>"
+
+    def test_computed_attribute(self, serialize):
+        assert serialize("<a>{ attribute { 'k' } { 1 + 1 } }</a>") == '<a k="2"/>'
+
+    def test_text_constructor(self, serialize):
+        assert serialize("<a>{ text { 'hi' } }</a>") == "<a>hi</a>"
+
+    def test_empty_text_constructor_no_node(self, values):
+        assert values("count(<a>{ text { () } }</a>/node())") == [0]
+
+    def test_comment_constructor(self, serialize):
+        assert serialize("comment { 'note' }") == "<!--note-->"
+
+    def test_pi_constructor(self, serialize):
+        assert serialize("processing-instruction tgt { 'data' }") == "<?tgt data?>"
+
+    def test_document_constructor(self, values):
+        assert values("count(document { <a/> }/a)") == [1]
+
+    def test_element_name_shadowing_keywords(self, serialize):
+        # 'element' etc. are not reserved: they parse as steps too
+        assert serialize("<element><text/></element>") == "<element><text/></element>"
+
+
+class TestConstructorNamespaces:
+    def test_literal_namespace_declaration(self, serialize):
+        out = serialize('<a xmlns="u"><b/></a>')
+        assert 'xmlns="u"' in out
+
+    def test_prefix_declared_in_constructor(self, values):
+        q = "namespace-uri(<p:a xmlns:p='u1'/>)"
+        assert values(q) == ["u1"]
+
+    def test_nested_scope_shadowing(self, values):
+        # namespace scopes nest: inner xmlns:p rebinding wins
+        q = "namespace-uri((<p:o xmlns:p='u1'><p:i xmlns:p='u2'/></p:o>)/*[1])"
+        assert values(q) == ["u2"]
+
+    def test_constructor_uses_prolog_namespace(self, values):
+        q = "declare namespace ns = 'u9'; namespace-uri(<ns:a/>)"
+        assert values(q) == ["u9"]
+
+
+class TestValidateExpr:
+    def test_validate_annotates_copy(self, values):
+        q = ('validate { <a xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" '
+             'xsi:type="xs:integer">3</a> } eq 3')
+        assert values(q) == [True]
+
+    def test_unvalidated_stays_untyped(self, run):
+        from repro.errors import TypeError_
+
+        with pytest.raises(TypeError_):
+            run("<a>3</a> eq 3").items()
+
+    def test_validate_returns_new_node(self, values):
+        q = "let $x := <a>3</a> return (validate { $x }) is $x"
+        assert values(q) == [False]

@@ -1,0 +1,187 @@
+"""FLWOR expressions: clauses, order by, joins, nesting."""
+
+import pytest
+
+
+class TestOrderBy:
+    def test_ascending_default(self, values):
+        q = "for $x in (3, 1, 2) order by $x return $x"
+        assert values(q) == [1, 2, 3]
+
+    def test_descending(self, values):
+        q = "for $x in (3, 1, 2) order by $x descending return $x"
+        assert values(q) == [3, 2, 1]
+
+    def test_multiple_keys(self, values):
+        q = ("for $p in (('b', 2), ('a', 2), ('a', 1)) return () , "
+             "for $x in ('b2', 'a2', 'a1') "
+             "order by substring($x, 1, 1), substring($x, 2, 1) descending "
+             "return $x")
+        assert values(q) == ["a2", "a1", "b2"]
+
+    def test_order_by_string_key(self, values, bib_xml):
+        q = ("for $b in //book order by xs:string($b/title) return $b/title/text()")
+        assert values(q, context_item=bib_xml) == [
+            "Data on the Web", "The politics of experience", "XML Query"]
+
+    def test_order_by_numeric_key(self, values, bib_xml):
+        q = ("for $b in //book order by xs:decimal($b/price) descending "
+             "return $b/price/text()")
+        assert values(q, context_item=bib_xml) == ["55", "39.95", "20"]
+
+    def test_empty_least_default(self, values):
+        q = ("for $x in (<a v='2'/>, <a/>, <a v='1'/>) "
+             "order by $x/@v return string($x/@v)")
+        # empty key sorts first by default
+        assert values(q) == ["", "1", "2"]
+
+    def test_empty_greatest(self, values):
+        q = ("for $x in (<a v='2'/>, <a/>, <a v='1'/>) "
+             "order by $x/@v empty greatest return string($x/@v)")
+        assert values(q) == ["1", "2", ""]
+
+    def test_stable_sort_preserves_input_order(self, values):
+        q = ("for $x at $i in ('b', 'a', 'c') "
+             "stable order by string-length($x) return $x")
+        assert values(q) == ["b", "a", "c"]
+
+    def test_where_before_order(self, values):
+        q = ("for $x in (5, 3, 8, 1) where $x gt 2 "
+             "order by $x return $x")
+        assert values(q) == [3, 5, 8]
+
+    def test_let_in_ordered_flwor(self, values):
+        q = ("for $x in (3, 1, 2) let $y := $x * 10 "
+             "order by $x return $y")
+        assert values(q) == [10, 20, 30]
+
+    def test_position_var_in_ordered_flwor(self, values):
+        q = ("for $x at $i in ('c', 'a', 'b') order by $x return $i")
+        assert values(q) == [2, 3, 1]
+
+
+class TestJoins:
+    BOOKS_PUBS = """<data>
+      <book><t>B1</t><pub>P1</pub></book>
+      <book><t>B2</t><pub>P2</pub></book>
+      <book><t>B3</t><pub>P1</pub></book>
+      <publisher><name>P1</name><addr>A1</addr></publisher>
+      <publisher><name>P2</name><addr>A2</addr></publisher>
+    </data>"""
+
+    def test_value_join(self, values):
+        # the tutorial's join example shape
+        q = ("for $b in //book, $p in //publisher "
+             "where $b/pub = $p/name "
+             "return ($b/t/text(), $p/addr/text())")
+        assert values(q, context_item=self.BOOKS_PUBS) == \
+            ["B1", "A1", "B2", "A2", "B3", "A1"]
+
+    def test_join_with_attribute_keys(self, values):
+        xml = ("<r><x k='1'/><x k='2'/><y k='2'/><y k='3'/></r>")
+        q = ("for $x in //x, $y in //y where $x/@k eq $y/@k "
+             "return xs:string($x/@k)")
+        assert values(q, context_item=xml) == ["2"]
+
+    def test_self_join_count(self, values):
+        xml = "<r><i v='1'/><i v='2'/><i v='3'/></r>"
+        q = ("count(for $a in //i, $b in //i "
+             "where xs:integer($a/@v) lt xs:integer($b/@v) return 1)")
+        assert values(q, context_item=xml) == [3]
+
+
+class TestNesting:
+    def test_nested_flwor_in_return(self, values):
+        q = ("for $x in (1, 2) return "
+             "(for $y in (10, 20) return $x + $y)")
+        assert values(q) == [11, 21, 12, 22]
+
+    def test_flwor_in_for_source(self, values):
+        q = ("for $x in (for $y in (1, 2, 3) where $y gt 1 return $y * 2) "
+             "where $x lt 6 return $x")
+        assert values(q) == [4]
+
+    def test_let_of_flwor(self, values):
+        q = ("let $evens := for $x in (1 to 10) where $x mod 2 eq 0 return $x "
+             "return (count($evens), sum($evens))")
+        assert values(q) == [5, 30]
+
+    def test_deeply_nested(self, values):
+        q = ("for $a in (1, 2) for $b in (1, 2) for $c in (1, 2) "
+             "where $a eq $b and $b eq $c return ($a * 100 + $b * 10 + $c)")
+        assert values(q) == [111, 222]
+
+
+class TestFunctions:
+    def test_declare_and_call(self, values):
+        q = ("declare function local:add($x as xs:integer, $y as xs:integer) "
+             "as xs:integer { $x + $y }; local:add(2, 3)")
+        assert values(q) == [5]
+
+    def test_recursion(self, values):
+        q = ("declare function local:fact($n as xs:integer) as xs:integer "
+             "{ if ($n le 1) then 1 else $n * local:fact($n - 1) }; "
+             "local:fact(6)")
+        assert values(q) == [720]
+
+    def test_mutual_recursion(self, values):
+        q = ("declare function local:even($n as xs:integer) as xs:boolean "
+             "{ if ($n eq 0) then fn:true() else local:odd($n - 1) }; "
+             "declare function local:odd($n as xs:integer) as xs:boolean "
+             "{ if ($n eq 0) then fn:false() else local:even($n - 1) }; "
+             "local:even(10)")
+        assert values(q) == [True]
+
+    def test_argument_conversion_atomizes(self, values):
+        # implicit atomization of node arguments to typed params survives
+        # inlining (the tutorial's function-inlining pitfall)
+        q = ("declare function local:inc($x as xs:integer) as xs:integer "
+             "{ $x + 1 }; local:inc(<a>41</a>)")
+        assert values(q) == [42]
+
+    def test_inlining_preserves_instance_of(self, values):
+        # "define function f($x as xs:double) ... f(2)" — 2 must be
+        # promoted to double by the conversion rules, NOT inlined raw
+        q = ("declare function local:f($x as xs:double) as xs:boolean "
+             "{ $x instance of xs:double }; local:f(2)")
+        assert values(q) == [True]
+
+    def test_wrong_argument_type_errors(self, run):
+        from repro.errors import TypeError_
+
+        q = ("declare function local:f($x as xs:integer) as xs:integer { $x }; "
+             "local:f('nope')")
+        with pytest.raises(Exception):
+            run(q).items()
+
+    def test_return_type_checked(self, run):
+        from repro.errors import TypeError_
+
+        q = ("declare function local:f() as xs:integer { 'str' }; local:f()")
+        with pytest.raises(TypeError_):
+            run(q).items()
+
+    def test_function_uses_global_variable(self, values):
+        q = ("declare variable $base := 100; "
+             "declare function local:f($x as xs:integer) { $base + $x }; "
+             "local:f(5)")
+        assert values(q) == [105]
+
+    def test_arity_overloading_unknown(self, run):
+        from repro.errors import UndefinedNameError
+
+        with pytest.raises(UndefinedNameError):
+            run("fn:does-not-exist(1)").items()
+
+
+class TestGlobalVariables:
+    def test_declared_value(self, values):
+        assert values("declare variable $x := 10; $x * 2") == [20]
+
+    def test_external_binding(self, values):
+        q = "declare variable $n external; $n + 1"
+        assert values(q, variables={"n": 41}) == [42]
+
+    def test_declared_expression_value(self, values):
+        q = "declare variable $sq { 3 * 3 }; $sq"
+        assert values(q) == [9]

@@ -1,0 +1,184 @@
+"""Path expressions: axes, predicates, document order, duplicates."""
+
+import pytest
+
+from repro.errors import TypeError_
+
+
+class TestSteps:
+    def test_child_step(self, serialize, bib_xml):
+        out = serialize("/bib/book[1]/title", context_item=bib_xml)
+        assert out == "<title>The politics of experience</title>"
+
+    def test_attribute_step(self, values, bib_xml):
+        assert values("/bib/book[1]/@year", context_item=bib_xml) == ["1967"]
+
+    def test_descendant_or_self(self, values, bib_xml):
+        assert values("count(//author)", context_item=bib_xml) == [4]
+
+    def test_parent_step(self, values, bib_xml):
+        assert values("count(//title/..)", context_item=bib_xml) == [3]
+
+    def test_parent_of_root_is_empty(self, values, bib_xml):
+        assert values("count(/..)", context_item=bib_xml) == [0]
+
+    def test_self_step(self, values, bib_xml):
+        assert values("count(//book/self::book)", context_item=bib_xml) == [3]
+
+    def test_ancestor_axis(self, values, bib_xml):
+        q = "count((//first)[1]/ancestor::*)"
+        assert values(q, context_item=bib_xml) == [3]  # author, book, bib
+
+    def test_following_sibling(self, values, bib_xml):
+        q = "/bib/book[1]/following-sibling::book/title/text()"
+        assert values(q, context_item=bib_xml) == ["Data on the Web", "XML Query"]
+
+    def test_preceding_sibling(self, values, bib_xml):
+        q = "/bib/book[3]/preceding-sibling::book[1]/title/text()"
+        # predicate counts from the node backwards (reverse axis)
+        assert values(q, context_item=bib_xml) == ["Data on the Web"]
+
+    def test_text_node_test(self, values, bib_xml):
+        assert values("/bib/book[1]/title/text()", context_item=bib_xml) == \
+            ["The politics of experience"]
+
+    def test_node_test(self, values, bib_xml):
+        assert values("count(/bib/book[1]/child::node())",
+                      context_item=bib_xml)[0] >= 4
+
+    def test_wildcard(self, values, bib_xml):
+        assert values("count(/bib/book[1]/*)", context_item=bib_xml) == [4]
+
+    def test_comment_node_test(self, values):
+        assert values("count(//comment())",
+                      context_item="<a><!--one--><b><!--two--></b></a>") == [2]
+
+    def test_pi_node_test(self, values):
+        assert values("//processing-instruction()/string(.)",
+                      context_item="<a><?t data?></a>") == ["data"]
+
+    def test_element_kind_test(self, values, bib_xml):
+        assert values("count(//element())", context_item=bib_xml) == \
+            values("count(//*)", context_item=bib_xml)
+
+
+class TestPredicates:
+    def test_positional(self, values, bib_xml):
+        assert values("/bib/book[2]/title/text()", context_item=bib_xml) == \
+            ["Data on the Web"]
+
+    def test_positional_range(self, values, bib_xml):
+        assert values("count(/bib/book[position() ge 2])",
+                      context_item=bib_xml) == [2]
+
+    def test_range_predicate(self, values, bib_xml):
+        # "/book[3]/author[1 to 2]" style: numeric sequence predicate
+        assert values("count(/bib/book[2]/author[1 to 2])",
+                      context_item=bib_xml) == [2]
+
+    def test_last(self, values, bib_xml):
+        assert values("/bib/book[last()]/title/text()", context_item=bib_xml) == \
+            ["XML Query"]
+
+    def test_boolean_predicate(self, values, bib_xml):
+        assert values("count(//book[price < 30])", context_item=bib_xml) == [1]
+
+    def test_predicate_on_attribute(self, values, bib_xml):
+        assert values("count(//book[@year = '1998'])", context_item=bib_xml) == [2]
+
+    def test_nested_predicate(self, values, bib_xml):
+        q = "count(//book[count(author[last/text() = 'Suciu']) > 0])"
+        assert values(q, context_item=bib_xml) == [1]
+
+    def test_classical_xpath_mistake(self, values, bib_xml):
+        # "$x/a/b[1] means $x/a/(b[1]) and not ($x/a/b)[1]"
+        per_parent = values("count(/bib/book/author[1])", context_item=bib_xml)
+        overall = values("count((/bib/book/author)[1])", context_item=bib_xml)
+        assert per_parent == [3]
+        assert overall == [1]
+
+    def test_predicate_position_semantics(self, values):
+        xml = "<r><x v='1'/><x v='2'/><x v='3'/></r>"
+        assert values("/r/x[position() = 2]/@v", context_item=xml) == ["2"]
+        assert values("/r/x[2]/@v", context_item=xml) == ["2"]
+
+
+class TestDocOrderAndDuplicates:
+    def test_union_dedups_and_sorts(self, values):
+        q = ("let $d := <r><a/><b/><c/></r> "
+             "let $x := $d/a let $y := $d/b let $z := $d/c "
+             "return count(($x, $y) union ($y, $z))")
+        assert values(q) == [3]
+
+    def test_intersect(self, values):
+        q = ("let $d := <r><a/><b/></r> "
+             "return count(($d/a, $d/b) intersect $d/b)")
+        assert values(q) == [1]
+
+    def test_except(self, values):
+        q = ("let $d := <r><a/><b/></r> "
+             "return ($d/* except $d/b)/local-name(.)")
+        assert values(q) == ["a"]
+
+    def test_setop_requires_nodes(self, run):
+        with pytest.raises(TypeError_):
+            run("(1, 2) union (2, 3)").items()
+
+    def test_path_results_in_doc_order(self, values):
+        xml = "<r><a><x>1</x></a><b><x>2</x></b><a><x>3</x></a></r>"
+        # (b, a) selection still returns x's in document order
+        assert values("(/r/b, /r/a)/x/text()", context_item=xml) == ["1", "2", "3"]
+
+    def test_duplicate_elimination(self, values):
+        xml = "<r><a><b/></a></r>"
+        # both the a and its parent reach the same b
+        assert values("count((/r/a, /r)/descendant-or-self::node()/b)",
+                      context_item=xml) == [1]
+
+    def test_parent_dedup(self, values, bib_xml):
+        # 4 authors but only 3 distinct parent books
+        assert values("count(//author/..)", context_item=bib_xml) == [3]
+
+    def test_mixed_atomic_node_path_errors(self, run, bib_xml):
+        with pytest.raises(TypeError_):
+            run("/bib/book/(title, 1)", context_item=bib_xml).items()
+
+    def test_last_step_atomics_allowed(self, values, bib_xml):
+        assert values("/bib/book/string(title)", context_item=bib_xml) == [
+            "The politics of experience", "Data on the Web", "XML Query"]
+
+
+class TestPathErrors:
+    def test_step_on_atomic_errors(self, run):
+        with pytest.raises(TypeError_):
+            run("(1)/a").items()
+
+    def test_root_without_context(self, run):
+        from repro.errors import DynamicError
+
+        with pytest.raises((DynamicError, TypeError_)):
+            run("/a").items()
+
+
+class TestNamespaceSteps:
+    def test_prefixed_step(self, values):
+        q = ("declare namespace amz = 'www.amazon.com'; "
+             "count($d//amz:book)")
+        xml = '<root xmlns:a="www.amazon.com"><a:book/><book/></root>'
+        assert values(q, variables={"d": xml}) == [1]
+
+    def test_default_element_namespace_applies_to_steps(self, values):
+        q = ("declare default element namespace 'www.amazon.com'; "
+             "count($d//book)")
+        xml = '<root xmlns="www.amazon.com"><book/></root>'
+        assert values(q, variables={"d": xml}) == [1]
+
+    def test_wildcard_uri(self, values):
+        q = "count($d//*:book)"
+        xml = '<root xmlns:a="u1"><a:book/><book/></root>'
+        assert values(q, variables={"d": xml}) == [2]
+
+    def test_prefix_wildcard_local(self, values):
+        q = "declare namespace a = 'u1'; count($d//a:*)"
+        xml = '<root xmlns:a="u1"><a:book/><a:mag/><other/></root>'
+        assert values(q, variables={"d": xml}) == [2]

@@ -1,0 +1,34 @@
+"""Every example script runs end-to-end (small workloads)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: script → argv (small scales keep the suite fast)
+CASES = {
+    "quickstart.py": [],
+    "ebxml_transform.py": ["4"],
+    "message_broker.py": [],
+    "structural_joins.py": ["0.05"],
+    "storage_modes.py": [],
+    "schema_validation.py": [],
+    "streaming_pipeline.py": ["0.1"],
+}
+
+
+@pytest.mark.parametrize("script", list(CASES))
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *CASES[script]],
+        capture_output=True, text=True, timeout=180)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_directory_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES), "new example? add it to CASES"

@@ -1,0 +1,179 @@
+"""Structural joins: stack-tree, TwigStack, navigation — cross-validated."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins import (
+    TwigNode,
+    TwigPattern,
+    evaluate_pattern,
+    navigate_anc_desc,
+    stack_tree_anc_desc,
+    stack_tree_desc,
+    twig_stack,
+)
+from repro.joins.stacktree import stack_tree_ancestors
+from repro.storage import ElementIndex
+from repro.workloads.synthetic import nested_sections, random_tree
+from repro.xdm.build import parse_document
+
+ALGORITHMS = ("twigstack", "binary", "navigation")
+
+
+@pytest.fixture(scope="module")
+def nested_index():
+    return ElementIndex(parse_document(random_tree(400, tags=("a", "b", "c"), seed=13)))
+
+
+class TestStackTree:
+    def test_simple_containment(self):
+        idx = ElementIndex(parse_document("<a><b/><c><b/></c></a>"))
+        result = stack_tree_anc_desc(idx.postings("a"), idx.postings("b"))
+        assert len(result) == 2
+
+    def test_parent_child_variant(self):
+        idx = ElementIndex(parse_document("<a><b/><c><b/></c></a>"))
+        result = stack_tree_anc_desc(idx.postings("a"), idx.postings("b"),
+                                     parent_child=True)
+        assert len(result) == 1
+
+    def test_pairs_sorted_by_descendant(self):
+        idx = ElementIndex(parse_document(random_tree(200, seed=3)))
+        pairs = list(stack_tree_desc(idx.postings("a"), idx.postings("b")))
+        d_pres = [d.pre for _a, d in pairs]
+        assert d_pres == sorted(d_pres)
+
+    def test_semi_join_ancestors(self):
+        idx = ElementIndex(parse_document("<a><b/></a>"))
+        result = stack_tree_ancestors(idx.postings("a"), idx.postings("b"))
+        assert [p.node.name.local for p in result] == ["a"]
+
+    def test_empty_inputs(self):
+        idx = ElementIndex(parse_document("<a/>"))
+        assert stack_tree_anc_desc(idx.postings("a"), idx.postings("zzz")) == []
+        assert stack_tree_anc_desc(idx.postings("zzz"), idx.postings("a")) == []
+
+    @given(st.integers(min_value=5, max_value=150), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_navigation(self, n, seed):
+        idx = ElementIndex(parse_document(
+            random_tree(n, tags=("a", "b", "c"), seed=seed)))
+        join = stack_tree_anc_desc(idx.postings("a"), idx.postings("b"))
+        nav = navigate_anc_desc(idx, "a", "b")
+        assert [p.pre for p in join] == [p.pre for p in nav]
+
+    @given(st.integers(min_value=5, max_value=150), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_parent_child_matches_navigation(self, n, seed):
+        idx = ElementIndex(parse_document(
+            random_tree(n, tags=("a", "b"), seed=seed)))
+        join = stack_tree_anc_desc(idx.postings("a"), idx.postings("b"),
+                                   parent_child=True)
+        nav = navigate_anc_desc(idx, "a", "b", parent_child=True)
+        assert [p.pre for p in join] == [p.pre for p in nav]
+
+
+class TestTwigPatterns:
+    def test_chain_constructor(self):
+        pattern = TwigPattern.chain("a", ("b", "child"), ("c", "descendant"))
+        assert pattern.root.name == "a"
+        assert pattern.output.name == "c"
+        assert len(pattern.leaves()) == 1
+
+    def test_duplicate_names_rejected(self):
+        root = TwigNode("a")
+        root.add(TwigNode("a"))
+        with pytest.raises(ValueError):
+            TwigPattern(root)
+
+    def test_two_outputs_rejected(self):
+        root = TwigNode("a")
+        x = root.add(TwigNode("b"))
+        y = root.add(TwigNode("c"))
+        x.is_output = y.is_output = True
+        with pytest.raises(ValueError):
+            TwigPattern(root)
+
+    def test_default_output_is_last_leaf(self):
+        root = TwigNode("a")
+        root.add(TwigNode("b"))
+        root.add(TwigNode("c"))
+        pattern = TwigPattern(root)
+        assert pattern.output.name in ("b", "c")
+
+
+class TestAlgorithmsAgree:
+    def _assert_agree(self, index, pattern):
+        results = [[p.pre for p in evaluate_pattern(index, pattern, alg)]
+                   for alg in ALGORITHMS]
+        assert results[0] == results[1] == results[2]
+        return results[0]
+
+    def test_chain_descendant(self, nested_index):
+        pattern = TwigPattern.chain("a", ("b", "descendant"))
+        assert self._assert_agree(nested_index, pattern)
+
+    def test_chain_child(self, nested_index):
+        pattern = TwigPattern.chain("a", ("b", "child"), ("c", "child"))
+        self._assert_agree(nested_index, pattern)
+
+    def test_branching_twig(self, nested_index):
+        root = TwigNode("a")
+        root.add(TwigNode("b"), "descendant")
+        out = root.add(TwigNode("c"), "descendant")
+        out.is_output = True
+        self._assert_agree(nested_index, TwigPattern(root))
+
+    def test_output_at_branch_node(self, nested_index):
+        root = TwigNode("a")
+        root.is_output = True
+        root.add(TwigNode("b"), "descendant")
+        root.add(TwigNode("c"), "descendant")
+        self._assert_agree(nested_index, TwigPattern(root))
+
+    def test_sections_workload(self):
+        idx = ElementIndex(parse_document(nested_sections(4, 3)))
+        pattern = TwigPattern.chain("section", ("title", "child"))
+        result = self._assert_agree(idx, pattern)
+        assert result  # non-empty
+
+    def test_no_matches(self, nested_index):
+        pattern = TwigPattern.chain("a", ("zzz", "descendant"))
+        assert self._assert_agree(nested_index, pattern) == []
+
+    @given(st.integers(min_value=10, max_value=120), st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_random_twigs_agree(self, n, seed):
+        idx = ElementIndex(parse_document(
+            random_tree(n, tags=("a", "b", "c", "d"), seed=seed)))
+        root = TwigNode("a")
+        root.add(TwigNode("b"), "descendant")
+        out = root.add(TwigNode("c"), "child")
+        out.is_output = True
+        pattern = TwigPattern(root)
+        results = [[p.pre for p in evaluate_pattern(idx, pattern, alg)]
+                   for alg in ALGORITHMS]
+        assert results[0] == results[1] == results[2]
+
+
+class TestTwigStackInternals:
+    def test_full_matches_contain_all_nodes(self):
+        idx = ElementIndex(parse_document(
+            "<a><b/><c><d/></c></a>"))
+        root = TwigNode("a")
+        root.add(TwigNode("b"), "descendant")
+        c = root.add(TwigNode("c"), "descendant")
+        d = c.add(TwigNode("d"), "child")
+        d.is_output = True
+        matches = twig_stack(idx, TwigPattern(root))
+        assert len(matches) == 1
+        assert set(matches[0]) == {"a", "b", "c", "d"}
+
+    def test_match_bindings_are_consistent(self):
+        idx = ElementIndex(parse_document(random_tree(150, seed=77)))
+        root = TwigNode("a")
+        b = root.add(TwigNode("b"), "descendant")
+        b.is_output = True
+        for match in twig_stack(idx, TwigPattern(root)):
+            assert match["a"].label.is_ancestor_of(match["b"].label)

@@ -1,0 +1,164 @@
+"""Lazy evaluation — the tutorial's headline runtime property.
+
+"Compute expressions on demand ... The result of this program should
+be: true" (for the endlessOnes example).  These tests fail by hanging
+(or by tripping the recursion limit) if laziness breaks, so they are
+the strongest regression net for the iterator runtime.
+"""
+
+import pytest
+
+from repro import Engine, execute_query
+from repro.runtime.iterators import BufferedSequence, PullIterator
+
+
+class TestEndlessOnes:
+    def test_tutorial_endless_ones(self, values):
+        # the slide verbatim (modulo declare syntax)
+        q = ("declare function local:endlessOnes() as xs:integer* "
+             "{ (1, local:endlessOnes()) }; "
+             "some $x in local:endlessOnes() satisfies $x eq 1")
+        assert values(q) == [True]
+
+    def test_first_of_infinite(self, values):
+        q = ("declare function local:nat($n as xs:integer) as xs:integer* "
+             "{ ($n, local:nat($n + 1)) }; "
+             "(local:nat(1))[1]")
+        assert values(q) == [1]
+
+    def test_positional_predicate_stops(self, values):
+        q = ("declare function local:nat($n as xs:integer) as xs:integer* "
+             "{ ($n, local:nat($n + 1)) }; "
+             "(local:nat(10))[3]")
+        assert values(q) == [12]
+
+    def test_subsequence_of_infinite(self, values):
+        q = ("declare function local:nat($n as xs:integer) as xs:integer* "
+             "{ ($n, local:nat($n + 1)) }; "
+             "subsequence(local:nat(1), 2, 3)")
+        assert values(q) == [2, 3, 4]
+
+    def test_exists_of_infinite(self, values):
+        q = ("declare function local:nat($n as xs:integer) as xs:integer* "
+             "{ ($n, local:nat($n + 1)) }; "
+             "exists(local:nat(1))")
+        assert values(q) == [True]
+
+
+class TestLazyBindings:
+    def test_unused_let_value_never_evaluated(self, values):
+        # an erroring binding that is never consumed must not raise
+        assert values("let $x := (1 idiv 0) return 2") == [2]
+
+    def test_unused_function_argument(self, values):
+        q = ("declare function local:fst($a, $b) { $a }; "
+             "local:fst(1, (1 idiv 0))")
+        assert values(q) == [1]
+
+    def test_if_guards_errors(self, values):
+        q = ("for $x in (1, 0) return "
+             "if ($x eq 0) then 'zero' else xs:string(4 idiv $x)")
+        assert values(q) == ["4", "zero"]
+
+    def test_let_evaluated_at_most_once(self, run):
+        # the buffer-iterator-factory behaviour: two consumers, one pull
+        q = ("let $x := (for $i in (1 to 100) return <n>{$i}</n>) "
+             "return (count($x), count($x))")
+        result = run(q)
+        assert result.values() == [100, 100]
+        assert result.stats.get("elements_constructed", 0) == 100
+
+    def test_where_short_circuit(self, values):
+        q = "for $x in (1 to 5) where $x le 2 return $x"
+        assert values(q) == [1, 2]
+
+
+class TestStreamedResults:
+    def test_result_iteration_is_incremental(self):
+        engine = Engine()
+        compiled = engine.compile(
+            "for $i in (1 to 1000000) return <n>{$i}</n>")
+        result = compiled.execute()
+        iterator = iter(result)
+        first = next(iterator)
+        # only one element constructed so far
+        assert result.stats["elements_constructed"] == 1
+        next(iterator)
+        assert result.stats["elements_constructed"] == 2
+
+    def test_filter_index_stops_pulling(self):
+        engine = Engine()
+        compiled = engine.compile("(for $i in (1 to 100000) return <n>{$i}</n>)[2]")
+        result = compiled.execute()
+        result.items()
+        assert result.stats["elements_constructed"] <= 2
+
+
+class TestBufferedSequence:
+    def test_reiteration(self):
+        seq = BufferedSequence(iter([1, 2, 3]))
+        assert list(seq) == [1, 2, 3]
+        assert list(seq) == [1, 2, 3]
+
+    def test_interleaved_consumers(self):
+        seq = BufferedSequence(iter(range(10)))
+        a, b = iter(seq), iter(seq)
+        assert next(a) == 0
+        assert next(b) == 0
+        assert next(b) == 1
+        assert next(a) == 1
+        assert list(a) == list(range(2, 10))
+
+    def test_partial_pull_counts(self):
+        pulled = []
+
+        def source():
+            for i in range(100):
+                pulled.append(i)
+                yield i
+
+        seq = BufferedSequence(source())
+        assert seq.get(4) == 4
+        assert len(pulled) == 5
+
+    def test_get_past_end_raises(self):
+        seq = BufferedSequence(iter([1]))
+        with pytest.raises(IndexError):
+            seq.get(5)
+
+    def test_length_materializes(self):
+        seq = BufferedSequence(iter(range(7)))
+        assert seq.length() == 7
+        assert seq.is_fully_materialized()
+
+    def test_has_at_least(self):
+        seq = BufferedSequence(iter(range(3)))
+        assert seq.has_at_least(3)
+        assert not seq.has_at_least(4)
+
+
+class TestPullIterator:
+    def test_protocol(self):
+        it = PullIterator([1, 2, 3, 4])
+        it.open()
+        assert it.next() == 1
+        assert it.skip(2) == 2
+        assert it.next() == 4
+        assert it.next() is None
+        it.close()
+
+    def test_open_required(self):
+        it = PullIterator([1])
+        with pytest.raises(RuntimeError):
+            it.next()
+
+    def test_double_open_rejected(self):
+        it = PullIterator([1])
+        it.open()
+        with pytest.raises(RuntimeError):
+            it.open()
+
+    def test_skip_past_end(self):
+        it = PullIterator([1, 2])
+        it.open()
+        assert it.skip(5) == 2

@@ -1,0 +1,233 @@
+"""The rewrite engine: rules fire, contracts hold, semantics preserved."""
+
+import pytest
+
+from repro import Engine, execute_query
+from repro.compiler.analysis import analyze, count_var_uses, free_vars
+from repro.compiler.context import StaticContext
+from repro.compiler.normalize import normalize_module
+from repro.compiler.rewriter import RewriteEngine, default_rules
+from repro.qname import QName
+from repro.xquery import ast, parse_query
+
+
+def optimize(query: str, extra_vars=()):
+    """Returns (core, optimized, engine-with-fire-counts)."""
+    module = parse_query(query)
+    core, ctx = normalize_module(module, extra_vars=tuple(
+        QName("", v) for v in extra_vars))
+    engine = RewriteEngine(default_rules(), ctx, check_contract=True)
+    return core, engine.rewrite(core), engine
+
+
+def count_kind(expr: ast.Expr, kind) -> int:
+    return sum(1 for e in expr.walk() if isinstance(e, kind))
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self):
+        _core, opt, engine = optimize("1 + 2 * 3")
+        assert isinstance(opt, ast.Literal)
+        assert opt.value.value == 7
+        assert engine.fired.get("constant-folding", 0) >= 2
+
+    def test_comparison_folds(self):
+        _core, opt, _ = optimize("3 lt 5")
+        assert isinstance(opt, ast.Literal)
+        assert opt.value.value is True
+
+    def test_erroring_constant_not_folded(self):
+        _core, opt, _ = optimize("1 idiv 0")
+        assert isinstance(opt, ast.Arithmetic)  # error stays dynamic
+
+    def test_if_with_constant_condition(self):
+        _core, opt, engine = optimize("if (1 lt 2) then 'a' else (1 idiv 0)")
+        assert isinstance(opt, ast.Literal)
+        assert opt.value.value == "a"
+
+    def test_boolean_short_circuit_on_constant(self):
+        _core, opt, _ = optimize("1 eq 2 and $x/a = 3", extra_vars=("x",))
+        assert isinstance(opt, ast.Literal)
+        assert opt.value.value is False
+
+    def test_typeswitch_on_literal(self):
+        q = ("typeswitch (3) case xs:string return 'str' "
+             "case xs:integer return 'int' default return 'other'")
+        _core, opt, engine = optimize(q)
+        assert isinstance(opt, ast.Literal)
+        assert opt.value.value == "int"
+        assert engine.fired.get("typeswitch-to-if", 0) == 1
+
+
+class TestLetFolding:
+    def test_trivial_value_inlined(self):
+        _core, opt, engine = optimize("let $x := 3 return $x + 2")
+        assert isinstance(opt, ast.Literal)
+        assert opt.value.value == 5
+
+    def test_node_constructor_not_duplicated(self):
+        # "let $x := <a/> return ($x, $x)" must keep the binding
+        _core, opt, _ = optimize("let $x := <a/> return ($x, $x)")
+        assert count_kind(opt, ast.LetExpr) == 1
+        assert count_kind(opt, ast.ElementCtor) == 1
+
+    def test_dead_let_dropped(self):
+        _core, opt, engine = optimize("let $x := $y/a/b return 42",
+                                      extra_vars=("y",))
+        assert isinstance(opt, ast.Literal)
+        assert engine.fired.get("dead-let-elimination", 0) == 1
+
+    def test_single_use_non_constructing_inlined(self):
+        _core, opt, engine = optimize(
+            "let $t := $d/a/b return count($t)", extra_vars=("d",))
+        assert count_kind(opt, ast.LetExpr) == 0
+
+    def test_loop_use_kept(self):
+        q = "let $t := $d/a return (for $i in (1 to 10) return $t)"
+        _core, opt, _ = optimize(q, extra_vars=("d",))
+        # $t used inside a loop: binding must survive (buffered sharing)
+        assert count_kind(opt, ast.LetExpr) == 1
+
+    def test_semantics_preserved(self):
+        q = "let $x := (1, 2, 3) let $y := count($x) return $y + count($x)"
+        assert execute_query(q).values() == execute_query(q, optimize=False).values()
+
+
+class TestDDOElimination:
+    def _ddo_count(self, path):
+        query = ("declare variable $d as document-node() external; " + path)
+        _core, opt, _ = optimize(query)
+        return count_kind(opt, ast.DDO)
+
+    def test_child_chain_elided(self):
+        # /a/b/c: "guaranteed to return results in doc order, no duplicates"
+        assert self._ddo_count("$d/a/b/c") == 0
+
+    def test_trailing_descendant_elided(self):
+        # /a//b: still ordered & distinct
+        assert self._ddo_count("$d/a//b") == 0
+
+    def test_descendant_then_child_keeps_sort(self):
+        # //a/b: distinct but NOT ordered
+        assert self._ddo_count("$d//a/b") >= 1
+
+    def test_double_descendant_keeps_all(self):
+        # //a//b: nothing guaranteed
+        assert self._ddo_count("$d//a//b") >= 1
+
+    def test_parent_eliminated_then_elided(self):
+        # /a/../b  ⇒  $d[child::a]/b (backward-nav rewrite), which is
+        # provably ordered & distinct — everything elided
+        assert self._ddo_count("$d/a/../b") == 0
+
+    def test_parent_after_descendant_keeps(self):
+        # //a/.. — the inner step is descendant::a, the rewrite does not
+        # apply, and the parent step voids the order guarantee
+        assert self._ddo_count("$d//a/..") >= 1
+
+    def test_semantics_identical_with_and_without(self, bib_xml):
+        for q in ("/bib/book/title", "//book/title", "//book//last",
+                  "//author/..", "/bib//book/author/last"):
+            with_opt = execute_query(q, context_item=bib_xml).serialize()
+            without = execute_query(q, context_item=bib_xml, optimize=False).serialize()
+            assert with_opt == without, q
+
+
+class TestFlworRules:
+    def test_for_unnesting(self):
+        q = ("for $x in (for $y in $d/a where $y/c eq 3 return $y/d) "
+             "where $x/e eq 4 return $x")
+        _core, opt, engine = optimize(q, extra_vars=("d",))
+        assert engine.fired.get("for-unnesting", 0) >= 1
+
+    def test_unnesting_semantics(self):
+        xml = "<r><a><c>3</c><d><e>4</e></d></a><a><c>9</c><d/></a></r>"
+        q = ("for $x in (for $y in //a where $y/c = 3 return $y/d) "
+             "where $x/e = 4 return count($x)")
+        assert execute_query(q, context_item=xml).values() == \
+            execute_query(q, context_item=xml, optimize=False).values()
+
+    def test_loop_invariant_hoisting(self):
+        q = ("for $x in (1 to 10) "
+             "let $y := count($d/a) return $y + $x")
+        _core, opt, engine = optimize(q, extra_vars=("d",))
+        assert engine.fired.get("for-let-hoisting", 0) >= 1
+        # the Let must now be OUTSIDE the For
+        assert isinstance(opt, ast.LetExpr)
+
+    def test_hoisting_semantics(self):
+        q = "for $x in (1 to 5) let $y := count((1, 2)) return $y * $x"
+        assert execute_query(q).values() == execute_query(q, optimize=False).values()
+
+    def test_constructor_not_hoisted(self):
+        q = "for $x in (1 to 3) let $y := <n/> return ($y is $y)"
+        _core, opt, engine = optimize(q)
+        # hoisting a constructor would merge per-iteration fresh nodes
+        assert not isinstance(opt, ast.LetExpr) or \
+            not isinstance(getattr(opt, "value", None), ast.ElementCtor)
+
+    def test_for_minimization_singleton(self):
+        q = "for $x in <a/> return 42"
+        _core, opt, engine = optimize(q)
+        assert engine.fired.get("for-minimization", 0) == 1
+        assert isinstance(opt, ast.Literal)
+
+
+class TestContract:
+    """The paper's rule contract: freeVars(e2) ⊆ freeVars(e1)."""
+
+    @pytest.mark.parametrize("query", [
+        "let $x := 1 return $x + $y",
+        "for $a in $d/x return (for $b in $d/y return ($a, $b))",
+        "if ($y eq 1) then $d/a/b/c else ()",
+        "let $u := $d/a return count($u) + count($u)",
+    ])
+    def test_no_new_free_variables(self, query):
+        # check_contract=True raises if any rule breaks the contract
+        optimize(query, extra_vars=("x", "y", "d"))
+
+    def test_fixpoint_terminates(self):
+        # pathological nesting still converges within the sweep cap
+        q = "let $a := 1 let $b := $a let $c := $b return $c"
+        _core, opt, _ = optimize(q)
+        assert isinstance(opt, ast.Literal)
+
+
+class TestAnalysis:
+    def _annotations(self, query, extra_vars=("d",)):
+        module = parse_query(query)
+        core, ctx = normalize_module(module, extra_vars=tuple(
+            QName("", v) for v in extra_vars))
+        analyze(core, ctx)
+        return core
+
+    def test_constructor_creates_nodes(self):
+        core = self._annotations("<a/>")
+        assert core.annotations["creates_nodes"]
+
+    def test_literal_does_not(self):
+        core = self._annotations("42")
+        assert not core.annotations["creates_nodes"]
+
+    def test_creation_propagates_up(self):
+        core = self._annotations("let $x := <a/> return ($x, 1)")
+        assert core.annotations["creates_nodes"]
+
+    def test_count_var_uses(self):
+        module = parse_query("let $x := 1 return ($x, $x, for $i in (1,2) return $x)")
+        core, _ = normalize_module(module)
+        uses, in_loop = count_var_uses(core.body, QName("", "x"))
+        assert uses == 3
+        assert in_loop
+
+    def test_count_respects_shadowing(self):
+        module = parse_query(
+            "let $x := 1 return ($x, let $x := 2 return $x)")
+        core, _ = normalize_module(module)
+        uses, _ = count_var_uses(core.body, QName("", "x"))
+        assert uses == 1  # the inner $x is a different binding
+
+    def test_free_vars(self):
+        module = parse_query("for $a in $d/x return $a/y")
+        core, _ = normalize_module(module, extra_vars=(QName("", "d"),))
+        assert free_vars(core) == {QName("", "d")}

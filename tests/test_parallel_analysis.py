@@ -1,0 +1,76 @@
+"""The parallelizability analysis."""
+
+import pytest
+
+from repro.compiler.analysis import analyze
+from repro.compiler.normalize import normalize_module
+from repro.compiler.parallel import is_pipeline_parallel, parallel_groups
+from repro.qname import QName
+from repro.xquery.parser import parse_query
+
+
+def groups_for(query: str, extra_vars=("d",)):
+    module = parse_query(query)
+    core, ctx = normalize_module(module, extra_vars=tuple(
+        QName("", v) for v in extra_vars))
+    analyze(core, ctx)
+    return parallel_groups(core), core
+
+
+class TestHorizontalGroups:
+    def test_pure_sequence_members_parallel(self):
+        groups, _ = groups_for("(count($d/a), count($d/b), count($d/c))")
+        assert groups
+        assert len(groups[0]) == 3
+
+    def test_arithmetic_operands_parallel(self):
+        # the slide's example: ns1:WS1($input) + ns2:WS2($input)
+        groups, _ = groups_for("count($d/a) + count($d/b)")
+        assert any(g.parent_kind == "Arithmetic" and len(g) == 2
+                   for g in groups)
+
+    def test_constructors_not_parallel(self):
+        # node construction order/identity is observable
+        groups, _ = groups_for("(<a/>, <b/>)")
+        assert not any(g.parent_kind == "SequenceExpr" for g in groups)
+
+    def test_mixed_sequence_keeps_pure_subset(self):
+        groups, _ = groups_for("(count($d/a), <x/>, count($d/b))")
+        seq_groups = [g for g in groups if g.parent_kind == "SequenceExpr"]
+        assert seq_groups and len(seq_groups[0]) == 2
+
+    def test_if_branches_never_parallel(self):
+        # only one branch is guaranteed to execute
+        groups, _ = groups_for(
+            "if ($d/a) then count($d/b) else count($d/c)")
+        assert not any(g.parent_kind == "IfExpr" for g in groups)
+
+    def test_boolean_operands_never_parallel(self):
+        # and/or may short-circuit: execution not guaranteed
+        groups, _ = groups_for("exists($d/a) and exists($d/b)")
+        assert not any(g.parent_kind in ("AndExpr", "OrExpr") for g in groups)
+
+    def test_nondeterministic_functions_excluded(self):
+        groups, _ = groups_for("(count($d/a), current-dateTime())")
+        seq_groups = [g for g in groups if g.parent_kind == "SequenceExpr"]
+        assert not seq_groups  # only one pure member remains
+
+    def test_user_functions_conservative(self):
+        query = ("declare function local:f() external; "
+                 "(local:f(), local:f())")
+        groups, _ = groups_for(query, extra_vars=())
+        assert not any(g.parent_kind == "SequenceExpr" for g in groups)
+
+    def test_function_arguments_parallel(self):
+        groups, _ = groups_for("concat(string($d/a), string($d/b))")
+        assert any(g.parent_kind == "FunctionCall" for g in groups)
+
+
+class TestVertical:
+    def test_paths_are_pipelines(self):
+        _, core = groups_for("$d/a/b/c")
+        assert is_pipeline_parallel(core)
+
+    def test_scalar_is_not(self):
+        _, core = groups_for("1 + 2", extra_vars=())
+        assert not is_pipeline_parallel(core)

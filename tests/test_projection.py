@@ -1,0 +1,140 @@
+"""Document projection: spec extraction, safety, and agreement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Engine, parse_document
+from repro.stream.projection import (
+    node_count,
+    project_text,
+    projection_spec,
+)
+from repro.workloads import generate_xmark
+from repro.workloads.synthetic import random_tree
+
+_engine = Engine()
+
+
+def spec_for(query: str):
+    compiled = _engine.compile(query)
+    return compiled, projection_spec(compiled.optimized)
+
+
+class TestSpecExtraction:
+    def test_simple_path(self):
+        _c, spec = spec_for("/site/people/person/name")
+        assert spec is not None
+        assert [str(c) for c in spec] == ["/site/people/person/name"]
+
+    def test_descendant_path(self):
+        _c, spec = spec_for("//keyword")
+        assert [str(c) for c in spec] == ["//keyword"]
+
+    def test_for_variable_extension(self):
+        _c, spec = spec_for(
+            "for $p in /site/people/person return $p/name")
+        texts = {str(c) for c in spec}
+        assert "/site/people/person" in texts
+        assert "/site/people/person/name" in texts
+
+    def test_predicate_truncates(self):
+        _c, spec = spec_for("/a/b[c = 1]/d")
+        # the predicate needs b's subtree: no chain may narrow past b
+        texts = {str(c) for c in spec}
+        assert "/a/b" in texts
+        assert all(not t.startswith("/a/b/d") for t in texts)
+
+    def test_wildcard_truncates(self):
+        _c, spec = spec_for("/a/*/c")
+        assert {str(c) for c in spec} == {"/a"}
+
+    @pytest.mark.parametrize("query", [
+        "//name/..",                      # reverse axis
+        "//person/ancestor::site",        # reverse axis
+        "//person/following-sibling::person",
+        "(//person)[1]/root(.)",          # fn:root escapes
+    ])
+    def test_unprojectable(self, query):
+        _c, spec = spec_for(query)
+        assert spec is None
+
+    def test_whole_document_context_disables(self):
+        _c, spec = spec_for("string(.)")
+        assert spec is None
+
+    def test_other_variables_ignored(self):
+        compiled = _engine.compile("$v/a/b", variables=("v",))
+        spec = projection_spec(compiled.optimized)
+        assert spec == []  # nothing from the context doc is needed
+
+
+class TestAgreement:
+    QUERIES = [
+        "for $p in /site/people/person return $p/name/text()",
+        "count(//keyword)",
+        "sum(for $c in /site/closed_auctions/closed_auction "
+        "    return xs:double($c/price))",
+        "/site/regions//item[quantity > 3]/name/text()",
+        "//open_auction/bidder[1]/increase/text()",
+        "for $x in //person return <p>{$x/name}{$x/emailaddress}</p>",
+        "for $p in /site/people/person[address/city = 'Paris'] "
+        "    return $p/name/text()",
+        "some $k in //keyword satisfies $k = 'rare'",
+    ]
+
+    @pytest.fixture(scope="class")
+    def corpus(self, xmark_small):
+        return xmark_small, parse_document(xmark_small)
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_projected_equals_full(self, corpus, query):
+        xml, full = corpus
+        compiled = _engine.compile(query)
+        spec = projection_spec(compiled.optimized)
+        assert spec is not None, query
+        pruned = project_text(xml, spec)
+        assert compiled.execute(context_item=pruned).serialize() == \
+            compiled.execute(context_item=full).serialize()
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_projection_shrinks(self, corpus, query):
+        xml, full = corpus
+        compiled = _engine.compile(query)
+        spec = projection_spec(compiled.optimized)
+        pruned = project_text(xml, spec)
+        assert node_count(pruned) < node_count(full)
+
+    @given(st.integers(min_value=10, max_value=80), st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_random_documents_agree(self, n, seed):
+        xml = random_tree(n, tags=("a", "b", "c"), seed=seed)
+        full = parse_document(xml)
+        for query in ("//a/b", "/root/a//c", "count(//b)",
+                      "for $x in //a return $x/b/text()"):
+            compiled = _engine.compile(query)
+            spec = projection_spec(compiled.optimized)
+            assert spec is not None
+            pruned = project_text(xml, spec)
+            assert compiled.execute(context_item=pruned).serialize() == \
+                compiled.execute(context_item=full).serialize(), query
+
+
+class TestXmarkSuiteUnderProjection:
+    """Every projectable suite query agrees on the projected document."""
+
+    def test_suite(self, xmark_small):
+        from repro.workloads.xmark_queries import QUERIES
+
+        full = parse_document(xmark_small)
+        projectable = 0
+        for key, q in QUERIES.items():
+            compiled = _engine.compile(q.text)
+            spec = projection_spec(compiled.optimized)
+            if spec is None:
+                continue
+            projectable += 1
+            pruned = project_text(xmark_small, spec)
+            assert compiled.execute(context_item=pruned).serialize() == \
+                compiled.execute(context_item=full).serialize(), key
+        assert projectable >= 6  # most of the suite is projectable

@@ -1,0 +1,92 @@
+"""QName and namespace-binding semantics."""
+
+import pytest
+
+from repro.qname import NamespaceBindings, QName, XS_NS, is_ncname, xs
+
+
+class TestQName:
+    def test_equality_ignores_prefix(self):
+        assert QName("u", "n", "a") == QName("u", "n", "b")
+
+    def test_inequality_on_uri(self):
+        assert QName("u1", "n") != QName("u2", "n")
+
+    def test_inequality_on_local(self):
+        assert QName("u", "n1") != QName("u", "n2")
+
+    def test_hash_ignores_prefix(self):
+        assert hash(QName("u", "n", "a")) == hash(QName("u", "n", "b"))
+
+    def test_clark_notation(self):
+        assert QName("www.amazon.com", "book").clark == "{www.amazon.com}book"
+        assert QName("", "book").clark == "book"
+
+    def test_str_uses_prefix(self):
+        assert str(QName("u", "book", "amz")) == "amz:book"
+
+    def test_parse_prefixed(self):
+        ns = NamespaceBindings({"amz": "www.amazon.com"})
+        q = QName.parse("amz:ref", ns)
+        assert q.uri == "www.amazon.com"
+        assert q.local == "ref"
+        assert q.prefix == "amz"
+
+    def test_parse_unprefixed_gets_default(self):
+        q = QName.parse("book", None, default_uri="www.amazon.com")
+        assert q.uri == "www.amazon.com"
+
+    def test_parse_undeclared_prefix_raises(self):
+        with pytest.raises(LookupError):
+            QName.parse("nope:x", NamespaceBindings())
+
+    def test_xs_shorthand(self):
+        assert xs("integer").uri == XS_NS
+
+
+class TestNamespaceBindings:
+    def test_builtin_prefixes(self):
+        ns = NamespaceBindings()
+        assert ns.lookup("xs") == XS_NS
+        assert ns.lookup("xml") is not None
+
+    def test_nested_scopes_shadow(self):
+        ns = NamespaceBindings({"p": "uri1"})
+        ns.push({"p": "uri2"})
+        assert ns.lookup("p") == "uri2"
+        ns.pop()
+        assert ns.lookup("p") == "uri1"
+
+    def test_pop_outermost_raises(self):
+        ns = NamespaceBindings()
+        with pytest.raises(IndexError):
+            ns.pop()
+
+    def test_lookup_missing_is_none(self):
+        assert NamespaceBindings().lookup("nope") is None
+
+    def test_lookup_prefix_reverse(self):
+        ns = NamespaceBindings({"p": "uri1"})
+        assert ns.lookup_prefix("uri1") == "p"
+
+    def test_in_scope_flattens(self):
+        ns = NamespaceBindings({"a": "u1"})
+        ns.push({"b": "u2"})
+        flat = ns.in_scope()
+        assert flat["a"] == "u1" and flat["b"] == "u2"
+
+    def test_copy_is_independent(self):
+        ns = NamespaceBindings({"a": "u1"})
+        clone = ns.copy()
+        clone.bind("a", "u2")
+        assert ns.lookup("a") == "u1"
+
+
+class TestNCName:
+    @pytest.mark.parametrize("name", ["a", "_x", "foo-bar", "a1.b", "trading-partner"])
+    def test_valid(self, name):
+        assert is_ncname(name)
+
+    @pytest.mark.parametrize("name", ["", "1a", "a:b", "a b", "-x"])
+    def test_invalid(self, name):
+        assert not is_ncname(name)

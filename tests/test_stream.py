@@ -1,0 +1,169 @@
+"""Streaming evaluation: path matcher, lazy DFA, brokers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.stream import LazyDFA, MessageBroker, NaiveBroker, parse_path, stream_path
+from repro.workloads import generate_messages, generate_xmark
+from repro.workloads.synthetic import random_tree
+from repro.xmlio.parser import parse_events
+
+
+class TestPathParsing:
+    def test_absolute_child_path(self):
+        q = parse_path("/site/people/person")
+        assert [(s.axis, s.name) for s in q.steps] == [
+            ("child", "site"), ("child", "people"), ("child", "person")]
+
+    def test_descendant_steps(self):
+        q = parse_path("//a//b")
+        assert [s.axis for s in q.steps] == ["descendant", "descendant"]
+
+    def test_mixed(self):
+        q = parse_path("/a//b/c")
+        assert [s.axis for s in q.steps] == ["child", "descendant", "child"]
+
+    def test_wildcard(self):
+        q = parse_path("/a/*")
+        assert q.steps[1].name == "*"
+        assert q.steps[1].matches("anything")
+
+    def test_relative_is_descendant(self):
+        q = parse_path("keyword")
+        assert q.steps[0].axis == "descendant"
+
+    @pytest.mark.parametrize("bad", ["", "/", "//", "/a[1]", "/a/@b"])
+    def test_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_path(bad)
+
+
+class TestStreamMatcher:
+    def _matches(self, xml, path):
+        return [m.string_value for m in stream_path(parse_events(xml), parse_path(path))]
+
+    def test_child_path(self):
+        xml = "<a><b>1</b><c><b>2</b></c></a>"
+        assert self._matches(xml, "/a/b") == ["1"]
+
+    def test_descendant_path(self):
+        xml = "<a><b>1</b><c><b>2</b></c></a>"
+        assert self._matches(xml, "//b") == ["1", "2"]
+
+    def test_nested_matches_in_document_order(self):
+        xml = "<a><b>out<b>in</b></b></a>"
+        result = self._matches(xml, "//b")
+        assert result == ["outin", "in"]
+
+    def test_wildcard_step(self):
+        xml = "<a><x>1</x><y>2</y></a>"
+        assert self._matches(xml, "/a/*") == ["1", "2"]
+
+    def test_matched_subtree_is_complete(self):
+        xml = "<r><item k='1'><deep><er>x</er></deep></item></r>"
+        matches = list(stream_path(parse_events(xml), parse_path("//item")))
+        assert matches[0].attributes[0].value == "1"
+        assert matches[0].string_value == "x"
+
+    def test_agrees_with_engine(self, xmark_small):
+        from repro import execute_query
+
+        for path in ("/site/people/person/name", "//keyword",
+                     "/site/regions//item", "//bidder//increase"):
+            streamed = [m.string_value
+                        for m in stream_path(parse_events(xmark_small),
+                                             parse_path(path))]
+            engine = [v for v in execute_query(
+                f"for $x in {path} return string($x)",
+                context_item=xmark_small).values()]
+            assert streamed == engine, path
+
+    @given(st.integers(min_value=5, max_value=80), st.integers(0, 400))
+    @settings(max_examples=20, deadline=None)
+    def test_random_agreement(self, n, seed):
+        from repro import execute_query
+
+        xml = random_tree(n, tags=("a", "b", "c"), seed=seed)
+        for path in ("//a/b", "//b//c", "/root/a"):
+            streamed = [m.string_value
+                        for m in stream_path(parse_events(xml), parse_path(path))]
+            engine = execute_query(
+                f"for $x in {path} return string($x)", context_item=xml).values()
+            assert streamed == engine, path
+
+    def test_lazy_first_result(self):
+        consumed = [0]
+
+        def counting(xml):
+            for event in parse_events(xml):
+                consumed[0] += 1
+                yield event
+
+        xml = "<r>" + "<x><y>1</y></x>" * 5000 + "</r>"
+        matches = stream_path(counting(xml), parse_path("//y"))
+        next(matches)
+        assert consumed[0] < 20  # first match long before end of input
+
+
+class TestLazyDFA:
+    def test_single_query(self):
+        dfa = LazyDFA([parse_path("//b")])
+        counts = dfa.match_counts(parse_events("<a><b/><c><b/></c></a>"))
+        assert counts == [2]
+
+    def test_multiple_queries(self):
+        dfa = LazyDFA([parse_path("/a/b"), parse_path("//c"), parse_path("//zzz")])
+        counts = dfa.match_counts(parse_events("<a><b/><c><b/></c></a>"))
+        assert counts == [1, 1, 0]
+
+    def test_transitions_memoized(self):
+        dfa = LazyDFA([parse_path("//b")])
+        xml = "<a>" + "<b/>" * 50 + "</a>"
+        dfa.match_counts(parse_events(xml))
+        computed_first = dfa.computed_transitions
+        dfa.match_counts(parse_events(xml))
+        assert dfa.computed_transitions == computed_first  # all cached now
+        assert dfa.cached_hits > 0
+
+    def test_dfa_size_bounded(self):
+        queries = [parse_path(f"//tag{i}") for i in range(50)]
+        dfa = LazyDFA(queries)
+        xml = "<r>" + "".join(f"<tag{i}/>" for i in range(50)) + "</r>"
+        dfa.match_counts(parse_events(xml))
+        # lazily built: only states for tags actually seen
+        assert dfa.dfa_size <= 120
+
+
+class TestBrokers:
+    def _register_all(self, broker):
+        broker.register("orders", "/order/lines/line")
+        broker.register("quotes", "//symbol")
+        broker.register("invoices", "/invoice/amount")
+        broker.register("everything", "//*")
+
+    def test_brokers_agree(self):
+        fast, naive = MessageBroker(), NaiveBroker()
+        self._register_all(fast)
+        self._register_all(naive)
+        for message in generate_messages(100, seed=5):
+            assert fast.route(message) == naive.route(message), message
+
+    def test_unmatched_subscriber_absent(self):
+        broker = MessageBroker()
+        broker.register("nope", "//nonexistent")
+        assert broker.route("<a/>") == {}
+
+    def test_registration_rebuilds_dfa(self):
+        broker = MessageBroker()
+        broker.register("a", "//a")
+        assert broker.route("<a/>") == {"a": 1}
+        broker.register("b", "//b")
+        assert broker.route("<b><a/></b>") == {"a": 1, "b": 1}
+
+    def test_same_subscriber_multiple_queries(self):
+        broker = MessageBroker()
+        broker.register("s", "//a")
+        broker.register("s", "//b")
+        assert broker.route("<r><a/><b/><b/></r>") == {"s": 3}

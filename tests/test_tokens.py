@@ -1,0 +1,172 @@
+"""TokenStream: conversions, skip, pooling, binary round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.tokens import (
+    Tok,
+    Token,
+    TokenStream,
+    events_from_tokens,
+    read_binary,
+    tokens_from_events,
+    tokens_from_node,
+    tree_from_tokens,
+    write_binary,
+)
+from repro.xdm.build import node_events, parse_document
+from repro.xdm.items import integer
+from repro.xmlio import parse_events, serialize_events
+from repro.xsd import types as T
+
+ORDER_XML = ('<?xml version="1.0"?><order id="4711"><date>2003-08-19</date>'
+             '<lineitem xmlns="www.boo.com"/></order>')
+
+
+def toks(xml):
+    return list(tokens_from_events(parse_events(xml)))
+
+
+class TestTokenization:
+    def test_shape_matches_paper_example(self):
+        # BD BE(order) A(id) BE(date) T EE BE(lineitem) NS EE EE ED
+        kinds = [t.kind for t in toks(ORDER_XML)]
+        assert kinds == [
+            Tok.BEGIN_DOCUMENT, Tok.BEGIN_ELEMENT, Tok.ATTRIBUTE,
+            Tok.BEGIN_ELEMENT, Tok.TEXT, Tok.END_ELEMENT,
+            Tok.BEGIN_ELEMENT, Tok.NAMESPACE, Tok.END_ELEMENT,
+            Tok.END_ELEMENT, Tok.END_DOCUMENT,
+        ]
+
+    def test_end_tokens_are_shared_singletons(self):
+        from repro.tokens.token import END_ELEMENT_TOKEN
+
+        ends = [t for t in toks("<a><b/><c/></a>") if t.kind == Tok.END_ELEMENT]
+        assert all(t is END_ELEMENT_TOKEN for t in ends)
+
+    def test_node_ids_off_by_default(self):
+        assert all(t.node_id is None for t in toks("<a><b/></a>"))
+
+    def test_node_ids_on_request(self):
+        tokens = list(tokens_from_events(parse_events("<a x='1'><b/></a>"),
+                                         with_node_ids=True))
+        structural = [t for t in tokens
+                      if t.kind in (Tok.BEGIN_ELEMENT, Tok.ATTRIBUTE, Tok.TEXT)]
+        ids = [t.node_id for t in structural]
+        assert all(i is not None for i in ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_tree_roundtrip(self):
+        doc = tree_from_tokens(toks(ORDER_XML))
+        out = serialize_events(node_events(doc))
+        assert "order" in out and "4711" in out and "www.boo.com" in out
+
+    def test_events_roundtrip_preserves_structure(self):
+        original = serialize_events(parse_events(ORDER_XML))
+        through_tokens = serialize_events(events_from_tokens(toks(ORDER_XML)))
+        assert original == through_tokens
+
+    def test_tree_ref_token(self):
+        doc = parse_document("<big><sub>tree</sub></big>")
+        tokens = list(tokens_from_node(doc.document_element(), as_tree_ref=True))
+        assert len(tokens) == 1
+        assert tokens[0].kind == Tok.TREE
+        # expands on the way back to events
+        out = serialize_events(events_from_tokens(tokens))
+        assert out == "<big><sub>tree</sub></big>"
+
+
+class TestTokenStream:
+    def test_skip_jumps_subtree(self):
+        stream = TokenStream(toks("<a><b><c/><d/></b><e/></a>"))
+        # position 1 is BE(a); skipping from BE(b) lands on BE(e)
+        positions = {t.name.local: i for i, t in enumerate(stream)
+                     if t.kind == Tok.BEGIN_ELEMENT}
+        after_b = stream.skip_from(positions["b"])
+        assert stream[after_b].kind == Tok.BEGIN_ELEMENT
+        assert stream[after_b].name.local == "e"
+
+    def test_skip_non_opening_is_next(self):
+        stream = TokenStream(toks("<a>t</a>"))
+        text_pos = next(i for i, t in enumerate(stream) if t.kind == Tok.TEXT)
+        assert stream.skip_from(text_pos) == text_pos + 1
+
+    def test_subtree_extraction(self):
+        stream = TokenStream(toks("<a><b><c/></b></a>"))
+        b_pos = next(i for i, t in enumerate(stream)
+                     if t.kind == Tok.BEGIN_ELEMENT and t.name.local == "b")
+        sub = stream.subtree(b_pos)
+        assert sub[0].name.local == "b"
+        assert sub.count(Tok.BEGIN_ELEMENT) == 2  # b and c
+
+    def test_depth_profile_balanced(self):
+        stream = TokenStream(toks("<a><b/><c><d/></c></a>"))
+        profile = stream.depth_profile()
+        assert profile[0] == 0
+        assert max(profile) == 3  # document > a > c > d
+
+
+class TestBinaryFormat:
+    def test_roundtrip_pooled(self):
+        tokens = toks(ORDER_XML)
+        back = list(read_binary(write_binary(tokens, pooled=True)))
+        assert [t.kind for t in back] == [t.kind for t in tokens]
+        assert serialize_events(events_from_tokens(back)) == \
+            serialize_events(events_from_tokens(tokens))
+
+    def test_roundtrip_unpooled(self):
+        tokens = toks(ORDER_XML)
+        back = list(read_binary(write_binary(tokens, pooled=False)))
+        assert serialize_events(events_from_tokens(back)) == \
+            serialize_events(events_from_tokens(tokens))
+
+    def test_pooling_shrinks_repetitive_data(self):
+        xml = "<r>" + '<item cat="x">text</item>' * 200 + "</r>"
+        tokens = toks(xml)
+        pooled = write_binary(tokens, pooled=True)
+        plain = write_binary(tokens, pooled=False)
+        assert len(pooled) < len(plain) / 1.5
+
+    def test_node_ids_preserved(self):
+        tokens = list(tokens_from_events(parse_events("<a><b/></a>"),
+                                         with_node_ids=True))
+        back = list(read_binary(write_binary(tokens, node_ids=True)))
+        assert [t.node_id for t in back] == [t.node_id for t in tokens]
+
+    def test_atomic_token_roundtrip(self):
+        token = Token(Tok.ATOMIC, value=42, type=T.XS_INTEGER)
+        back = list(read_binary(write_binary([token])))
+        assert back[0].kind == Tok.ATOMIC
+        assert back[0].value == 42
+        assert back[0].type is T.XS_INTEGER
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(StorageError):
+            list(read_binary(b"NOPE" + b"\x00" * 10))
+
+    def test_truncated_rejected(self):
+        blob = write_binary(toks("<a>some text content</a>"))
+        with pytest.raises(StorageError):
+            list(read_binary(blob[: len(blob) - 3]))
+
+    @given(st.integers(min_value=1, max_value=60), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_random_tree_roundtrip(self, n, seed):
+        from repro.workloads.synthetic import random_tree
+
+        xml = random_tree(n, seed=seed)
+        tokens = toks(xml)
+        for pooled in (True, False):
+            back = list(read_binary(write_binary(tokens, pooled=pooled)))
+            assert serialize_events(events_from_tokens(back)) == \
+                serialize_events(events_from_tokens(tokens))
+
+    def test_streaming_decode_is_lazy(self):
+        xml = "<r>" + "<x>1</x>" * 1000 + "</r>"
+        blob = write_binary(toks(xml))
+        stream = read_binary(blob)
+        first = next(stream)
+        assert first.kind == Tok.BEGIN_DOCUMENT
+        # nothing forces decoding the rest

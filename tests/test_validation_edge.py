@@ -1,0 +1,152 @@
+"""Validation edge cases: nillable, mixed content, nested models,
+occurrence bounds, anonymous types."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.xdm.build import parse_document
+from repro.xsd import Schema, validate
+from repro.xsd import types as T
+
+XSI = 'xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"'
+
+
+class TestNillable:
+    @pytest.fixture()
+    def schema(self):
+        return Schema.from_text("""<schema>
+          <element name="qty" type="xs:integer" nillable="true"/>
+          <element name="strict" type="xs:integer"/>
+        </schema>""")
+
+    def test_nilled_element_accepted(self, schema):
+        doc = parse_document(f'<qty {XSI} xsi:nil="true"/>')
+        validate(doc, schema)
+        assert doc.document_element().nilled is True
+        assert doc.document_element().typed_value() == []
+
+    def test_nil_on_non_nillable_rejected(self, schema):
+        doc = parse_document(f'<strict {XSI} xsi:nil="true"/>')
+        with pytest.raises(ValidationError):
+            validate(doc, schema)
+
+    def test_nilled_must_be_empty(self, schema):
+        doc = parse_document(f'<qty {XSI} xsi:nil="true">5</qty>')
+        with pytest.raises(ValidationError):
+            validate(doc, schema)
+
+    def test_non_nilled_still_validates(self, schema):
+        doc = parse_document("<qty>5</qty>")
+        validate(doc, schema)
+        assert doc.document_element().typed_value()[0].value == 5
+
+
+class TestMixedContent:
+    @pytest.fixture()
+    def schema(self):
+        return Schema.from_text("""<schema>
+          <type name="para-type" mixed="true">
+            <sequence minoccurs="0" maxoccurs="unbounded">
+              <element name="em" type="xs:string"/>
+            </sequence>
+          </type>
+          <element name="para" type="para-type"/>
+        </schema>""")
+
+    def test_text_and_elements_interleave(self, schema):
+        doc = parse_document("<para>before <em>mid</em> after</para>")
+        validate(doc, schema)
+        el = doc.document_element()
+        assert el.typed_value()[0].type is T.UNTYPED_ATOMIC
+
+    def test_undeclared_child_in_mixed_rejected(self, schema):
+        doc = parse_document("<para>x <strong>no</strong></para>")
+        with pytest.raises(ValidationError):
+            validate(doc, schema)
+
+
+class TestOccurrences:
+    @pytest.fixture()
+    def schema(self):
+        return Schema.from_text("""<schema>
+          <type name="t">
+            <sequence>
+              <element name="a" type="xs:string" minoccurs="2" maxoccurs="3"/>
+            </sequence>
+          </type>
+          <element name="r" type="t"/>
+        </schema>""")
+
+    @pytest.mark.parametrize("n,ok", [(1, False), (2, True), (3, True), (4, False)])
+    def test_bounds(self, schema, n, ok):
+        doc = parse_document("<r>" + "<a>x</a>" * n + "</r>")
+        if ok:
+            validate(doc, schema)
+        else:
+            with pytest.raises(ValidationError):
+                validate(doc, schema)
+
+
+class TestNestedModels:
+    def test_sequence_of_choices(self):
+        schema = Schema.from_text("""<schema>
+          <type name="t">
+            <sequence>
+              <choice maxoccurs="unbounded">
+                <element name="a" type="xs:string"/>
+                <element name="b" type="xs:string"/>
+              </choice>
+              <element name="end" type="xs:string"/>
+            </sequence>
+          </type>
+          <element name="r" type="t"/>
+        </schema>""")
+        validate(parse_document("<r><a>1</a><b>2</b><a>3</a><end>.</end></r>"),
+                 schema)
+        with pytest.raises(ValidationError):
+            validate(parse_document("<r><end>.</end><a>1</a></r>"), schema)
+
+    def test_anonymous_inline_type(self):
+        schema = Schema.from_text("""<schema>
+          <type name="outer">
+            <sequence>
+              <element name="inner">
+                <sequence><element name="leaf" type="xs:integer"/></sequence>
+              </element>
+            </sequence>
+          </type>
+          <element name="r" type="outer"/>
+        </schema>""")
+        doc = parse_document("<r><inner><leaf>7</leaf></inner></r>")
+        validate(doc, schema)
+        leaf = doc.document_element().children[0].children[0]
+        assert leaf.typed_value()[0].value == 7
+
+    def test_simple_content_with_attributes(self):
+        schema = Schema.from_text("""<schema>
+          <type name="price-type" simplecontent="xs:decimal">
+            <sequence>
+              <attribute name="currency" type="xs:string" use="required"/>
+            </sequence>
+          </type>
+          <element name="price" type="price-type"/>
+        </schema>""")
+        doc = parse_document('<price currency="EUR">19.99</price>')
+        validate(doc, schema)
+        el = doc.document_element()
+        from decimal import Decimal
+
+        assert el.typed_value()[0].value == Decimal("19.99")
+        assert el.attributes[0].typed_value()[0].value == "EUR"
+
+    def test_default_attribute_not_required(self):
+        schema = Schema.from_text("""<schema>
+          <type name="t">
+            <sequence>
+              <attribute name="lang" type="xs:string" default="en"/>
+              <element name="x" type="xs:string"/>
+            </sequence>
+          </type>
+          <element name="r" type="t"/>
+        </schema>""")
+        validate(parse_document("<r><x>v</x></r>"), schema)

@@ -1,0 +1,206 @@
+"""The W3C XML Query Use Cases, section "XMP" — adapted to our subset.
+
+These twelve queries were the de-facto conformance smoke test for
+XQuery engines of the tutorial's era.  Data is the spec's bib.xml and
+reviews.xml samples (trimmed); expected outputs are hand-derived from
+the spec's own expected results.
+"""
+
+import pytest
+
+from repro import Engine
+
+BIB = """<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="1992">
+    <title>Advanced Programming in the Unix environment</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <publisher>Morgan Kaufmann Publishers</publisher>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>The Economics of Technology and Content for Digital TV</title>
+    <editor><last>Gerbarg</last><first>Darcy</first>
+      <affiliation>CITI</affiliation></editor>
+    <publisher>Kluwer Academic Publishers</publisher>
+    <price>129.95</price>
+  </book>
+</bib>"""
+
+REVIEWS = """<reviews>
+  <entry>
+    <title>Data on the Web</title>
+    <price>34.95</price>
+    <review>A very good discussion of semi-structured database
+      systems and XML.</review>
+  </entry>
+  <entry>
+    <title>Advanced Programming in the Unix environment</title>
+    <price>65.95</price>
+    <review>A clear and detailed discussion of UNIX programming.</review>
+  </entry>
+  <entry>
+    <title>TCP/IP Illustrated</title>
+    <price>65.95</price>
+    <review>One of the best books on TCP/IP.</review>
+  </entry>
+</reviews>"""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return Engine()
+
+
+def run(engine, query, **docs):
+    documents = {"bib.xml": BIB, "reviews.xml": REVIEWS}
+    compiled = engine.compile(query)
+    return compiled.execute(documents=documents)
+
+
+class TestXMP:
+    def test_q1_books_after_1991_by_addison_wesley(self, engine):
+        q = """<bib>{
+            for $b in doc("bib.xml")/bib/book
+            where $b/publisher = "Addison-Wesley" and $b/@year > 1991
+            return <book year="{$b/@year}">{$b/title}</book>
+        }</bib>"""
+        out = run(engine, q).serialize()
+        assert out == ('<bib><book year="1994">'
+                       "<title>TCP/IP Illustrated</title></book>"
+                       '<book year="1992">'
+                       "<title>Advanced Programming in the Unix environment"
+                       "</title></book></bib>")
+
+    def test_q2_flat_title_author_pairs(self, engine):
+        q = """<results>{
+            for $b in doc("bib.xml")/bib/book, $t in $b/title, $a in $b/author
+            return <result>{$t}{$a}</result>
+        }</results>"""
+        out = run(engine, q).serialize()
+        assert out.count("<result>") == 5  # 1+1+3 author'd books
+        assert out.index("Stevens") < out.index("Abiteboul")
+
+    def test_q3_title_with_grouped_authors(self, engine):
+        q = """<results>{
+            for $b in doc("bib.xml")/bib/book
+            return <result>{$b/title}{$b/author}</result>
+        }</results>"""
+        out = run(engine, q).serialize()
+        assert out.count("<result>") == 4
+        assert out.count("<author>") == 5
+
+    def test_q4_books_per_author(self, engine):
+        # "For each author, list the titles of their books"
+        q = """<results>{
+            for $last in distinct-values(doc("bib.xml")//author/last)
+            order by $last
+            return
+              <result><author>{ $last }</author>
+              { for $b in doc("bib.xml")/bib/book
+                where $b/author/last = $last
+                return $b/title }
+              </result>
+        }</results>"""
+        out = run(engine, q).serialize()
+        assert out.index("Abiteboul") < out.index("Buneman") < out.index("Stevens")
+        # Stevens has two books (his section ends where Suciu's begins)
+        stevens = out[out.index("Stevens"): out.index("Suciu")]
+        assert stevens.count("<title>") == 2
+
+    def test_q5_join_with_reviews(self, engine):
+        q = """<books-with-prices>{
+            for $b in doc("bib.xml")//book, $a in doc("reviews.xml")//entry
+            where $b/title = $a/title
+            return <book-with-prices>{$b/title}
+                <price-review>{$a/price/text()}</price-review>
+                <price-bib>{$b/price/text()}</price-bib>
+            </book-with-prices>
+        }</books-with-prices>"""
+        out = run(engine, q).serialize()
+        assert out.count("<book-with-prices>") == 3
+        assert "<price-review>34.95</price-review>" in out
+
+    def test_q6_books_with_more_than_one_author_abridged(self, engine):
+        q = """<bib>{
+            for $b in doc("bib.xml")//book
+            where count($b/author) > 0
+            return <book>{$b/title}
+              { for $a in $b/author[1 to 2] return $a }
+              { if (count($b/author) > 2) then <et-al/> else () }
+            </book>
+        }</bib>"""
+        out = run(engine, q).serialize()
+        assert out.count("<et-al/>") == 1  # only Data on the Web
+        assert out.count("<book>") == 3
+
+    def test_q7_sorted_titles(self, engine):
+        q = """<bib>{
+            for $b in doc("bib.xml")//book
+            where $b/publisher = "Addison-Wesley" and $b/@year > 1991
+            order by xs:string($b/title)
+            return <book>{$b/@year}{$b/title}</book>
+        }</bib>"""
+        out = run(engine, q).serialize()
+        assert out.index("Advanced Programming") < out.index("TCP/IP")
+
+    def test_q8_books_mentioning_suciu(self, engine):
+        q = """for $b in doc("bib.xml")//book
+               where some $a in $b/author satisfies $a/last = "Suciu"
+               return <book>{$b/title}</book>"""
+        out = run(engine, q).serialize()
+        assert out == "<book><title>Data on the Web</title></book>"
+
+    def test_q10_prices_per_title(self, engine):
+        # min price per title across sources
+        q = """<results>{
+            for $t in distinct-values(doc("bib.xml")//book/title/text())
+            let $bp := for $b in doc("bib.xml")//book[title = $t]
+                       return xs:decimal($b/price)
+            let $rp := for $e in doc("reviews.xml")//entry[title = $t]
+                       return xs:decimal($e/price)
+            order by $t
+            return <minprice title="{$t}">{min(($bp, $rp))}</minprice>
+        }</results>"""
+        out = run(engine, q).serialize()
+        assert 'title="Data on the Web">34.95' in out
+
+    def test_q11_editors_and_affiliations(self, engine):
+        q = """<bib>{
+            for $b in doc("bib.xml")//book[editor]
+            return <book>{$b/title}{$b/editor/affiliation}</book>
+        }</bib>"""
+        out = run(engine, q).serialize()
+        assert "<affiliation>CITI</affiliation>" in out
+        assert out.count("<book>") == 1
+
+    def test_q12_books_with_same_authors(self, engine):
+        # pairs of distinct books sharing an author set member
+        q = """count(
+            for $b1 in doc("bib.xml")//book, $b2 in doc("bib.xml")//book
+            where $b1/author/last = $b2/author/last
+              and $b1/title < $b2/title
+            return 1)"""
+        assert run(engine, q).values() == [1]  # the two Stevens books
+
+    def test_q9_titles_containing_keyword(self, engine):
+        q = """<results>{
+            for $t in doc("bib.xml")//book/title
+            where contains($t/text(), "Web")
+            return $t
+        }</results>"""
+        out = run(engine, q).serialize()
+        assert out == "<results><title>Data on the Web</title></results>"
