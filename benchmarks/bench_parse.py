@@ -1,0 +1,57 @@
+"""E0 — parse cost: reference char-level parser vs fast-path scanner.
+
+Every text-input experiment pays the parser first: E1's streaming
+latency, E8's TextStore queries, E9's per-message routing.  This
+benchmark isolates that cost — events/second for the character-level
+reference parser (:class:`XMLPullParser`) vs the regex-chunked scanner
+(:class:`FastXMLScanner`) over the standard corpora.
+
+Reproduction target: the fast scanner sustains >= 3x the reference
+event throughput on the 200 KB XMark document, with an identical
+event stream (enforced by ``tests/test_parser_fastpath.py``).
+"""
+
+import pytest
+
+from repro.workloads import generate_ebxml, generate_xmark
+from repro.xmlio.parser import XMLPullParser
+from repro.xmlio.scanner import FastXMLScanner
+
+CORPORA = [
+    ("xmark-53KB", lambda: generate_xmark(scale=0.2, seed=2004)),
+    ("xmark-206KB", lambda: generate_xmark(scale=0.8, seed=2004)),
+    ("ebxml", lambda: generate_ebxml(10, seed=2004)),
+]
+
+
+@pytest.fixture(scope="module", params=CORPORA, ids=lambda c: c[0])
+def corpus(request):
+    name, make = request.param
+    return name, make()
+
+
+def _drain(parser_cls, text: str) -> int:
+    count = 0
+    for _ in parser_cls(text):
+        count += 1
+    return count
+
+
+def test_reference_parser(benchmark, corpus):
+    name, text = corpus
+    benchmark.group = f"E0 parse {name}"
+    benchmark.name = "reference"
+    assert benchmark(_drain, XMLPullParser, text) > 0
+
+
+def test_fast_scanner(benchmark, corpus):
+    name, text = corpus
+    benchmark.group = f"E0 parse {name}"
+    benchmark.name = "fast-scanner"
+    assert benchmark(_drain, FastXMLScanner, text) > 0
+
+
+def test_streams_identical(corpus):
+    """The benchmark is only meaningful if both produce the same events."""
+    _name, text = corpus
+    assert list(XMLPullParser(text)) == list(FastXMLScanner(text))

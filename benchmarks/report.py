@@ -40,6 +40,29 @@ def fmt(ms: float) -> str:
 # ---------------------------------------------------------------------------
 
 
+def e0_parse() -> None:
+    from repro.workloads import generate_ebxml, generate_xmark
+    from repro.xmlio.parser import XMLPullParser
+    from repro.xmlio.scanner import FastXMLScanner
+
+    corpora = [("xmark 53KB", generate_xmark(scale=0.2, seed=2004)),
+               ("xmark 206KB", generate_xmark(scale=0.8, seed=2004)),
+               ("ebxml", generate_ebxml(10, seed=2004))]
+    if QUICK:
+        corpora = corpora[:1]
+    rows = []
+    for name, xml in corpora:
+        events = sum(1 for _ in XMLPullParser(xml))
+        rt = timed(lambda: sum(1 for _ in XMLPullParser(xml)))
+        ft = timed(lambda: sum(1 for _ in FastXMLScanner(xml)))
+        rows.append([name, f"{events:,}",
+                     f"{events / (rt / 1000):10,.0f} ev/s",
+                     f"{events / (ft / 1000):10,.0f} ev/s",
+                     f"{rt / ft:5.2f}x"])
+    table("E0  parse cost: reference parser vs fast-path scanner",
+          ["corpus", "events", "reference", "fast scanner", "win"], rows)
+
+
 def e1_streaming() -> None:
     from repro import Engine
     from repro.stream import parse_path, stream_path
@@ -401,7 +424,7 @@ def e10_xslt() -> None:
           ["transformation", "repro engine", "tree transformer"], rows)
 
 
-EXPERIMENTS = [e1_streaming, e2_lazy, e3_pooling, e4_nodeids, e5_ddo,
+EXPERIMENTS = [e0_parse, e1_streaming, e2_lazy, e3_pooling, e4_nodeids, e5_ddo,
                e6_joins, e7_rewrites, e8_storage, e9_broker, e10_xslt]
 
 

@@ -16,6 +16,13 @@ import sys
 from pathlib import Path
 
 from repro.engine import Engine
+from repro.runtime.memo import LRUCache
+
+#: process-wide compile cache shared by every ``main()`` call: drivers
+#: that invoke the CLI repeatedly in-process (tests, notebooks, the
+#: broker demo) recompile repeated queries for free.  Keys include the
+#: engine flags and static-context fingerprint, so sharing is safe.
+_COMPILE_CACHE = LRUCache(128)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,6 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the rewrite engine")
     parser.add_argument("--no-static-typing", action="store_true",
                         help="disable static type checking")
+    parser.add_argument("--no-compile-cache", action="store_true",
+                        help="compile from scratch instead of reusing the "
+                             "process-wide compiled-query cache")
     parser.add_argument("--xml-decl", action="store_true",
                         help="emit an XML declaration before the result")
     parser.add_argument("--indent", type=int, default=0, metavar="N",
@@ -114,7 +124,9 @@ def main(argv: list[str] | None = None) -> int:
     variables = dict(_parse_var(v) for v in args.var)
 
     engine = Engine(optimize=not args.no_optimize,
-                    static_typing=not args.no_static_typing)
+                    static_typing=not args.no_static_typing,
+                    compile_cache=None if args.no_compile_cache
+                    else _COMPILE_CACHE)
     try:
         compiled = engine.compile(query_text, variables=tuple(variables))
     except Exception as exc:

@@ -65,6 +65,35 @@ class StaticContext:
     def import_schema(self, schema: "Schema") -> None:
         self.schemas[schema.target_namespace] = schema
 
+    def fingerprint(self) -> tuple:
+        """A hashable digest of everything compilation reads.
+
+        Two contexts with equal fingerprints make any query compile to
+        the same artifacts, so the engine's compile cache keys on it.
+        Cheap by-value members (namespaces, base URI) are digested
+        directly; members holding arbitrary objects (function
+        declarations, schemas, document providers) are digested by
+        identity — replacing such an object changes the fingerprint,
+        mutating it in place does not (callers who mutate must not
+        share a base context across compiles they want distinguished).
+        """
+        return (
+            tuple(sorted(self.namespaces.in_scope().items())),
+            self.default_element_ns,
+            self.default_function_ns,
+            tuple(sorted((name.clark, id(decl))
+                         for name, decl in self.variables.items())),
+            tuple(sorted((name.clark, arity, id(decl))
+                         for (name, arity), decl in self.functions.items())),
+            tuple(sorted((ns, id(schema))
+                         for ns, schema in self.schemas.items())),
+            id(self.types),
+            self.base_uri,
+            tuple(sorted((uri, id(provider))
+                         for uri, provider in self.known_documents.items())),
+            self.ordering_mode,
+        )
+
     def copy(self) -> "StaticContext":
         clone = StaticContext()
         clone.namespaces = self.namespaces.copy()

@@ -167,13 +167,18 @@ class CompiledQuery:
         return "\n".join(lines)
 
 
+#: sentinel distinguishing "no compile_cache argument" from an explicit None
+_DEFAULT_CACHE = object()
+
+
 class Engine:
     """Compiles queries; holds cross-query configuration (schemas, ...)."""
 
     def __init__(self, optimize: bool = True,
                  static_typing: bool = True,
                  base_context: StaticContext | None = None,
-                 compile_cache_size: int = 64):
+                 compile_cache_size: int = 64,
+                 compile_cache=_DEFAULT_CACHE):
         self.optimize = optimize
         #: the "static typing feature" (optional in XQuery): infer the
         #: result type and reject statically-impossible queries
@@ -181,9 +186,16 @@ class Engine:
         self.base_context = base_context
         from repro.runtime.memo import LRUCache
 
-        #: compiled queries are pure — cache them by source text
-        self._compile_cache = LRUCache(compile_cache_size) \
-            if compile_cache_size else None
+        #: compiled queries are pure — cache them keyed by (source
+        #: text, declared variables, engine flags, static-context
+        #: fingerprint).  Pass ``compile_cache=None`` to disable, or an
+        #: :class:`LRUCache` to share one cache across engines (keys
+        #: carry every compile-relevant input, so sharing is safe).
+        if compile_cache is _DEFAULT_CACHE:
+            self.compile_cache = LRUCache(compile_cache_size) \
+                if compile_cache_size else None
+        else:
+            self.compile_cache = compile_cache
 
     def compile(self, query_text: str,
                 variables: Iterable[str] = (),
@@ -197,9 +209,12 @@ class Engine:
         extra = tuple(QName("", v) if not isinstance(v, QName) else v
                       for v in variables)
         cache_key = None
-        if self._compile_cache is not None and not schemas:
-            cache_key = (query_text, extra, self.optimize, self.static_typing)
-            cached = self._compile_cache.get(cache_key)
+        if self.compile_cache is not None and not schemas:
+            base_fp = self.base_context.fingerprint() \
+                if self.base_context is not None else None
+            cache_key = (query_text, extra, self.optimize,
+                         self.static_typing, base_fp)
+            cached = self.compile_cache.get(cache_key)
             if cached is not None:
                 return cached
 
@@ -235,7 +250,7 @@ class Engine:
         compiled = CompiledQuery(module, core, optimized, static_ctx, plan,
                                  static_type)
         if cache_key is not None:
-            self._compile_cache.put(cache_key, compiled)
+            self.compile_cache.put(cache_key, compiled)
         return compiled
 
 

@@ -1,0 +1,99 @@
+"""Shared interning of names and qualified names.
+
+A corpus of XML documents has a tiny tag/attribute vocabulary compared
+to its size: XMark's 206 KB document contains ~7k elements drawn from a
+few dozen distinct names.  Interning turns every repeated occurrence of
+a name into a pointer to *one* object, which
+
+- shrinks resident size (one ``QName`` per distinct name instead of one
+  per start tag),
+- makes name comparisons pointer comparisons in the common case, and
+- lets downstream layers (the fast-path scanner, the token
+  :class:`~repro.tokens.pool.StringPool`) share the same objects, so a
+  name pooled during binary serialization *is* the name the parser
+  produced.
+
+This module sits below every other ``repro`` package (it imports only
+:mod:`repro.qname`) precisely so that both :mod:`repro.xmlio` and
+:mod:`repro.tokens` can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.qname import QName
+
+#: strings longer than this are never interned — interning pays off for
+#: names and enumerated values, not for free-form text content
+MAX_INTERN_LENGTH = 64
+
+
+class QNameInterner:
+    """A (uri, local, prefix) → :class:`QName` table.
+
+    Unlike :class:`QName` equality (which ignores the prefix, per XDM),
+    the table keys include the prefix: serialization fidelity requires
+    that ``p:a`` and ``q:a`` stay distinct objects even when they name
+    the same expanded QName.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self):
+        self._table: dict[tuple[str, str, str], QName] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def intern(self, qname: QName) -> QName:
+        """The canonical object for ``qname`` (first one seen wins)."""
+        key = (qname.uri, qname.local, qname.prefix)
+        found = self._table.get(key)
+        if found is None:
+            self._table[key] = qname
+            return qname
+        return found
+
+    def qname(self, uri: str, local: str, prefix: str = "") -> QName:
+        """The canonical :class:`QName` for (uri, local, prefix)."""
+        key = (uri, local, prefix)
+        found = self._table.get(key)
+        if found is None:
+            found = QName(uri, local, prefix)
+            self._table[key] = found
+        return found
+
+    def clear(self) -> None:
+        self._table.clear()
+
+
+#: the process-wide interner shared by the scanner and the token pool
+_GLOBAL = QNameInterner()
+
+
+def intern_qname(qname: QName) -> QName:
+    """Intern ``qname`` in the process-wide table."""
+    return _GLOBAL.intern(qname)
+
+
+def make_qname(uri: str, local: str, prefix: str = "") -> QName:
+    """Build/fetch the canonical :class:`QName` for the triple."""
+    return _GLOBAL.qname(uri, local, prefix)
+
+
+def global_interner() -> QNameInterner:
+    """The process-wide interner (for stats and explicit clearing)."""
+    return _GLOBAL
+
+
+def intern_text(text: str) -> str:
+    """Intern a short string (names, enumerated values).
+
+    Long strings are returned unchanged: free-form text content is
+    usually unique, and churning the interpreter's intern table with it
+    would cost memory for no sharing.
+    """
+    if len(text) <= MAX_INTERN_LENGTH:
+        return sys.intern(text)
+    return text

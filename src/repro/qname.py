@@ -85,6 +85,10 @@ def fn(local: str) -> QName:
     return QName(FN_NS, local, "fn")
 
 
+#: shared scope object for elements that declare no namespaces
+_EMPTY_SCOPE: dict[str, str] = {}
+
+
 class NamespaceBindings:
     """A chain-of-scopes prefix → URI mapping.
 
@@ -106,6 +110,17 @@ class NamespaceBindings:
     def push(self, bindings: dict[str, str] | None = None) -> None:
         """Open a nested namespace scope with optional initial bindings."""
         self._scopes.append(dict(bindings) if bindings else {})
+
+    def push_empty(self) -> None:
+        """Open a scope known to stay empty (no allocation).
+
+        The fast-path scanner opens one scope per element to mirror the
+        reference parser's balance invariants; elements without
+        ``xmlns`` attributes share one immutable empty dict instead of
+        allocating a fresh one each.  Callers must not ``bind`` into a
+        scope opened this way.
+        """
+        self._scopes.append(_EMPTY_SCOPE)
 
     def pop(self) -> None:
         """Close the innermost scope (the outermost cannot be popped)."""

@@ -49,6 +49,35 @@ class LazyDFA:
 
     # -- construction -------------------------------------------------------
 
+    def add_query(self, query: PathQuery) -> int:
+        """Register one more query without discarding warm state.
+
+        Memoized DFA states stay valid: a state's transitions depend
+        only on the NFA states it contains, and existing states cannot
+        contain the new query's states.  Only the initial state gains
+        ``(new query, step 0)`` — states reachable from it that mix in
+        the new query are materialized lazily as usual, and wherever
+        the new query dies out, transitions rejoin the already-built
+        subgraph.  Returns the new query's index.
+        """
+        qi = len(self.queries)
+        self.queries.append(query)
+        old = self._initial
+        if not old.transitions:
+            # registration-phase batches would otherwise leave one
+            # never-stepped initial state in the cache per add; evict
+            # pristine ones so dfa_size keeps reflecting document
+            # structure, not registration count
+            self._cache.pop((old.nfa_states, old.matches), None)
+        initial = old.nfa_states | {(qi, 0)}
+        key = (initial, ())
+        state = self._cache.get(key)
+        if state is None:
+            state = _DfaState(initial, ())
+            self._cache[key] = state
+        self._initial = state
+        return qi
+
     def _step(self, state: _DfaState, tag: str) -> _DfaState:
         cached = state.transitions.get(tag)
         if cached is not None:

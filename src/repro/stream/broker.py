@@ -28,19 +28,23 @@ class MessageBroker:
     def __init__(self):
         self._queries: list[PathQuery] = []
         self._subscribers: list[str] = []
-        self._dfa: LazyDFA | None = None
+        self._dfa = LazyDFA(())
 
     def register(self, subscriber: str, path: str) -> int:
-        """Register a path subscription; returns the query id."""
-        self._queries.append(parse_path(path))
+        """Register a path subscription; returns the query id.
+
+        Registration extends the shared DFA incrementally
+        (:meth:`LazyDFA.add_query`), so subscribing mid-stream keeps
+        every transition already memoized for the other queries.
+        """
+        query = parse_path(path)
+        self._queries.append(query)
         self._subscribers.append(subscriber)
-        self._dfa = None  # rebuilt lazily on next message
+        self._dfa.add_query(query)
         return len(self._queries) - 1
 
     @property
     def dfa(self) -> LazyDFA:
-        if self._dfa is None:
-            self._dfa = LazyDFA(self._queries)
         return self._dfa
 
     def route(self, message_xml: str) -> dict[str, int]:

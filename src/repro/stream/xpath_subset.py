@@ -37,8 +37,27 @@ class PathQuery:
             ("//" if s.axis == "descendant" else "/") + s.name for s in self.steps)
 
 
+#: parsed-path memo: broker deployments register the same subscription
+#: paths over and over (one per message source); PathQuery is frozen,
+#: so sharing parses is safe.  Bounded by wholesale reset — path texts
+#: are tiny and vocabularies small, so this almost never triggers.
+_PARSE_MEMO: dict[str, PathQuery] = {}
+_PARSE_MEMO_LIMIT = 4096
+
+
 def parse_path(text: str) -> PathQuery:
     """Parse ``/a/b``, ``//a//b``, ``/a//b/*`` into a PathQuery."""
+    cached = _PARSE_MEMO.get(text)
+    if cached is not None:
+        return cached
+    query = _parse_path_uncached(text)
+    if len(_PARSE_MEMO) >= _PARSE_MEMO_LIMIT:
+        _PARSE_MEMO.clear()
+    _PARSE_MEMO[text] = query
+    return query
+
+
+def _parse_path_uncached(text: str) -> PathQuery:
     source = text.strip()
     text = source
     if not text.startswith("/"):

@@ -51,7 +51,20 @@ def tokens_from_events(events: Iterable[Event],
     """
     next_id = (lambda: next(_node_id_counter)) if with_node_ids else (lambda: None)
     for event in events:
-        if isinstance(event, StartElement):
+        # exact-type checks: events are final slots dataclasses, and an
+        # identity compare beats isinstance in this per-token loop
+        cls = type(event)
+        if cls is StartElement:
+            yield Token(Tok.BEGIN_ELEMENT, name=event.name, node_id=next_id())
+            for prefix, uri in event.ns_decls:
+                yield Token(Tok.NAMESPACE, name=prefix, value=uri)
+            for name, value in event.attributes:
+                yield Token(Tok.ATTRIBUTE, name=name, value=value, node_id=next_id())
+        elif cls is EndElement:
+            yield END_ELEMENT_TOKEN
+        elif cls is Text:
+            yield Token(Tok.TEXT, value=event.content, node_id=next_id())
+        elif isinstance(event, StartElement):
             yield Token(Tok.BEGIN_ELEMENT, name=event.name, node_id=next_id())
             for prefix, uri in event.ns_decls:
                 yield Token(Tok.NAMESPACE, name=prefix, value=uri)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.interning import intern_text
+
 
 class StringPool:
     """An append-only string → id dictionary.
@@ -32,10 +34,16 @@ class StringPool:
         return text in self._ids
 
     def intern(self, text: str) -> tuple[int, bool]:
-        """Return (id, is_new) for ``text``, adding it if unseen."""
+        """Return (id, is_new) for ``text``, adding it if unseen.
+
+        Short strings are also routed through the process-wide intern
+        table (:func:`repro.interning.intern_text`), so a name pooled
+        here is the *same object* the parser and other pools hold.
+        """
         existing = self._ids.get(text)
         if existing is not None:
             return existing, False
+        text = intern_text(text)
         new_id = len(self._strings)
         self._ids[text] = new_id
         self._strings.append(text)

@@ -18,11 +18,17 @@ from repro.tokens.token import CLOSING, OPENING, Tok, Token
 class TokenStream:
     """A materialized, indexable token sequence."""
 
-    __slots__ = ("tokens", "_skip")
+    __slots__ = ("tokens", "_skip", "_skip_stack", "_scanned")
 
     def __init__(self, tokens: Iterable[Token] | None = None):
         self.tokens: list[Token] = list(tokens) if tokens is not None else []
-        self._skip: dict[int, int] | None = None
+        #: opening position → position just past its END, covering the
+        #: first ``_scanned`` tokens; grown incrementally so builders
+        #: that interleave appends and skips never pay a full rescan
+        self._skip: dict[int, int] = {}
+        #: positions of still-open opening tokens below ``_scanned``
+        self._skip_stack: list[int] = []
+        self._scanned = 0
 
     def __len__(self) -> int:
         return len(self.tokens)
@@ -35,26 +41,33 @@ class TokenStream:
 
     def append(self, token: Token) -> None:
         self.tokens.append(token)
-        self._skip = None
 
     def extend(self, tokens: Iterable[Token]) -> None:
         self.tokens.extend(tokens)
-        self._skip = None
 
     # -- structure ----------------------------------------------------------
 
     def _skip_table(self) -> dict[int, int]:
         """position of each opening token → position just past its END."""
-        if self._skip is None:
-            table: dict[int, int] = {}
-            stack: list[int] = []
-            for i, token in enumerate(self.tokens):
-                if token.kind in OPENING:
+        tokens = self.tokens
+        n = len(tokens)
+        if self._scanned > n:
+            # tokens were mutated behind our back (the list is public):
+            # drop the incremental state and rescan from the start
+            self._skip = {}
+            self._skip_stack = []
+            self._scanned = 0
+        if self._scanned < n:
+            table = self._skip
+            stack = self._skip_stack
+            for i in range(self._scanned, n):
+                kind = tokens[i].kind
+                if kind in OPENING:
                     stack.append(i)
-                elif token.kind in CLOSING:
+                elif kind in CLOSING:
                     if stack:
                         table[stack.pop()] = i + 1
-            self._skip = table
+            self._scanned = n
         return self._skip
 
     def skip_from(self, position: int) -> int:

@@ -6,8 +6,11 @@ well-formedness-checked events out, and back again.
 
 Public API:
 
-- :func:`parse_events` — lazily parse a document into parse events.
-- :class:`XMLPullParser` — the underlying incremental parser.
+- :func:`parse_events` — lazily parse a document into parse events
+  (served by the fast-path scanner, falling back to the reference
+  parser construct-by-construct).
+- :class:`XMLPullParser` — the character-level reference parser.
+- :class:`FastXMLScanner` — the regex-chunked fast-path scanner.
 - :func:`serialize_events` — turn an event stream back into XML text.
 - event classes in :mod:`repro.xmlio.events`.
 """
@@ -23,6 +26,7 @@ from repro.xmlio.events import (
     Text,
 )
 from repro.xmlio.parser import XMLPullParser, parse_events
+from repro.xmlio.scanner import FastXMLScanner, scan_events
 from repro.xmlio.serializer import escape_attribute, escape_text, serialize_events
 
 __all__ = [
@@ -35,7 +39,9 @@ __all__ = [
     "Comment",
     "ProcessingInstruction",
     "XMLPullParser",
+    "FastXMLScanner",
     "parse_events",
+    "scan_events",
     "serialize_events",
     "escape_text",
     "escape_attribute",

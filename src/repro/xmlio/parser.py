@@ -12,6 +12,12 @@ character data, CDATA sections, comments, processing instructions,
 the five built-in entities, and decimal/hex character references.
 DOCTYPE declarations are skipped (internal subsets are not expanded —
 external DTDs never are in a security-conscious parser).
+
+Each markup construct is handled by a ``_handle_*`` method so the
+fast-path scanner (:mod:`repro.xmlio.scanner`) can reuse this
+character-level logic verbatim whenever one of its bulk regexes
+declines an input: the two parsers share state layout (`_pos`,
+`_ns`, `_open_tags`, `_saw_root`) and therefore error semantics.
 """
 
 from __future__ import annotations
@@ -62,6 +68,9 @@ class XMLPullParser:
         self._base_uri = base_uri
         self._line = 1
         self._line_start = 0
+        self._ns = NamespaceBindings()
+        self._open_tags: list[QName] = []
+        self._saw_root = False
 
     # -- error/reporting helpers ------------------------------------------
 
@@ -175,28 +184,165 @@ class XMLPullParser:
             self._pos = end + 1
             attrs.append((name, self._resolve_entities(raw, in_attribute=True)))
 
+    # -- construct handlers -------------------------------------------------
+    #
+    # Each handler consumes exactly one markup construct starting at
+    # ``pos`` (which must be ``self._pos``), mutates parser state, and
+    # returns the event(s) to emit.  The fast-path scanner calls these
+    # whenever its regexes decline a construct.
+
+    def _skip_xml_decl(self) -> None:
+        """Skip an optional XML declaration at the current position."""
+        text = self._text
+        if text.startswith("<?xml", self._pos) and \
+                text[self._pos + 5: self._pos + 6] in " \t\r\n?":
+            end = text.find("?>", self._pos)
+            if end < 0:
+                raise self._error("unterminated XML declaration")
+            self._advance_lines(self._pos, end)
+            self._pos = end + 2
+
+    def _handle_comment(self, pos: int) -> Comment:
+        text = self._text
+        end = text.find("-->", pos + 4)
+        if end < 0:
+            raise self._error("unterminated comment")
+        body = text[pos + 4: end]
+        if "--" in body:
+            raise self._error("'--' not allowed inside a comment")
+        self._advance_lines(pos, end)
+        self._pos = end + 3
+        return Comment(body)
+
+    def _handle_cdata(self, pos: int) -> Text:
+        text = self._text
+        if not self._open_tags:
+            raise self._error("CDATA section outside the root element")
+        end = text.find("]]>", pos + 9)
+        if end < 0:
+            raise self._error("unterminated CDATA section")
+        self._advance_lines(pos, end)
+        self._pos = end + 3
+        return Text(text[pos + 9: end])
+
+    def _handle_pi(self, pos: int) -> ProcessingInstruction:
+        text = self._text
+        end = text.find("?>", pos + 2)
+        if end < 0:
+            raise self._error("unterminated processing instruction")
+        self._pos = pos + 2
+        target = self._scan_name()
+        if target.lower() == "xml":
+            raise self._error("processing-instruction target 'xml' is reserved")
+        body = text[self._pos: end].lstrip(" \t\r\n")
+        self._advance_lines(self._pos, end)
+        self._pos = end + 2
+        return ProcessingInstruction(target, body)
+
+    def _handle_doctype(self, pos: int) -> None:
+        # Skip, tracking bracket nesting for internal subsets.
+        text = self._text
+        n = len(text)
+        depth = 0
+        i = pos + 9
+        while i < n:
+            c = text[i]
+            if c == "[":
+                depth += 1
+            elif c == "]":
+                depth -= 1
+            elif c == ">" and depth <= 0:
+                break
+            i += 1
+        if i >= n:
+            raise self._error("unterminated DOCTYPE declaration")
+        self._advance_lines(pos, i)
+        self._pos = i + 1
+
+    def _handle_end_tag(self, pos: int) -> EndElement:
+        self._pos = pos + 2
+        name = self._scan_name()
+        self._skip_ws()
+        self._expect(">")
+        if not self._open_tags:
+            raise self._error(f"closing tag </{name}> with no open element")
+        expected = self._open_tags.pop()
+        lexical = f"{expected.prefix}:{expected.local}" if expected.prefix \
+            else expected.local
+        if name != lexical:
+            raise self._error(f"mismatched closing tag </{name}>, expected </{lexical}>")
+        self._ns.pop()
+        return EndElement(expected)
+
+    def _handle_start_tag(self, pos: int) -> tuple[Event, ...]:
+        text = self._text
+        ns = self._ns
+        self._pos = pos + 1
+        if not self._saw_root and not self._open_tags:
+            self._saw_root = True
+        elif not self._open_tags:
+            raise self._error("document must have exactly one root element")
+        lexical = self._scan_name()
+        raw_attrs, _ = self._scan_attributes()
+
+        decls: list[tuple[str, str]] = []
+        plain: list[tuple[str, str]] = []
+        for aname, avalue in raw_attrs:
+            if aname == "xmlns":
+                decls.append(("", avalue))
+            elif aname.startswith("xmlns:"):
+                prefix = aname[6:]
+                if not avalue:
+                    raise self._error(f"cannot undeclare prefix '{prefix}' in XML 1.0")
+                decls.append((prefix, avalue))
+            else:
+                plain.append((aname, avalue))
+
+        ns.push(dict(decls))
+        default_uri = ns.lookup("") or ""
+
+        try:
+            name = QName.parse(lexical, ns, default_uri)
+        except LookupError as exc:
+            raise self._error(str(exc)) from None
+        attributes: list[tuple[QName, str]] = []
+        seen: set[QName] = set()
+        for aname, avalue in plain:
+            try:
+                qn = QName.parse(aname, ns, default_uri="")
+            except LookupError as exc:
+                raise self._error(str(exc)) from None
+            if qn in seen:
+                raise self._error(f"duplicate attribute {aname!r}")
+            seen.add(qn)
+            attributes.append((qn, avalue))
+
+        self._skip_ws()
+        if text.startswith("/>", self._pos):
+            self._pos += 2
+            ns.pop()
+            return (StartElement(name, tuple(attributes), tuple(decls)),
+                    EndElement(name))
+        if text.startswith(">", self._pos):
+            self._pos += 1
+            self._open_tags.append(name)
+            return (StartElement(name, tuple(attributes), tuple(decls)),)
+        raise self._error("malformed start tag")
+
     # -- main loop ------------------------------------------------------------
 
     def __iter__(self) -> Iterator[Event]:
         return self._parse()
 
     def _parse(self) -> Iterator[Event]:
-        ns = NamespaceBindings()
-        open_tags: list[QName] = []
-        saw_root = False
+        open_tags = self._open_tags
         text = self._text
 
         yield StartDocument(self._base_uri)
-        self._skip_ws_and_misc_allowed = True
 
         # Optional XML declaration.
         self._skip_ws()
-        if text.startswith("<?xml", self._pos) and text[self._pos + 5: self._pos + 6] in " \t\r\n?":
-            end = text.find("?>", self._pos)
-            if end < 0:
-                raise self._error("unterminated XML declaration")
-            self._advance_lines(self._pos, end)
-            self._pos = end + 2
+        self._skip_xml_decl()
 
         n = len(text)
         while self._pos < n:
@@ -219,137 +365,40 @@ class XMLPullParser:
 
             # a markup construct
             if text.startswith("<!--", pos):
-                end = text.find("-->", pos + 4)
-                if end < 0:
-                    raise self._error("unterminated comment")
-                body = text[pos + 4: end]
-                if "--" in body:
-                    raise self._error("'--' not allowed inside a comment")
-                self._advance_lines(pos, end)
-                self._pos = end + 3
-                yield Comment(body)
+                yield self._handle_comment(pos)
                 continue
-
             if text.startswith("<![CDATA[", pos):
-                if not open_tags:
-                    raise self._error("CDATA section outside the root element")
-                end = text.find("]]>", pos + 9)
-                if end < 0:
-                    raise self._error("unterminated CDATA section")
-                self._advance_lines(pos, end)
-                self._pos = end + 3
-                yield Text(text[pos + 9: end])
+                yield self._handle_cdata(pos)
                 continue
-
             if text.startswith("<?", pos):
-                end = text.find("?>", pos + 2)
-                if end < 0:
-                    raise self._error("unterminated processing instruction")
-                self._pos = pos + 2
-                target = self._scan_name()
-                if target.lower() == "xml":
-                    raise self._error("processing-instruction target 'xml' is reserved")
-                body = text[self._pos: end].lstrip(" \t\r\n")
-                self._advance_lines(self._pos, end)
-                self._pos = end + 2
-                yield ProcessingInstruction(target, body)
+                yield self._handle_pi(pos)
                 continue
-
             if text.startswith("<!DOCTYPE", pos):
-                # Skip, tracking bracket nesting for internal subsets.
-                depth = 0
-                i = pos + 9
-                while i < n:
-                    c = text[i]
-                    if c == "[":
-                        depth += 1
-                    elif c == "]":
-                        depth -= 1
-                    elif c == ">" and depth <= 0:
-                        break
-                    i += 1
-                if i >= n:
-                    raise self._error("unterminated DOCTYPE declaration")
-                self._advance_lines(pos, i)
-                self._pos = i + 1
+                self._handle_doctype(pos)
                 continue
-
             if text.startswith("</", pos):
-                self._pos = pos + 2
-                name = self._scan_name()
-                self._skip_ws()
-                self._expect(">")
-                if not open_tags:
-                    raise self._error(f"closing tag </{name}> with no open element")
-                expected = open_tags.pop()
-                lexical = f"{expected.prefix}:{expected.local}" if expected.prefix else expected.local
-                if name != lexical:
-                    raise self._error(f"mismatched closing tag </{name}>, expected </{lexical}>")
-                yield EndElement(expected)
-                ns.pop()
+                yield self._handle_end_tag(pos)
                 continue
-
-            # start tag
-            self._pos = pos + 1
-            if not saw_root and not open_tags:
-                saw_root = True
-            elif not open_tags:
-                raise self._error("document must have exactly one root element")
-            lexical = self._scan_name()
-            raw_attrs, _ = self._scan_attributes()
-
-            decls: list[tuple[str, str]] = []
-            plain: list[tuple[str, str]] = []
-            for aname, avalue in raw_attrs:
-                if aname == "xmlns":
-                    decls.append(("", avalue))
-                elif aname.startswith("xmlns:"):
-                    prefix = aname[6:]
-                    if not avalue:
-                        raise self._error(f"cannot undeclare prefix '{prefix}' in XML 1.0")
-                    decls.append((prefix, avalue))
-                else:
-                    plain.append((aname, avalue))
-
-            ns.push(dict(decls))
-            default_uri = ns.lookup("") or ""
-
-            try:
-                name = QName.parse(lexical, ns, default_uri)
-            except LookupError as exc:
-                raise self._error(str(exc)) from None
-            attributes: list[tuple[QName, str]] = []
-            seen: set[QName] = set()
-            for aname, avalue in plain:
-                try:
-                    qn = QName.parse(aname, ns, default_uri="")
-                except LookupError as exc:
-                    raise self._error(str(exc)) from None
-                if qn in seen:
-                    raise self._error(f"duplicate attribute {aname!r}")
-                seen.add(qn)
-                attributes.append((qn, avalue))
-
-            self._skip_ws()
-            if text.startswith("/>", self._pos):
-                self._pos += 2
-                yield StartElement(name, tuple(attributes), tuple(decls))
-                yield EndElement(name)
-                ns.pop()
-            elif text.startswith(">", self._pos):
-                self._pos += 1
-                yield StartElement(name, tuple(attributes), tuple(decls))
-                open_tags.append(name)
-            else:
-                raise self._error("malformed start tag")
+            yield from self._handle_start_tag(pos)
 
         if open_tags:
             raise self._error(f"unclosed element <{open_tags[-1]}>")
-        if not saw_root:
+        if not self._saw_root:
             raise self._error("document has no root element")
         yield EndDocument()
 
 
-def parse_events(text: str, base_uri: str = "") -> Iterator[Event]:
-    """Parse ``text`` lazily into a stream of events."""
+def parse_events(text: str, base_uri: str = "", *, fast: bool = True) -> Iterator[Event]:
+    """Parse ``text`` lazily into a stream of events.
+
+    ``fast`` selects the regex-chunked scanner (the default); pass
+    ``fast=False`` to force the character-level reference parser.  Both
+    produce identical event streams and identical errors — the scanner
+    falls back to the reference logic construct-by-construct for inputs
+    its bulk regexes decline.
+    """
+    if fast:
+        from repro.xmlio.scanner import FastXMLScanner
+
+        return iter(FastXMLScanner(text, base_uri))
     return iter(XMLPullParser(text, base_uri))

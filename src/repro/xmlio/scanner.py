@@ -1,0 +1,451 @@
+"""Regex-chunked fast-path XML scanner.
+
+The reference parser (:class:`repro.xmlio.parser.XMLPullParser`) walks
+the input with small per-character scans: fine for conformance, but on
+a 200 KB document the Python-level loop dominates every streaming
+experiment.  This scanner consumes the same grammar in large slices:
+
+- one compiled master pattern matches an entire start tag — name,
+  attributes, and ``/>``/``>`` terminator — in a single C-level call;
+- a second pre-compiled pattern splits the attribute area;
+- end tags match one small pattern;
+- character data is sliced out with ``str.find("<")`` and only touched
+  again if it contains ``&`` or ``]]>``;
+- element and attribute QNames are memoized per namespace scope and
+  interned process-wide (:mod:`repro.interning`), so a corpus's tag
+  vocabulary becomes a handful of shared objects, and the
+  ``StartElement``/``EndElement`` events of attribute-less tags are
+  shared singletons.
+
+Conformance is inherited, not re-implemented: the scanner subclasses
+the reference parser, shares its state layout, and *falls back to the
+inherited character-level handlers* for any construct its regexes
+decline — exotic (non-ASCII) names, unusual whitespace between
+attributes, and every malformed input.  The fallback guarantees the
+identical event stream and the identical :class:`ParseError` (message,
+line, and column) for every input, which
+``tests/test_parser_fastpath.py`` checks differentially.
+
+Error positions are reproduced exactly but computed lazily: instead of
+tracking line numbers while scanning, the line/column of an error is
+derived from the failure offset on demand — the hot path never pays
+for bookkeeping it only needs when raising.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.errors import ParseError
+from repro.interning import intern_qname
+from repro.qname import _EMPTY_SCOPE, QName
+from repro.xmlio.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from repro.xmlio.parser import XMLPullParser
+
+# Conservative ASCII name classes: the reference parser accepts the full
+# Unicode range via str.isalpha/isalnum, so any name outside this class
+# simply takes the (identical-semantics) fallback path.
+_NAME = r"[A-Za-z_:][A-Za-z0-9_.:\-]*"
+_S = r"[ \t\r\n]"
+
+#: a complete start tag: name, zero or more attributes, optional '/'
+_START_RE = re.compile(
+    "<(" + _NAME + ")"
+    "((?:" + _S + "+" + _NAME + _S + "*=" + _S + "*"
+    "(?:\"[^\"<]*\"|'[^'<]*'))*)"
+    + _S + "*(/?)>")
+
+#: one attribute inside the matched attribute area
+_ATTR_RE = re.compile(
+    _S + "+(" + _NAME + ")" + _S + "*=" + _S + "*"
+    "(?:\"([^\"<]*)\"|'([^'<]*)')")
+
+#: a complete end tag
+_END_RE = re.compile("</(" + _NAME + ")" + _S + "*>")
+
+
+class FastXMLScanner(XMLPullParser):
+    """Drop-in fast replacement for :class:`XMLPullParser`.
+
+    Same constructor, same iteration protocol, same events, same
+    errors; typically several times faster on machine-generated XML.
+    """
+
+    def __init__(self, text: str, base_uri: str = ""):
+        super().__init__(text, base_uri)
+        #: lexical element name → (QName, bare StartElement, EndElement),
+        #: valid for the current namespace scope
+        self._elem_cache: dict[str, tuple[QName, StartElement, EndElement]] = {}
+        #: lexical attribute name → QName (attributes never take the
+        #: default namespace, so entries only die on prefix re-binding)
+        self._attr_cache: dict[str, QName] = {}
+        #: lexical end-tag name → (QName, EndElement); self-validating
+        #: via an identity check against the open-tag stack, so it never
+        #: needs namespace-scope invalidation
+        self._end_cache: dict[str, tuple[QName, EndElement]] = {}
+        #: (open-stack depth, saved default uri) per open element that
+        #: declared namespaces — tells end-tag handling when to drop
+        #: the memoized name caches
+        self._scope_marks: list[tuple[int, str]] = []
+        self._default_uri = ""
+        #: id(interned QName) → ("</lexical>", len, EndElement): predicts
+        #: the exact end-tag text for the innermost open element, letting
+        #: the hot loop close it with one ``str.startswith``.  Interned
+        #: names are immortal, so ids never get reused and entries never
+        #: go stale.
+        self._end_pred: dict[int, tuple[str, int, EndElement]] = {}
+
+    # -- error reporting: exact positions, computed lazily -----------------
+
+    def _advance_lines(self, start: int, end: int) -> None:
+        # Line tracking is pay-on-error in the fast scanner (see
+        # _error); inherited fallback handlers call this harmlessly.
+        pass
+
+    def _error(self, message: str) -> ParseError:
+        text, pos = self._text, self._pos
+        line = text.count("\n", 0, pos) + 1
+        line_start = text.rfind("\n", 0, pos) + 1
+        return ParseError(message, line, pos - line_start + 1)
+
+    # -- name resolution ----------------------------------------------------
+
+    def _resolve_element(self, lexical: str) -> tuple[QName, StartElement, EndElement]:
+        try:
+            qn = QName.parse(lexical, self._ns, self._default_uri)
+        except LookupError as exc:
+            raise self._error(str(exc)) from None
+        qn = intern_qname(qn)
+        entry = (qn, StartElement(qn), EndElement(qn))
+        self._elem_cache[lexical] = entry
+        self._end_pred[id(qn)] = ("</" + lexical + ">", len(lexical) + 3, entry[2])
+        return entry
+
+    def _resolve_attribute(self, lexical: str) -> QName:
+        try:
+            qn = QName.parse(lexical, self._ns, default_uri="")
+        except LookupError as exc:
+            raise self._error(str(exc)) from None
+        qn = intern_qname(qn)
+        self._attr_cache[lexical] = qn
+        return qn
+
+    # -- namespace-scope bookkeeping ----------------------------------------
+
+    def _open_scope(self, decls: list[tuple[str, str]]) -> None:
+        """Enter a namespace-declaring element: drop memoized names."""
+        self._scope_marks.append((len(self._open_tags), self._default_uri))
+        self._ns.push(dict(decls))
+        self._default_uri = self._ns.lookup("") or ""
+        self._elem_cache.clear()
+        self._attr_cache.clear()
+
+    def _leave_scope_if_marked(self) -> None:
+        """After popping an open element, undo _open_scope if it applied."""
+        marks = self._scope_marks
+        if marks and marks[-1][0] == len(self._open_tags):
+            _, self._default_uri = marks.pop()
+            self._elem_cache.clear()
+            self._attr_cache.clear()
+
+    # -- main loop ------------------------------------------------------------
+
+    def _parse(self) -> Iterator[Event]:
+        # The loop tracks the cursor in a local ``pos`` and writes
+        # ``self._pos`` only where shared code can observe it: before
+        # every fallback/handler call and before every raise (errors
+        # derive line/column from it).
+        text = self._text
+        n = len(text)
+        ns = self._ns
+        scopes = ns._scopes
+        open_tags = self._open_tags
+        marks = self._scope_marks
+        start_match = _START_RE.match
+        end_match = _END_RE.match
+        attr_iter = _ATTR_RE.finditer
+        find = text.find
+        startswith = text.startswith
+        elem_cache = self._elem_cache
+        attr_cache = self._attr_cache
+        end_cache = self._end_cache
+        end_pred = self._end_pred
+
+        yield StartDocument(self._base_uri)
+        self._skip_ws()
+        self._skip_xml_decl()
+        pos = self._pos
+
+        while pos < n:
+            if text[pos] != "<":
+                # -- character data: one find, one slice ------------------
+                lt = find("<", pos)
+                if lt < 0:
+                    lt = n
+                raw = text[pos:lt]
+                pos = lt
+                if open_tags:
+                    if "&" in raw or "]]>" in raw:
+                        self._pos = lt
+                        if "]]>" in raw:
+                            raise self._error(
+                                "']]>' not allowed in character data")
+                        raw = self._resolve_entities(raw, in_attribute=False)
+                    yield Text(raw)
+                elif raw.strip():
+                    self._pos = lt
+                    raise self._error("character data outside the root element")
+                continue
+
+            nxt = text[pos + 1: pos + 2]
+            if nxt == "/":
+                # -- end tag ----------------------------------------------
+                if open_tags:
+                    # predicted close: the innermost open element knows
+                    # its exact end-tag text
+                    info = end_pred.get(id(open_tags[-1]))
+                    if info is not None and startswith(info[0], pos):
+                        del open_tags[-1]
+                        del scopes[-1]
+                        pos += info[1]
+                        yield info[2]
+                        if marks and marks[-1][0] == len(open_tags):
+                            _, self._default_uri = marks.pop()
+                            elem_cache.clear()
+                            attr_cache.clear()
+                        continue
+                m = end_match(text, pos)
+                if m is None:
+                    self._pos = pos
+                    yield self._handle_end_tag(pos)
+                    pos = self._pos
+                    self._leave_scope_if_marked()
+                    continue
+                name = m.group(1)
+                self._pos = pos = m.end()
+                entry = end_cache.get(name)
+                if entry is not None and open_tags and open_tags[-1] is entry[0]:
+                    del open_tags[-1]
+                    del scopes[-1]
+                    yield entry[1]
+                    self._leave_scope_if_marked()
+                    continue
+                # first sighting of this end tag (or non-identical name
+                # object on the stack): replicate the reference checks
+                if not open_tags:
+                    raise self._error(f"closing tag </{name}> with no open element")
+                expected = open_tags.pop()
+                lexical = f"{expected.prefix}:{expected.local}" if expected.prefix \
+                    else expected.local
+                if name != lexical:
+                    raise self._error(
+                        f"mismatched closing tag </{name}>, expected </{lexical}>")
+                ns.pop()
+                event = EndElement(expected)
+                end_cache[name] = (expected, event)
+                yield event
+                self._leave_scope_if_marked()
+                continue
+
+            if nxt == "!" or nxt == "?":
+                # -- the rare constructs: shared chunked handlers ---------
+                self._pos = pos
+                if startswith("<!--", pos):
+                    yield self._handle_comment(pos)
+                elif startswith("<![CDATA[", pos):
+                    yield self._handle_cdata(pos)
+                elif nxt == "?":
+                    yield self._handle_pi(pos)
+                elif startswith("<!DOCTYPE", pos):
+                    self._handle_doctype(pos)
+                else:
+                    # "<!" + anything else falls through to start-tag
+                    # handling in the reference parser; keep that order.
+                    yield from self._fallback_start_tag(pos)
+                pos = self._pos
+                continue
+
+            # -- start tag -------------------------------------------------
+            m = start_match(text, pos)
+            if m is None:
+                self._pos = pos
+                yield from self._fallback_start_tag(pos)
+                pos = self._pos
+                continue
+
+            if not open_tags:
+                if self._saw_root:
+                    self._pos = pos + 1
+                    raise self._error("document must have exactly one root element")
+                self._saw_root = True
+
+            name_lex, closed = m.group(1, 3)
+            astart, aend = m.span(2)
+
+            if astart == aend:
+                # -- no attributes: the hottest path ----------------------
+                entry = elem_cache.get(name_lex)
+                if entry is None:
+                    self._pos = m.start(3)
+                    entry = self._resolve_element(name_lex)
+                pos = m.end()
+                if closed:
+                    yield entry[1]
+                    yield entry[2]
+                else:
+                    scopes.append(_EMPTY_SCOPE)
+                    open_tags.append(entry[0])
+                    yield entry[1]
+                continue
+
+            # -- attributes: resolve values first (reference order) -------
+            raw_attrs: list[tuple[str, str]] = []
+            for am in attr_iter(text, astart, aend):
+                value, alt = am.group(2, 3)
+                if value is None:
+                    value = alt
+                if "&" in value or "\t" in value or "\n" in value or "\r" in value:
+                    self._pos = am.end()
+                    value = self._resolve_entities(value, in_attribute=True)
+                raw_attrs.append((am.group(1), value))
+
+            # errors from here on are reported at the tag terminator,
+            # exactly where the reference parser's attribute scan stops
+            self._pos = m.start(3)
+
+            if find("xmlns", astart, aend) >= 0:
+                decls: list[tuple[str, str]] = []
+                plain: list[tuple[str, str]] = []
+                for aname, avalue in raw_attrs:
+                    if aname == "xmlns":
+                        decls.append(("", avalue))
+                    elif aname.startswith("xmlns:"):
+                        prefix = aname[6:]
+                        if not avalue:
+                            raise self._error(
+                                f"cannot undeclare prefix '{prefix}' in XML 1.0")
+                        decls.append((prefix, avalue))
+                    else:
+                        plain.append((aname, avalue))
+                if decls:
+                    yield from self._start_tag_with_decls(m, decls, plain, name_lex)
+                    pos = self._pos
+                    continue
+            else:
+                plain = raw_attrs
+
+            entry = elem_cache.get(name_lex)
+            if entry is None:
+                entry = self._resolve_element(name_lex)
+            qn = entry[0]
+
+            attributes: list[tuple[QName, str]] = []
+            if len(plain) > 1:
+                seen: set[QName] = set()
+                for aname, avalue in plain:
+                    aq = attr_cache.get(aname)
+                    if aq is None:
+                        aq = self._resolve_attribute(aname)
+                    if aq in seen:
+                        raise self._error(f"duplicate attribute {aname!r}")
+                    seen.add(aq)
+                    attributes.append((aq, avalue))
+            else:
+                aname, avalue = plain[0]
+                aq = attr_cache.get(aname)
+                if aq is None:
+                    aq = self._resolve_attribute(aname)
+                attributes.append((aq, avalue))
+
+            event = StartElement(qn, tuple(attributes))
+            pos = m.end()
+            if closed:
+                yield event
+                yield entry[2]
+            else:
+                scopes.append(_EMPTY_SCOPE)
+                open_tags.append(qn)
+                yield event
+
+        self._pos = pos
+        if open_tags:
+            raise self._error(f"unclosed element <{open_tags[-1]}>")
+        if not self._saw_root:
+            raise self._error("document has no root element")
+        yield EndDocument()
+
+    # -- cold paths ----------------------------------------------------------
+
+    def _fallback_start_tag(self, pos: int) -> tuple[Event, ...]:
+        """Delegate one start tag to the reference logic, then sync caches."""
+        events = self._handle_start_tag(pos)
+        start = events[0]
+        if len(events) == 1 and start.ns_decls:
+            # the element stays open with new bindings; the handler
+            # already pushed the namespace scope, so only mark + drop
+            # the memoized names here
+            self._scope_marks.append((len(self._open_tags) - 1, self._default_uri))
+            self._default_uri = self._ns.lookup("") or ""
+            self._elem_cache.clear()
+            self._attr_cache.clear()
+        return events
+
+    def _start_tag_with_decls(self, m: re.Match, decls: list[tuple[str, str]],
+                              plain: list[tuple[str, str]],
+                              name_lex: str) -> tuple[Event, ...]:
+        """A start tag carrying xmlns declarations (rare, uncached)."""
+        ns = self._ns
+        closed = m.group(3)
+        if closed:
+            # scope lives only for this construct: resolve directly
+            ns.push(dict(decls))
+            default_uri = ns.lookup("") or ""
+            try:
+                qn = QName.parse(name_lex, ns, default_uri)
+            except LookupError as exc:
+                raise self._error(str(exc)) from None
+            qn = intern_qname(qn)
+            attributes = self._resolve_plain_attrs(plain)
+            self._pos = m.end()
+            ns.pop()
+            return (StartElement(qn, tuple(attributes), tuple(decls)),
+                    EndElement(qn))
+        self._open_scope(decls)
+        entry = self._elem_cache.get(name_lex)
+        if entry is None:
+            entry = self._resolve_element(name_lex)
+        qn = entry[0]
+        attributes = self._resolve_plain_attrs(plain)
+        self._pos = m.end()
+        self._open_tags.append(qn)
+        return (StartElement(qn, tuple(attributes), tuple(decls)),)
+
+    def _resolve_plain_attrs(self, plain: list[tuple[str, str]]) \
+            -> list[tuple[QName, str]]:
+        """Resolve non-xmlns attributes with the reference's dup check."""
+        attributes: list[tuple[QName, str]] = []
+        seen: set[QName] = set()
+        for aname, avalue in plain:
+            try:
+                aq = QName.parse(aname, self._ns, default_uri="")
+            except LookupError as exc:
+                raise self._error(str(exc)) from None
+            aq = intern_qname(aq)
+            if aq in seen:
+                raise self._error(f"duplicate attribute {aname!r}")
+            seen.add(aq)
+            attributes.append((aq, avalue))
+        return attributes
+
+
+def scan_events(text: str, base_uri: str = "") -> Iterator[Event]:
+    """Parse ``text`` with the fast-path scanner (explicit spelling)."""
+    return iter(FastXMLScanner(text, base_uri))

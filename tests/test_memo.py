@@ -80,6 +80,58 @@ class TestCompileCache:
         again = engine.compile("count(//book)")
         assert again.execute(context_item=parse_document(bib_xml)).values() == [3]
 
+    def test_hits_observable(self):
+        engine = Engine()
+        engine.compile("7 * 6")
+        assert engine.compile_cache.hits == 0
+        engine.compile("7 * 6")
+        assert engine.compile_cache.hits == 1
+
+    def test_disabled_via_none(self):
+        engine = Engine(compile_cache=None)
+        assert engine.compile_cache is None
+        assert engine.compile("1") is not engine.compile("1")
+
+    def test_shared_cache_across_engines(self):
+        shared = LRUCache(16)
+        a = Engine(compile_cache=shared)
+        b = Engine(compile_cache=shared)
+        assert a.compile("2 + 2") is b.compile("2 + 2")
+        assert shared.hits == 1
+
+    def test_engine_flags_part_of_key(self):
+        shared = LRUCache(16)
+        plain = Engine(compile_cache=shared)
+        unopt = Engine(optimize=False, compile_cache=shared)
+        assert plain.compile("1 + 1") is not unopt.compile("1 + 1")
+
+    def test_static_context_fingerprint_invalidates(self):
+        from repro.compiler.context import StaticContext
+
+        ctx_a = StaticContext()
+        ctx_a.base_uri = "http://a/"
+        ctx_b = StaticContext()
+        ctx_b.base_uri = "http://b/"
+        engine = Engine(base_context=ctx_a)
+        first = engine.compile("3")
+        engine.base_context = ctx_b
+        assert engine.compile("3") is not first
+        engine.base_context = ctx_a
+        assert engine.compile("3") is first
+
+    def test_fingerprint_tracks_declarations(self):
+        from repro.compiler.context import StaticContext
+        from repro.qname import QName
+
+        ctx = StaticContext()
+        before = ctx.fingerprint()
+        assert before == ctx.fingerprint()
+        ctx.declare_variable(QName("", "x"))
+        after = ctx.fingerprint()
+        assert after != before
+        ctx.namespaces.bind("p", "http://p/")
+        assert ctx.fingerprint() != after
+
 
 class TestResultCache:
     def test_same_inputs_hit(self, bib_xml):

@@ -1,0 +1,246 @@
+"""Differential conformance: fast-path scanner vs reference parser.
+
+The contract of :class:`repro.xmlio.scanner.FastXMLScanner` is *exact*
+equivalence with :class:`repro.xmlio.parser.XMLPullParser`: the same
+event stream (including namespace resolution and prefix fidelity) and
+the same :class:`ParseError` — message, line, and column — for every
+input, malformed ones included.  These tests drive both parsers over
+generated corpora, hand-picked edge cases, and seeded random
+documents, comparing byte-for-byte.
+
+A marker-gated perf smoke test (``-m perfsmoke``) additionally asserts
+the fast path is not slower than the reference on an XMark document;
+it is excluded from default runs to keep CI timing-independent.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.errors import ParseError
+from repro.workloads import generate_xmark
+from repro.workloads.ebxml import generate_ebxml
+from repro.workloads.messages import generate_messages
+from repro.xmlio import events as E
+from repro.xmlio.parser import XMLPullParser, parse_events
+from repro.xmlio.scanner import FastXMLScanner, scan_events
+
+
+def canon(event: E.Event):
+    """A prefix-sensitive, comparable image of one event."""
+    kind = type(event).__name__
+    if isinstance(event, E.StartElement):
+        return (kind, event.name.uri, event.name.local, event.name.prefix,
+                tuple((a.uri, a.local, a.prefix, v)
+                      for a, v in event.attributes),
+                tuple(event.ns_decls))
+    if isinstance(event, E.EndElement):
+        return (kind, event.name.uri, event.name.local, event.name.prefix)
+    if isinstance(event, (E.Text, E.Comment)):
+        return (kind, event.content)
+    if isinstance(event, E.ProcessingInstruction):
+        return (kind, event.target, event.content)
+    if isinstance(event, E.StartDocument):
+        return (kind, event.base_uri)
+    return (kind,)
+
+
+def outcome(parser_cls, text: str):
+    """(canonical event tuple) on success, or the exact error."""
+    out = []
+    try:
+        for event in parser_cls(text):
+            out.append(canon(event))
+        return ("ok", tuple(out))
+    except ParseError as exc:
+        return ("err", str(exc))
+
+
+def assert_identical(text: str) -> None:
+    reference = outcome(XMLPullParser, text)
+    fast = outcome(FastXMLScanner, text)
+    assert reference == fast, (
+        f"parser divergence on {text[:120]!r}:\n"
+        f"  reference: {reference}\n  fast:      {fast}")
+
+
+WELL_FORMED = [
+    "<a/>",
+    "<a></a>",
+    "<a x='1'/>",
+    '<a x="1" y="2"/>',
+    "<a><b>t</b></a>",
+    "<a>x&amp;y</a>",
+    "<a>&#65;&#x42;</a>",
+    "<a><![CDATA[x<y]]></a>",
+    "<a><!-- c --></a>",
+    "<a><?pi data?></a>",
+    "<?xml version='1.0'?><a/>",
+    "<!DOCTYPE a><a/>",
+    "<!DOCTYPE a [ <!ELEMENT a EMPTY> ]><a/>",
+    # namespace scoping, shadowing, undeclaring
+    "<a xmlns='u'><b/></a>",
+    "<a xmlns:p='u'><p:b/></a>",
+    "<p:a xmlns:p='u' p:x='1'/>",
+    "<a xmlns:p='u' xmlns:q='u'><p:b x='1'/><q:b/></a>",
+    "<a xmlns=''/>",
+    "<a xmlns='u'><b xmlns=''><c/></b><d/></a>",
+    "<a xmlns:p='u1'><b xmlns:p='u2'><p:c/></b><p:c/></a>",
+    # whitespace / quoting variants (some take the fallback path)
+    "<a x='1'y='2'/>",
+    "<a  x = '1' />",
+    "<a\n\tx='1'/>",
+    "<a></a  >",
+    "<a></a\n>",
+    "<a ></a>",
+    # attribute value edge cases
+    "<a x='v&lt;w'/>",
+    "<a x='t\tb'/>",
+    "<a x='multi\nline'/>",
+    "<a><b x='&#10;'/></a>",
+    "<a x='&quot;&apos;'/>",
+    # Unicode names decline the ASCII regexes and must fall back
+    "<élément/>",
+    "<élément x='1'></élément>",
+    "<a><é/></a>",
+    "<a é='1'/>",
+    "<a x='1'/>",
+    # mixed content, repeats (exercises the memo caches)
+    "<a><b/><b/><b></b></a>",
+    "<root>t1<c/>t2<c/>t3</root>",
+    "<a>mixed &lt;tag&gt; text</a>",
+    "<a-b.c_d:e xmlns:a-b.c_d='u'/>",
+]
+
+MALFORMED = [
+    "<a",
+    "<a>",
+    "</a>",
+    "<a></b>",
+    "<a><b></a></b>",
+    "<a/><b/>",
+    "text",
+    "",
+    "   ",
+    "<a x='1' x='2'/>",
+    "<a>&bad;</a>",
+    "<a>&#xZZ;</a>",
+    "<a>]]></a>",
+    "<a x='a&bad;b'/>",
+    "<a xmlns:p=''/>",
+    "<a xmlns:p='u' p:x='1' q:y='2'/>",
+    "<a p:x='1'/>",
+    "<p:a/>",
+    "<a><!--unterminated",
+    "<a><![CDATA[unterminated",
+    "<a><?pi unterminated",
+    "<a><?xml bad?></a>",
+    "<a x='1' X='1'/>" ,
+    "<p:a xmlns:p='u'><p:b></p:a></p:b>",
+    "<a x='no close></a>",
+    "<a x=1/>",
+    "<a 1bad='x'/>",
+]
+
+
+class TestSnippets:
+    @pytest.mark.parametrize("text", WELL_FORMED)
+    def test_well_formed(self, text):
+        assert_identical(text)
+
+    @pytest.mark.parametrize("text", MALFORMED)
+    def test_malformed(self, text):
+        assert_identical(text)
+
+    def test_error_positions_match(self):
+        """Lines/columns embedded in messages must match exactly."""
+        doc = "<root>\n  <ok/>\n  <bad>&nope;</bad>\n</root>"
+        ref = outcome(XMLPullParser, doc)
+        fast = outcome(FastXMLScanner, doc)
+        assert ref[0] == "err" and "line 3" in ref[1]
+        assert ref == fast
+
+
+class TestCorpora:
+    def test_xmark(self):
+        assert_identical(generate_xmark(0.1))
+
+    def test_ebxml(self):
+        assert_identical(generate_ebxml(8))
+
+    def test_messages(self):
+        for message in generate_messages(50, seed=11):
+            assert_identical(message)
+
+    def test_xmark_event_stream_equals_reference(self):
+        """parse_events defaults to the fast scanner and must agree."""
+        doc = generate_xmark(0.05)
+        fast = [canon(e) for e in parse_events(doc)]
+        ref = [canon(e) for e in parse_events(doc, fast=False)]
+        explicit = [canon(e) for e in scan_events(doc)]
+        assert fast == ref == explicit
+
+
+def random_document(rng: random.Random, depth: int = 0) -> str:
+    """A small random document mixing fast-path and fallback syntax."""
+    names = ["a", "b", "item", "p:x", "ns1:deep", "_u", "A9", "é"]
+    name = rng.choice(names)
+    attrs = ""
+    if rng.random() < 0.4:
+        attrs = f" k{rng.randint(0, 3)}='v{rng.randint(0, 9)}'"
+    decls = ""
+    if ":" in name or rng.random() < 0.2:
+        prefix = name.split(":")[0] if ":" in name else "z"
+        decls = f" xmlns:{prefix}='uri-{prefix}'"
+    if depth > 3 or rng.random() < 0.3:
+        return f"<{name}{decls}{attrs}/>"
+    children = "".join(random_document(rng, depth + 1)
+                       for _ in range(rng.randint(0, 3)))
+    text = rng.choice(["", "text", "a &amp; b", "  ", "été", "x&#33;"])
+    return f"<{name}{decls}{attrs}>{text}{children}</{name}>"
+
+
+class TestRandomDocuments:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_round_trip_identical(self, seed):
+        rng = random.Random(seed)
+        for _ in range(10):
+            assert_identical(random_document(rng))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_mutated_documents(self, seed):
+        """Randomly corrupted documents raise the same errors."""
+        rng = random.Random(1000 + seed)
+        for _ in range(10):
+            doc = random_document(rng)
+            if len(doc) > 4:
+                cut = rng.randrange(1, len(doc))
+                assert_identical(doc[:cut])
+                pos = rng.randrange(len(doc))
+                junk = rng.choice(["<", ">", "&", "'", '"', "/"])
+                assert_identical(doc[:pos] + junk + doc[pos:])
+
+
+@pytest.mark.perfsmoke
+def test_fast_scanner_not_slower_than_reference():
+    """Perf smoke (run with ``-m perfsmoke``): the fast path must beat
+    the reference parser on machine-generated XML, with margin."""
+    doc = generate_xmark(0.2)  # ~53 KB
+
+    def best_of(parser_cls, repeat=3) -> float:
+        best = float("inf")
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            for _ in parser_cls(doc):
+                pass
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    fast = best_of(FastXMLScanner)
+    reference = best_of(XMLPullParser)
+    assert fast <= reference, (
+        f"fast path slower than reference: {fast * 1000:.1f} ms vs "
+        f"{reference * 1000:.1f} ms")
