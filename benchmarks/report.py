@@ -424,8 +424,47 @@ def e10_xslt() -> None:
           ["transformation", "repro engine", "tree transformer"], rows)
 
 
+def e11_observability() -> None:
+    """EXPLAIN ANALYZE an XMark query; ingest + persist the JSON dump.
+
+    Demonstrates the observability layer end-to-end: run one FLWOR
+    under the profiler, print the most expensive plan operators from
+    the machine-readable dump, and write the dump to
+    ``benchmarks/latest_profile.json`` (the artifact external tooling
+    ingests — same schema as ``python -m repro --profile``).
+    """
+    import json
+    from pathlib import Path
+
+    from repro import Engine
+    from repro.workloads import generate_xmark
+
+    xml = generate_xmark(scale=0.8 if not QUICK else 0.2, seed=2004)
+    query = ("for $p in /site/people/person "
+             "where $p/address/city return $p/name")
+    explained = Engine().explain(query, context_item=xml, analyze=True)
+
+    dump = explained.to_dict()
+    out_path = Path(__file__).parent / "latest_profile.json"
+    out_path.write_text(json.dumps(dump, indent=2) + "\n")
+
+    rows = []
+    for node, stats in explained.operators_by_time()[:8]:
+        rows.append([node.kind, node.detail[:48], stats.calls,
+                     f"{stats.items:,}", f"{stats.seconds * 1000:9.2f} ms"])
+    scanner = explained.profiler.operators.get("xmlio.scanner")
+    if scanner is not None and scanner.seconds:
+        rows.append(["xmlio.scanner", "(document parse)", scanner.calls,
+                     f"{scanner.items:,}",
+                     f"{scanner.seconds * 1000:9.2f} ms"])
+    table(f"E11 EXPLAIN ANALYZE operator breakdown ({len(xml) // 1024} KB; "
+          f"dump → {out_path.name})",
+          ["operator", "detail", "calls", "items", "inclusive time"], rows)
+
+
 EXPERIMENTS = [e0_parse, e1_streaming, e2_lazy, e3_pooling, e4_nodeids, e5_ddo,
-               e6_joins, e7_rewrites, e8_storage, e9_broker, e10_xslt]
+               e6_joins, e7_rewrites, e8_storage, e9_broker, e10_xslt,
+               e11_observability]
 
 
 def main() -> None:

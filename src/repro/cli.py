@@ -44,7 +44,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "starts with '<', else string; @file.xml reads "
                              "and parses a file")
     parser.add_argument("--explain", action="store_true",
-                        help="print the optimized plan instead of running")
+                        help="print the optimized plan instead of running "
+                             "(with --profile: run, then print the plan "
+                             "annotated with per-operator metrics)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run with the profiler attached; the result "
+                             "goes to stdout and the EXPLAIN ANALYZE JSON "
+                             "dump to stderr")
     parser.add_argument("--no-optimize", action="store_true",
                         help="disable the rewrite engine")
     parser.add_argument("--no-static-typing", action="store_true",
@@ -133,7 +139,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"compile error: {exc}", file=sys.stderr)
         return 1
 
-    if args.explain:
+    if args.explain and not args.profile:
         try:
             if compiled.static_type is not None:
                 print(f"static type: {compiled.static_type}")
@@ -146,13 +152,37 @@ def main(argv: list[str] | None = None) -> int:
         path = Path(uri)
         return path.read_text() if path.is_file() else None
 
+    profiler = None
+    if args.profile:
+        from repro.observability import Profiler
+
+        profiler = Profiler()
+
     try:
         result = compiled.execute(
             context_item=context_xml, variables=variables,
-            document_loader=fs_loader)
-        sys.stdout.write(result.serialize(xml_decl=args.xml_decl,
-                                          indent=args.indent))
-        sys.stdout.write("\n")
+            document_loader=fs_loader, profiler=profiler)
+        if args.explain:
+            # EXPLAIN ANALYZE: drain, print the annotated tree
+            result.items()
+            from repro.observability import ExplainResult
+
+            explained = ExplainResult(compiled, profiler,
+                                      query_text=query_text,
+                                      engine_stats=result.stats)
+            print(explained.render())
+        else:
+            sys.stdout.write(result.serialize(xml_decl=args.xml_decl,
+                                              indent=args.indent))
+            sys.stdout.write("\n")
+        if profiler is not None:
+            import json
+
+            from repro.observability import ExplainResult
+
+            dump = ExplainResult(compiled, profiler, query_text=query_text,
+                                 engine_stats=result.stats).to_dict()
+            print(json.dumps(dump), file=sys.stderr)
     except Exception as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -53,13 +53,27 @@ Plan = Callable[[DynamicContext], Iterator[Any]]
 
 
 class CodeGenerator:
-    """Compiles core expressions against a static context."""
+    """Compiles core expressions against a static context.
 
-    def __init__(self, static_ctx: StaticContext):
+    With ``instrument=True`` (the default) every operator is emitted
+    behind a guarded observability hook and registered in a
+    :class:`~repro.observability.explain.PlanNode` tree
+    (:attr:`plan_tree`).  The hook costs one attribute load and an
+    ``is None`` branch per operator *invocation* when no profiler is
+    attached — never a per-item cost — so instrumented plans are the
+    only kind the engine builds.
+    """
+
+    def __init__(self, static_ctx: StaticContext, instrument: bool = True):
         self.ctx = static_ctx
         #: compiled user functions, keyed (name, arity) — fills lazily so
         #: recursive functions terminate compilation
         self._function_plans: dict[tuple[QName, int], Plan] = {}
+        self.instrument = instrument
+        #: root of the PlanNode tree (instrumented compiles only)
+        self.plan_tree = None
+        self._node_stack: list = []
+        self._op_counter = 0
 
     # -- dispatch ---------------------------------------------------------------
 
@@ -67,7 +81,32 @@ class CodeGenerator:
         method = getattr(self, f"_c_{type(expr).__name__}", None)
         if method is None:
             raise StaticError(f"no code generation for {type(expr).__name__}")
-        return method(expr)
+        if not self.instrument:
+            return method(expr)
+
+        from repro.observability.explain import PlanNode
+
+        node = PlanNode.for_expr(self._op_counter, expr)
+        self._op_counter += 1
+        if self._node_stack:
+            self._node_stack[-1].children.append(node)
+        elif self.plan_tree is None:
+            self.plan_tree = node
+        self._node_stack.append(node)
+        try:
+            plan = method(expr)
+        finally:
+            self._node_stack.pop()
+
+        op_id = node.id
+
+        def hooked(dctx, _plan=plan, _op=op_id):
+            profiler = dctx._shared.profiler
+            if profiler is None:
+                return _plan(dctx)
+            return profiler.run_operator(_op, _plan, dctx)
+
+        return hooked
 
     # -- primaries ---------------------------------------------------------------
 

@@ -84,12 +84,18 @@ class Result:
         """Instrumentation counters collected during evaluation."""
         return self._dctx.stats
 
+    @property
+    def profiler(self):
+        """The attached per-operator profiler, or None."""
+        return self._dctx.profiler
+
 
 class CompiledQuery:
     """A compiled query: executable plan plus its compile-time artifacts."""
 
     def __init__(self, module: ast.Module, core: ast.Expr, optimized: ast.Expr,
-                 static_ctx: StaticContext, plan, static_type=None):
+                 static_ctx: StaticContext, plan, static_type=None,
+                 plan_tree=None):
         self.module = module
         #: core expression tree straight out of normalization
         self.core = core
@@ -99,13 +105,17 @@ class CompiledQuery:
         self.plan = plan
         #: inferred result type (None when static typing is off)
         self.static_type = static_type
+        #: the operator tree the code generator emitted hooks for
+        #: (:class:`repro.observability.PlanNode`)
+        self.plan_tree = plan_tree
 
     def execute(self,
                 context_item: Any = None,
                 variables: Optional[dict[str, Any]] = None,
                 documents: Optional[dict[str, Any]] = None,
                 collections: Optional[dict[str, list]] = None,
-                document_loader=None) -> Result:
+                document_loader=None,
+                profiler=None) -> Result:
         """Run the query.
 
         - ``context_item``: XML text, a node, or None — bound to ``.``;
@@ -115,9 +125,13 @@ class CompiledQuery:
         - ``documents``: uri → XML text / node / callable for fn:doc;
         - ``collections``: uri → list of nodes for fn:collection;
         - ``document_loader``: fallback ``loader(uri)`` for fn:doc URIs
-          not pre-registered (return XML text / a node / None).
+          not pre-registered (return XML text / a node / None);
+        - ``profiler``: a :class:`repro.observability.Profiler` to
+          activate the plan's per-operator hooks (None = off, free).
         """
         dctx = DynamicContext(self.static_context)
+        if profiler is not None:
+            dctx.profiler = profiler
         if document_loader is not None:
             dctx.set_document_loader(document_loader)
         if documents:
@@ -134,7 +148,11 @@ class CompiledQuery:
         if bindings:
             dctx = dctx.bind_many(bindings)
         if context_item is not None:
-            item = _to_item(context_item)
+            if profiler is not None and isinstance(context_item, str):
+                # time the parse and collect scanner fallback counters
+                item = profiler.parse_document(context_item)
+            else:
+                item = _to_item(context_item)
             dctx = dctx.with_focus(item, 1, 1)
         return Result(self.plan, dctx)
 
@@ -246,12 +264,50 @@ class Engine:
 
             analyze(optimized, static_ctx)
 
-        plan = CodeGenerator(static_ctx).compile(optimized)
+        generator = CodeGenerator(static_ctx)
+        plan = generator.compile(optimized)
         compiled = CompiledQuery(module, core, optimized, static_ctx, plan,
-                                 static_type)
+                                 static_type, plan_tree=generator.plan_tree)
         if cache_key is not None:
             self.compile_cache.put(cache_key, compiled)
         return compiled
+
+    def explain(self, query_text: str,
+                context_item: Any = None,
+                variables: Optional[dict[str, Any]] = None,
+                analyze: bool = False,
+                documents: Optional[dict[str, Any]] = None,
+                collections: Optional[dict[str, list]] = None,
+                document_loader=None):
+        """EXPLAIN (ANALYZE): the annotated operator tree for a query.
+
+        With ``analyze=False`` the query is only compiled and the
+        returned :class:`~repro.observability.ExplainResult` carries
+        the plan tree with optimizer annotations.  With
+        ``analyze=True`` the query is also *executed* (and drained)
+        with a profiler attached, so every operator is annotated with
+        invocation, item, and inclusive-time counts.  ``str()`` the
+        result for the text form; ``.to_dict()`` is the JSON form the
+        CLI's ``--profile`` emits and ``benchmarks/report.py`` ingests.
+        """
+        from repro.observability import ExplainResult, Profiler
+
+        compiled = self.compile(query_text, variables=tuple(variables or ()))
+        if not analyze:
+            return ExplainResult(compiled, query_text=query_text)
+        profiler = Profiler()
+        result = compiled.execute(context_item=context_item,
+                                  variables=variables, documents=documents,
+                                  collections=collections,
+                                  document_loader=document_loader,
+                                  profiler=profiler)
+        result.items()  # drain: ANALYZE measures a full evaluation
+        engine_stats = dict(result.stats)
+        if self.compile_cache is not None:
+            engine_stats["compile_cache_hits"] = self.compile_cache.hits
+            engine_stats["compile_cache_misses"] = self.compile_cache.misses
+        return ExplainResult(compiled, profiler, query_text=query_text,
+                             engine_stats=engine_stats)
 
 
 def _to_item(value: Any) -> Any:

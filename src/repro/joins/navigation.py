@@ -4,9 +4,17 @@ What a naive engine does without labeled indexes: walk the document to
 find candidate roots, then recursively check every branch predicate by
 walking children/descendants.  Costs O(visited subtree) per candidate
 — the comparison point that makes structural joins interesting (E6).
+
+Both entry points take an optional ``counters`` dict that accumulates
+``elements_scanned``: every node the walk visits, including the
+full-document scan for candidate roots.  Counting is a local integer
+bump per visited node — negligible against the walking itself — and
+the dict is only written once at the end.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from repro.joins.patterns import TwigEdge, TwigNode, TwigPattern
 from repro.storage.indexes import ElementIndex, Posting
@@ -14,24 +22,30 @@ from repro.xdm.nodes import DocumentNode, ElementNode, Node
 
 
 def navigate_anc_desc(index: ElementIndex, ancestor_name: str,
-                      descendant_name: str, parent_child: bool = False) -> list[Posting]:
+                      descendant_name: str, parent_child: bool = False,
+                      counters: Optional[dict[str, int]] = None) -> list[Posting]:
     """``//a//d`` (or ``//a/d``) by walking from each ``a``."""
     out: list[Posting] = []
     seen: set[int] = set()
+    scanned = 0
     for a in index.postings(ancestor_name):
         node = a.node
         candidates = node.children if parent_child else node.descendants()
         for child in candidates:
+            scanned += 1
             if isinstance(child, ElementNode) and child.name.local == descendant_name:
                 label = index.label_of(child)
                 if label.pre not in seen:
                     seen.add(label.pre)
                     out.append(Posting(label, child))
     out.sort(key=lambda p: p.pre)
+    if counters is not None:
+        counters["elements_scanned"] = counters.get("elements_scanned", 0) + scanned
     return out
 
 
-def navigate_pattern(index: ElementIndex, pattern: TwigPattern) -> list[Posting]:
+def navigate_pattern(index: ElementIndex, pattern: TwigPattern,
+                     counters: Optional[dict[str, int]] = None) -> list[Posting]:
     """Evaluate a twig purely by navigation.
 
     Strategy: walk the document for candidate roots; descend along the
@@ -44,11 +58,23 @@ def navigate_pattern(index: ElementIndex, pattern: TwigPattern) -> list[Posting]
     chain = _output_chain(pattern)
     outputs: list[Node] = []
     seen: set[int] = set()
+    scanned = 0
+
+    def any_candidate(node: Node, edge: TwigEdge) -> bool:
+        nonlocal scanned
+        candidates = node.children if edge.kind == "child" else node.descendants()
+        for candidate in candidates:
+            scanned += 1
+            if isinstance(candidate, ElementNode) and \
+                    candidate.name.local == edge.child.name:
+                if exists(candidate, edge.child):
+                    return True
+        return False
 
     def exists(node: Node, qnode: TwigNode) -> bool:
         """Existential check: pattern subtree rooted at qnode embeds at node."""
         for edge in qnode.children:
-            if not _any_candidate(node, edge, exists):
+            if not any_candidate(node, edge):
                 return False
         return True
 
@@ -56,11 +82,12 @@ def navigate_pattern(index: ElementIndex, pattern: TwigPattern) -> list[Posting]
         for edge in qnode.children:
             if skip is not None and edge.child is skip:
                 continue
-            if not _any_candidate(node, edge, exists):
+            if not any_candidate(node, edge):
                 return False
         return True
 
     def walk(node: Node, depth: int) -> None:
+        nonlocal scanned
         qnode, _ = chain[depth]
         next_qnode = chain[depth + 1][0] if depth + 1 < len(chain) else None
         if not side_branches_ok(node, qnode, next_qnode):
@@ -73,28 +100,22 @@ def navigate_pattern(index: ElementIndex, pattern: TwigPattern) -> list[Posting]
         next_kind = chain[depth + 1][1]
         candidates = node.children if next_kind == "child" else node.descendants()
         for candidate in candidates:
+            scanned += 1
             if isinstance(candidate, ElementNode) and \
                     candidate.name.local == next_qnode.name:
                 walk(candidate, depth + 1)
 
     root_name = pattern.root.name
     for node in index.doc.descendants_or_self():
+        scanned += 1
         if isinstance(node, ElementNode) and node.name.local == root_name:
             walk(node, 0)
 
     out = [Posting(index.label_of(n), n) for n in outputs]
     out.sort(key=lambda p: p.pre)
+    if counters is not None:
+        counters["elements_scanned"] = counters.get("elements_scanned", 0) + scanned
     return out
-
-
-def _any_candidate(node: Node, edge: TwigEdge, check) -> bool:
-    candidates = node.children if edge.kind == "child" else node.descendants()
-    for candidate in candidates:
-        if isinstance(candidate, ElementNode) and \
-                candidate.name.local == edge.child.name:
-            if check(candidate, edge.child):
-                return True
-    return False
 
 
 def _output_chain(pattern: TwigPattern) -> list[tuple[TwigNode, str]]:

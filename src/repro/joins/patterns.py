@@ -119,28 +119,50 @@ class TwigPattern:
 
 
 def evaluate_pattern(index: ElementIndex, pattern: TwigPattern,
-                     algorithm: str = "twigstack") -> list[Posting]:
-    """Matches of the pattern's output node, distinct, in document order."""
+                     algorithm: str = "twigstack",
+                     profiler=None) -> list[Posting]:
+    """Matches of the pattern's output node, distinct, in document order.
+
+    With a :class:`repro.observability.Profiler` attached, records a
+    ``join.<algorithm>`` operator (items = output postings, wall time,
+    plus algorithm counters: ``elements_scanned`` for all three,
+    ``stack_pushes``/``path_solutions``/``output_matches`` where they
+    apply).  ``elements_scanned`` is the E6 cost model the differential
+    harness ranks: holistic ≤ binary ≤ navigation.
+    """
+    counters: Optional[dict[str, int]] = {} if profiler is not None else None
+    if profiler is not None:
+        from time import perf_counter
+
+        t0 = perf_counter()
     if algorithm == "twigstack":
         from repro.joins.twigstack import twig_stack
 
-        matches = twig_stack(index, pattern)
-        return _distinct_postings(m[pattern.output.name] for m in matches)
-    if algorithm == "binary":
-        return binary_join_plan(index, pattern)
-    if algorithm == "navigation":
+        matches = twig_stack(index, pattern, counters=counters)
+        result = _distinct_postings(m[pattern.output.name] for m in matches)
+    elif algorithm == "binary":
+        result = binary_join_plan(index, pattern, counters=counters)
+    elif algorithm == "navigation":
         from repro.joins.navigation import navigate_pattern
 
-        return navigate_pattern(index, pattern)
-    raise ValueError(f"unknown algorithm {algorithm!r}")
+        result = navigate_pattern(index, pattern, counters=counters)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    if profiler is not None:
+        profiler.record(f"join.{algorithm}", items=len(result),
+                        seconds=perf_counter() - t0, **counters)
+    return result
 
 
-def binary_join_plan(index: ElementIndex, pattern: TwigPattern) -> list[Posting]:
+def binary_join_plan(index: ElementIndex, pattern: TwigPattern,
+                     counters: Optional[dict[str, int]] = None) -> list[Posting]:
     """Evaluate the twig as a sequence of binary structural joins.
 
     Each edge runs one stack-tree join; intermediate results are
     (bindings per pattern node) tuples — the representation whose
-    possible blow-up motivated holistic twig joins.
+    possible blow-up motivated holistic twig joins.  ``counters``
+    accumulates per-join ``elements_scanned``/``stack_pushes`` plus
+    ``intermediate_rows`` (the blow-up the holistic join avoids).
     """
     # intermediate: list of dict name → Posting
     rows: list[dict[str, Posting]] = [
@@ -152,7 +174,8 @@ def binary_join_plan(index: ElementIndex, pattern: TwigPattern) -> list[Posting]
             # join current rows' bindings of `node` with child postings
             alist = _distinct_postings(row[node.name] for row in rows)
             pairs = list(stack_tree_desc(alist, index.postings(child.name),
-                                         parent_child=(edge.kind == "child")))
+                                         parent_child=(edge.kind == "child"),
+                                         counters=counters))
             # group descendants by ancestor pre
             by_anc: dict[int, list[Posting]] = {}
             for a, d in pairs:
@@ -164,6 +187,9 @@ def binary_join_plan(index: ElementIndex, pattern: TwigPattern) -> list[Posting]
                     new_row = dict(row)
                     new_row[child.name] = d
                     new_rows.append(new_row)
+            if counters is not None:
+                counters["intermediate_rows"] = \
+                    counters.get("intermediate_rows", 0) + len(new_rows)
             rows = process(child, new_rows)
         return rows
 

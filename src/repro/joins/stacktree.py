@@ -14,17 +14,26 @@ of d — what path semantics need).
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.storage.indexes import Posting
 
 
 def stack_tree_desc(alist: list[Posting], dlist: list[Posting],
-                    parent_child: bool = False) -> Iterator[tuple[Posting, Posting]]:
+                    parent_child: bool = False,
+                    counters: Optional[dict[str, int]] = None,
+                    ) -> Iterator[tuple[Posting, Posting]]:
     """All (ancestor, descendant) pairs, sorted by descendant pre.
 
     ``parent_child`` restricts to direct parents (level check).
+    ``counters`` (optional) accumulates ``elements_scanned`` (the merge
+    touches every posting of both inputs once) and ``stack_pushes``.
     """
+    if counters is not None:
+        counters["elements_scanned"] = counters.get("elements_scanned", 0) \
+            + len(alist) + len(dlist)
+    counting = counters is not None
+    pushes = 0
     stack: list[Posting] = []
     ai, di = 0, 0
     na, nd = len(alist), len(dlist)
@@ -37,6 +46,8 @@ def stack_tree_desc(alist: list[Posting], dlist: list[Posting],
             while stack and stack[-1].post < a.pre:
                 stack.pop()
             stack.append(a)
+            if counting:
+                pushes += 1
             ai += 1
         # pop ancestors that end before d starts
         while stack and stack[-1].post < d.pre:
@@ -47,6 +58,8 @@ def stack_tree_desc(alist: list[Posting], dlist: list[Posting],
                 if not parent_child or a.level + 1 == d.level:
                     yield (a, d)
         di += 1
+    if counting:
+        counters["stack_pushes"] = counters.get("stack_pushes", 0) + pushes
 
 
 def stack_tree_anc_desc(alist: list[Posting], dlist: list[Posting],

@@ -66,10 +66,18 @@ class _TwigState:
             self.paths[leaf.name] = list(reversed(path))
 
 
-def twig_stack(index: ElementIndex, pattern: TwigPattern) -> list[dict[str, Posting]]:
-    """All full matches of ``pattern``: list of name → posting bindings."""
+def twig_stack(index: ElementIndex, pattern: TwigPattern,
+               counters: Optional[dict[str, int]] = None) -> list[dict[str, Posting]]:
+    """All full matches of ``pattern``: list of name → posting bindings.
+
+    ``counters`` (optional) accumulates observability metrics:
+    ``elements_scanned`` (postings consumed across all streams),
+    ``stack_pushes``, ``path_solutions``, ``output_matches``.
+    """
     state = _TwigState(index, pattern)
     root = pattern.root
+    counting = counters is not None
+    pushes = 0
 
     while True:
         q = _get_next(state, root)
@@ -85,12 +93,24 @@ def twig_stack(index: ElementIndex, pattern: TwigPattern) -> list[dict[str, Post
             _clean_stack(state, q.name, head.pre)
             parent_ptr = len(state.stacks[parent.name]) - 1 if parent is not None else -1
             state.stacks[q.name].append((head, parent_ptr))
+            if counting:
+                pushes += 1
             if not q.children:  # leaf: emit path solutions now
                 _emit_paths(state, q)
                 state.stacks[q.name].pop()
         stream.advance()
 
-    return _merge_paths(state)
+    matches = _merge_paths(state)
+    if counting:
+        # the cursor of each stream is exactly how many postings the
+        # coordinated pass consumed (it never runs past the end)
+        counters["elements_scanned"] = counters.get("elements_scanned", 0) + sum(
+            min(s.cursor, len(s.postings)) for s in state.streams.values())
+        counters["stack_pushes"] = counters.get("stack_pushes", 0) + pushes
+        counters["path_solutions"] = counters.get("path_solutions", 0) + sum(
+            len(sols) for sols in state.path_solutions.values())
+        counters["output_matches"] = counters.get("output_matches", 0) + len(matches)
+    return matches
 
 
 def _get_next(state: _TwigState, q: TwigNode) -> TwigNode:

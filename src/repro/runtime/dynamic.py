@@ -148,6 +148,19 @@ class DynamicContext:
         self._shared.node_ids_required = flag
 
     @property
+    def profiler(self):
+        """The attached :class:`repro.observability.Profiler`, or None.
+
+        Compiled plans read ``_shared.profiler`` directly (the guarded
+        hook); this property is the public spelling.
+        """
+        return self._shared.profiler
+
+    @profiler.setter
+    def profiler(self, profiler) -> None:
+        self._shared.profiler = profiler
+
+    @property
     def stats(self) -> dict[str, int]:
         """Cheap instrumentation counters (benchmarks read these)."""
         return self._shared.stats
@@ -162,7 +175,7 @@ class _Shared:
     """State shared by all contexts derived from one evaluation."""
 
     __slots__ = ("static_ctx", "current_datetime", "documents", "collections",
-                 "node_ids_required", "stats", "document_loader")
+                 "node_ids_required", "stats", "document_loader", "profiler")
 
     def __init__(self, static_ctx, current_datetime):
         self.static_ctx = static_ctx
@@ -174,3 +187,6 @@ class _Shared:
         #: operators; constructors consult it (experiment E4)
         self.node_ids_required = True
         self.stats: dict[str, int] = {}
+        #: per-operator metrics sink (repro.observability); None = off,
+        #: and every plan hook reduces to one is-None check
+        self.profiler = None

@@ -128,3 +128,12 @@ class LazyDFA:
     @property
     def dfa_size(self) -> int:
         return len(self._cache)
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of the memoization counters (observability)."""
+        return {
+            "queries": len(self.queries),
+            "dfa_states": self.dfa_size,
+            "computed_transitions": self.computed_transitions,
+            "cached_hits": self.cached_hits,
+        }

@@ -9,11 +9,20 @@ Two broker implementations over the same registered-query set:
 
 E9 feeds both the same message stream and plots throughput vs number
 of registered queries.
+
+Both brokers keep per-query delivery statistics (messages matched,
+total matches) readable via :meth:`query_stats`.  Re-registering under
+an existing query id replaces the subscription *and surfaces the
+counter reset*: ``messages``/``matches`` restart from zero but the
+``resets`` counter survives and increments, so a dashboard diffing
+stats across polls can tell "the query was swapped" from "the stream
+went quiet" — the counters are never silently dropped.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from time import perf_counter
+from typing import Iterator, Optional
 
 from repro.stream.automaton import LazyDFA
 from repro.stream.xpath_subset import PathQuery, PathStep, parse_path
@@ -22,40 +31,116 @@ from repro.xdm.nodes import ElementNode, Node
 from repro.xmlio.parser import parse_events
 
 
+def _new_stats() -> dict[str, int]:
+    return {"messages": 0, "matches": 0, "resets": 0}
+
+
 class MessageBroker:
     """Routes messages through one shared lazy DFA."""
 
     def __init__(self):
         self._queries: list[PathQuery] = []
         self._subscribers: list[str] = []
+        self._stats: list[dict[str, int]] = []
         self._dfa = LazyDFA(())
+        self._messages_routed = 0
 
-    def register(self, subscriber: str, path: str) -> int:
+    def register(self, subscriber: str, path: str,
+                 query_id: Optional[int] = None) -> int:
         """Register a path subscription; returns the query id.
 
-        Registration extends the shared DFA incrementally
+        Fresh registration extends the shared DFA incrementally
         (:meth:`LazyDFA.add_query`), so subscribing mid-stream keeps
         every transition already memoized for the other queries.
+
+        Passing an existing ``query_id`` *replaces* that subscription
+        (new path and/or subscriber).  The per-query ``messages`` and
+        ``matches`` counters restart — they described the old query —
+        but the reset is surfaced, not silent: ``resets`` is preserved
+        and incremented.  Replacement rebuilds the DFA (memoized
+        transitions assume queries are append-only).
         """
         query = parse_path(path)
+        if query_id is not None:
+            if not 0 <= query_id < len(self._queries):
+                raise IndexError(f"no query with id {query_id}")
+            self._queries[query_id] = query
+            self._subscribers[query_id] = subscriber
+            stats = self._stats[query_id]
+            resets = stats["resets"] + 1
+            stats.clear()
+            stats.update(_new_stats())
+            stats["resets"] = resets
+            self._rebuild_dfa()
+            return query_id
         self._queries.append(query)
         self._subscribers.append(subscriber)
+        self._stats.append(_new_stats())
         self._dfa.add_query(query)
         return len(self._queries) - 1
+
+    def _rebuild_dfa(self) -> None:
+        """Start a fresh DFA over the current query set.
+
+        Needed after in-place query replacement: memoized DFA states
+        embed (query index, step) pairs for the *old* query, and
+        :class:`LazyDFA` only supports appending.
+        """
+        self._dfa = LazyDFA(self._queries)
 
     @property
     def dfa(self) -> LazyDFA:
         return self._dfa
 
-    def route(self, message_xml: str) -> dict[str, int]:
-        """Process one message; returns subscriber → match count."""
-        counts = self.dfa.match_counts(parse_events(message_xml))
+    def route(self, message_xml: str, profiler=None) -> dict[str, int]:
+        """Process one message; returns subscriber → match count.
+
+        With a :class:`repro.observability.Profiler` attached, records
+        a ``stream.broker`` operator: messages routed (calls), matches
+        delivered (items), wall time, and the DFA's memoization
+        counters for this message (``computed_transitions`` /
+        ``cached_hits`` / ``dfa_states``).
+        """
+        dfa = self._dfa
+        if profiler is not None:
+            t0 = perf_counter()
+            computed0 = dfa.computed_transitions
+            hits0 = dfa.cached_hits
+        counts = dfa.match_counts(parse_events(message_xml))
+        self._messages_routed += 1
         out: dict[str, int] = {}
+        delivered = 0
         for qi, count in enumerate(counts):
             if count:
+                stats = self._stats[qi]
+                stats["messages"] += 1
+                stats["matches"] += count
+                delivered += count
                 name = self._subscribers[qi]
                 out[name] = out.get(name, 0) + count
+        if profiler is not None:
+            profiler.record(
+                "stream.broker", items=delivered,
+                seconds=perf_counter() - t0,
+                computed_transitions=dfa.computed_transitions - computed0,
+                cached_hits=dfa.cached_hits - hits0)
+            profiler.operator("stream.broker").counters["dfa_states"] = dfa.dfa_size
         return out
+
+    def query_stats(self, query_id: int) -> dict[str, int]:
+        """Delivery counters for one query: messages, matches, resets."""
+        return dict(self._stats[query_id])
+
+    def stats(self) -> dict[str, int]:
+        """Broker-wide counters, including the shared DFA's."""
+        dfa = self._dfa
+        return {
+            "queries": len(self._queries),
+            "messages_routed": self._messages_routed,
+            "dfa_states": dfa.dfa_size,
+            "computed_transitions": dfa.computed_transitions,
+            "cached_hits": dfa.cached_hits,
+        }
 
     def query_count(self) -> int:
         return len(self._queries)
@@ -67,23 +152,52 @@ class NaiveBroker:
     def __init__(self):
         self._queries: list[PathQuery] = []
         self._subscribers: list[str] = []
+        self._stats: list[dict[str, int]] = []
 
-    def register(self, subscriber: str, path: str) -> int:
-        self._queries.append(parse_path(path))
+    def register(self, subscriber: str, path: str,
+                 query_id: Optional[int] = None) -> int:
+        query = parse_path(path)
+        if query_id is not None:
+            if not 0 <= query_id < len(self._queries):
+                raise IndexError(f"no query with id {query_id}")
+            self._queries[query_id] = query
+            self._subscribers[query_id] = subscriber
+            stats = self._stats[query_id]
+            resets = stats["resets"] + 1
+            stats.clear()
+            stats.update(_new_stats())
+            stats["resets"] = resets
+            return query_id
+        self._queries.append(query)
         self._subscribers.append(subscriber)
+        self._stats.append(_new_stats())
         return len(self._queries) - 1
 
-    def route(self, message_xml: str) -> dict[str, int]:
+    def route(self, message_xml: str, profiler=None) -> dict[str, int]:
+        if profiler is not None:
+            t0 = perf_counter()
         doc = parse_document(message_xml)
         out: dict[str, int] = {}
+        delivered = 0
         for qi, query in enumerate(self._queries):
             # distinct matches: nested intermediate steps can reach the
             # same final element along several witness paths
             count = len({id(n) for n in _navigate(doc, query.steps)})
             if count:
+                stats = self._stats[qi]
+                stats["messages"] += 1
+                stats["matches"] += count
+                delivered += count
                 name = self._subscribers[qi]
                 out[name] = out.get(name, 0) + count
+        if profiler is not None:
+            profiler.record("stream.naive_broker", items=delivered,
+                            seconds=perf_counter() - t0)
         return out
+
+    def query_stats(self, query_id: int) -> dict[str, int]:
+        """Delivery counters for one query: messages, matches, resets."""
+        return dict(self._stats[query_id])
 
     def query_count(self) -> int:
         return len(self._queries)

@@ -102,6 +102,20 @@ class FastXMLScanner(XMLPullParser):
         #: names are immortal, so ids never get reused and entries never
         #: go stale.
         self._end_pred: dict[int, tuple[str, int, EndElement]] = {}
+        #: construct kind → times the fast path handed that construct to
+        #: the inherited reference handlers.  Bumped only on cold paths
+        #: (and before the handler runs, so counts survive ParseErrors);
+        #: the hot loop never touches it.
+        self.fallback_counts: dict[str, int] = {}
+
+    @property
+    def fallback_count(self) -> int:
+        """Total constructs delegated to the reference parser."""
+        return sum(self.fallback_counts.values())
+
+    def _count_fallback(self, kind: str) -> None:
+        counts = self.fallback_counts
+        counts[kind] = counts.get(kind, 0) + 1
 
     # -- error reporting: exact positions, computed lazily -----------------
 
@@ -225,6 +239,7 @@ class FastXMLScanner(XMLPullParser):
                 m = end_match(text, pos)
                 if m is None:
                     self._pos = pos
+                    self._count_fallback("end_tag")
                     yield self._handle_end_tag(pos)
                     pos = self._pos
                     self._leave_scope_if_marked()
@@ -259,16 +274,21 @@ class FastXMLScanner(XMLPullParser):
                 # -- the rare constructs: shared chunked handlers ---------
                 self._pos = pos
                 if startswith("<!--", pos):
+                    self._count_fallback("comment")
                     yield self._handle_comment(pos)
                 elif startswith("<![CDATA[", pos):
+                    self._count_fallback("cdata")
                     yield self._handle_cdata(pos)
                 elif nxt == "?":
+                    self._count_fallback("pi")
                     yield self._handle_pi(pos)
                 elif startswith("<!DOCTYPE", pos):
+                    self._count_fallback("doctype")
                     self._handle_doctype(pos)
                 else:
                     # "<!" + anything else falls through to start-tag
                     # handling in the reference parser; keep that order.
+                    self._count_fallback("bang")
                     yield from self._fallback_start_tag(pos)
                 pos = self._pos
                 continue
@@ -277,6 +297,7 @@ class FastXMLScanner(XMLPullParser):
             m = start_match(text, pos)
             if m is None:
                 self._pos = pos
+                self._count_fallback("start_tag")
                 yield from self._fallback_start_tag(pos)
                 pos = self._pos
                 continue

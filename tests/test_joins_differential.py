@@ -1,0 +1,147 @@
+"""Differential twig-join harness (satellite of the observability PR).
+
+Runs a corpus of twig patterns over XMark and seeded random documents
+through all three physical plans — navigation, binary structural
+joins, holistic TwigStack — and asserts:
+
+1. identical match sets, in document order, from every plan;
+2. the E6 cost model via profiler counters: elements scanned by the
+   holistic join ≤ binary joins ≤ naive navigation.
+
+The second property is structural, not a timing claim: TwigStack
+consumes each posting stream at most once (≤ the posting sums binary
+joins merge in full), and navigation re-walks subtrees and always pays
+a full-document scan for candidate roots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.joins import TwigNode, TwigPattern, evaluate_pattern
+from repro.observability import Profiler
+from repro.storage import ElementIndex
+from repro.workloads import generate_xmark
+from repro.workloads.synthetic import random_tree
+from repro.xdm.build import parse_document
+
+ALGORITHMS = ("twigstack", "binary", "navigation")
+
+
+def _branching(spec: list[tuple[str, str, str]], root: str) -> TwigPattern:
+    """Build a branching twig from (parent, kind, child) edges."""
+    nodes = {root: TwigNode(root)}
+    for parent, kind, child in spec:
+        nodes[child] = nodes[parent].add(TwigNode(child), kind)
+    nodes[spec[-1][2]].is_output = True
+    return TwigPattern(nodes[root])
+
+
+def _xmark_patterns() -> list[TwigPattern]:
+    return [
+        TwigPattern.chain("open_auction", ("increase", "descendant")),
+        TwigPattern.chain("person", ("address", "child"), ("city", "child")),
+        TwigPattern.chain("item", ("description", "descendant"),
+                          ("text", "descendant")),
+        _branching([("item", "descendant", "keyword"),
+                    ("item", "descendant", "text")], "item"),
+        _branching([("person", "child", "address"),
+                    ("address", "child", "city"),
+                    ("person", "descendant", "age")], "person"),
+        # no matches: a real tag below a tag it never appears under
+        TwigPattern.chain("city", ("person", "descendant")),
+    ]
+
+
+def _random_patterns() -> list[TwigPattern]:
+    return [
+        TwigPattern.chain("a", ("b", "descendant")),
+        TwigPattern.chain("a", ("b", "child")),
+        TwigPattern.chain("a", ("b", "descendant"), ("c", "descendant")),
+        TwigPattern.chain("b", ("c", "child"), ("d", "child")),
+        _branching([("a", "descendant", "b"),
+                    ("a", "descendant", "c")], "a"),
+        _branching([("a", "descendant", "b"),
+                    ("b", "child", "c"),
+                    ("a", "descendant", "d")], "a"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def xmark_index(request):
+    return ElementIndex(parse_document(generate_xmark(scale=0.05, seed=1)))
+
+
+@pytest.fixture(scope="module", params=[7, 23, 91])
+def random_index(request):
+    xml = random_tree(500, tags=("a", "b", "c", "d"), seed=request.param,
+                      max_depth=30)
+    return ElementIndex(parse_document(xml))
+
+
+def _run_all(index: ElementIndex, pattern: TwigPattern):
+    """Evaluate under one profiler per algorithm; return (pre-lists, profiler)."""
+    profiler = Profiler()
+    results = {alg: [p.pre for p in evaluate_pattern(index, pattern, alg,
+                                                     profiler=profiler)]
+               for alg in ALGORITHMS}
+    return results, profiler
+
+
+def _assert_agree_and_ranked(index: ElementIndex, pattern: TwigPattern):
+    results, profiler = _run_all(index, pattern)
+    assert results["twigstack"] == results["binary"] == results["navigation"], \
+        f"plans diverge on {pattern!r}"
+    # results are distinct and in document order
+    pres = results["twigstack"]
+    assert pres == sorted(set(pres))
+    scanned = {alg: profiler.operators[f"join.{alg}"].counters.get(
+        "elements_scanned", 0) for alg in ALGORITHMS}
+    assert scanned["twigstack"] <= scanned["binary"] <= scanned["navigation"], \
+        f"cost ranking violated on {pattern!r}: {scanned}"
+    # items recorded per algorithm match the result size
+    for alg in ALGORITHMS:
+        assert profiler.operators[f"join.{alg}"].items == len(pres)
+
+
+@pytest.mark.parametrize("pattern_idx", range(6))
+def test_xmark_patterns_agree_and_rank(xmark_index, pattern_idx):
+    _assert_agree_and_ranked(xmark_index, _xmark_patterns()[pattern_idx])
+
+
+@pytest.mark.parametrize("pattern_idx", range(6))
+def test_random_documents_agree_and_rank(random_index, pattern_idx):
+    _assert_agree_and_ranked(random_index, _random_patterns()[pattern_idx])
+
+
+def test_skewed_rare_leaf_counters():
+    """The TwigStack-friendly skew: counters expose the intermediate-result
+    blow-up binary joins pay and the holistic join avoids."""
+    body = random_tree(800, tags=("a", "b"), seed=3, max_depth=25)
+    inner = body[len("<root>"):-len("</root>")]
+    xml = "<root>" + inner + "<a><b/><c/></a>" * 5 + "</root>"
+    index = ElementIndex(parse_document(xml))
+    root = TwigNode("a")
+    root.add(TwigNode("b"), "descendant")
+    out = root.add(TwigNode("c"), "descendant")
+    out.is_output = True
+    pattern = TwigPattern(root)
+
+    results, profiler = _run_all(index, pattern)
+    assert results["twigstack"] == results["binary"] == results["navigation"]
+    binary = profiler.operators["join.binary"].counters
+    twig = profiler.operators["join.twigstack"].counters
+    # binary joins materialized (a, b) rows that never survive the c edge
+    assert binary["intermediate_rows"] > twig["path_solutions"]
+    assert twig["elements_scanned"] <= binary["elements_scanned"]
+
+
+def test_twigstack_counters_bounded_by_postings(xmark_index):
+    """elements_scanned for the holistic join never exceeds the posting sums."""
+    pattern = TwigPattern.chain("item", ("description", "descendant"),
+                                ("text", "descendant"))
+    _results, profiler = _run_all(xmark_index, pattern)
+    total_postings = sum(len(xmark_index.postings(name))
+                        for name in ("item", "description", "text"))
+    assert profiler.operators["join.twigstack"].counters["elements_scanned"] \
+        <= total_postings

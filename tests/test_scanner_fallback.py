@@ -1,0 +1,168 @@
+"""Fast-scanner fallback counters: fuzz + property tests (observability).
+
+The fast-path scanner reports how often (and for which construct) it
+handed work to the inherited reference handlers via
+``FastXMLScanner.fallback_counts``.  These tests pin the two promised
+properties:
+
+1. the counter is *attributed to the triggering construct* — a
+   comment bumps ``comment``, a malformed end tag bumps ``end_tag``,
+   clean machine-generated XML bumps nothing;
+2. counting never changes behaviour: on seeded random documents —
+   well-formed and deliberately mangled — the event stream / error
+   stays identical to the reference parser, and counts appear exactly
+   when the fast path declined something (even when the fallback then
+   raises).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ParseError
+from repro.workloads import generate_xmark
+from repro.xmlio.parser import XMLPullParser
+from repro.xmlio.scanner import FastXMLScanner
+
+
+def outcome(parser):
+    try:
+        return ("ok", tuple(repr(e) for e in parser))
+    except ParseError as exc:
+        return ("err", str(exc))
+
+
+def drain(text: str) -> FastXMLScanner:
+    """Run the scanner over ``text`` (swallowing any ParseError)."""
+    scanner = FastXMLScanner(text)
+    try:
+        for _ in scanner:
+            pass
+    except ParseError:
+        pass
+    return scanner
+
+
+class TestConstructAttribution:
+    def test_clean_xml_has_zero_fallbacks(self):
+        scanner = drain("<a><b x='1'>text</b><c/></a>")
+        assert scanner.fallback_counts == {}
+        assert scanner.fallback_count == 0
+
+    def test_xmark_corpus_is_fallback_free(self):
+        scanner = drain(generate_xmark(scale=0.05, seed=1))
+        assert scanner.fallback_count == 0
+
+    @pytest.mark.parametrize("doc,kind,count", [
+        ("<a><!--note--></a>", "comment", 1),
+        ("<a><!--one--><!--two--></a>", "comment", 2),
+        ("<a><![CDATA[x<y]]></a>", "cdata", 1),
+        ("<a><?pi data?></a>", "pi", 1),
+        ("<!DOCTYPE a><a/>", "doctype", 1),
+        ("<a></ a>", "end_tag", 1),          # space before the name
+        ("<a x='1'y='2'/>", "start_tag", 1),  # missing inter-attr space
+        ("<ü/>", "start_tag", 1),          # non-ASCII name
+        ("<a><!bogus></a>", "bang", 1),
+    ])
+    def test_construct_bumps_its_own_counter(self, doc, kind, count):
+        scanner = drain(doc)
+        assert scanner.fallback_counts.get(kind, 0) == count, \
+            f"{doc!r}: {scanner.fallback_counts}"
+        # and nothing else was counted
+        others = {k: v for k, v in scanner.fallback_counts.items() if k != kind}
+        assert not others, f"{doc!r} also bumped {others}"
+
+    def test_malformed_start_tag_counts_before_raising(self):
+        scanner = FastXMLScanner("<a><b <bad></a>")
+        with pytest.raises(ParseError):
+            for _ in scanner:
+                pass
+        assert scanner.fallback_counts.get("start_tag", 0) >= 1
+
+    def test_malformed_end_tag_counts_before_raising(self):
+        scanner = FastXMLScanner("<a></ a>")
+        with pytest.raises(ParseError):
+            for _ in scanner:
+                pass
+        assert scanner.fallback_counts.get("end_tag", 0) >= 1
+
+    def test_fallback_count_sums_kinds(self):
+        scanner = drain("<!DOCTYPE a><a><!--c--><?pi x?><![CDATA[y]]></a>")
+        assert scanner.fallback_count == sum(scanner.fallback_counts.values())
+        assert scanner.fallback_count == 4
+
+
+# -- seeded random-document fuzzing ------------------------------------------
+
+_TAGS = ["a", "b", "cd", "e1"]
+_RARE = ["<!--x-->", "<![CDATA[z]]>", "<?p i?>"]
+
+
+def _random_doc(rng: random.Random) -> str:
+    """A small random well-formed document, sometimes with rare constructs."""
+    parts: list[str] = []
+    expected_rare = 0
+
+    def element(depth: int) -> None:
+        nonlocal expected_rare
+        tag = rng.choice(_TAGS)
+        attrs = ""
+        for i in range(rng.randrange(3)):
+            attrs += f" x{i}='{rng.randrange(10)}'"
+        parts.append(f"<{tag}{attrs}>")
+        for _ in range(rng.randrange(3) if depth < 4 else 0):
+            choice = rng.random()
+            if choice < 0.55:
+                element(depth + 1)
+            elif choice < 0.8:
+                parts.append(f"t{rng.randrange(100)}")
+            else:
+                parts.append(rng.choice(_RARE))
+                expected_rare += 1
+        parts.append(f"</{tag}>")
+
+    element(0)
+    doc = "".join(parts)
+    return doc, expected_rare
+
+
+def _mangle(doc: str, rng: random.Random) -> str:
+    """Inject one malformation at a random position."""
+    kind = rng.randrange(4)
+    if kind == 0:  # truncate
+        return doc[:rng.randrange(1, len(doc))]
+    pos = rng.randrange(len(doc))
+    if kind == 1:  # stray markup character
+        return doc[:pos] + rng.choice("<>&") + doc[pos:]
+    if kind == 2:  # break an end tag's spacing
+        return doc.replace("</", "</ ", 1)
+    return doc[:pos] + "<!junk" + doc[pos:]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_well_formed_never_diverges(seed):
+    rng = random.Random(8900 + seed)
+    for _ in range(40):
+        doc, expected_rare = _random_doc(rng)
+        scanner = FastXMLScanner(doc)
+        assert outcome(XMLPullParser(doc)) == outcome(scanner), doc
+        # rare constructs are the only fallbacks in these documents,
+        # and every one of them is counted
+        assert scanner.fallback_count == expected_rare, doc
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_malformed_never_diverges_and_counts_stay_sane(seed):
+    rng = random.Random(77000 + seed)
+    for _ in range(40):
+        doc, _ = _random_doc(rng)
+        bad = _mangle(doc, rng)
+        scanner = FastXMLScanner(bad)
+        assert outcome(XMLPullParser(bad)) == outcome(scanner), bad
+        # counters only ever name known construct kinds
+        assert set(scanner.fallback_counts) <= {
+            "start_tag", "end_tag", "comment", "cdata", "pi", "doctype",
+            "bang"}, bad
+        assert all(v > 0 for v in scanner.fallback_counts.values())

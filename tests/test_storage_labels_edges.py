@@ -1,0 +1,202 @@
+"""Order-predicate edge cases for region and Dewey labels (satellite).
+
+The structural-join layer leans entirely on the label predicates —
+``is_ancestor_of`` / ``is_parent_of`` / ``precedes`` and the
+``descendants_in`` index probe.  These tests pin the awkward corners:
+siblings at deep nesting (where pre/post distances get large and
+asymmetric), attribute-node labels (synthetic two-number intervals),
+and the exhaustive agreement of the predicates with the tree's actual
+structure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import ElementIndex
+from repro.storage.labels import DeweyLabel, Label, label_document
+from repro.workloads.synthetic import nested_sections, random_tree
+from repro.xdm.build import parse_document
+from repro.xdm.nodes import AttributeNode, ElementNode
+
+
+def _deep_chain(depth: int, siblings: int = 3) -> str:
+    """``depth`` nested <d> levels, each carrying ``siblings`` <s/> leaves."""
+    xml = "<s/>" * siblings
+    for level in range(depth):
+        xml = f"<d l='{level}'>" + xml + "</d>"
+    return xml
+
+
+class TestSiblingsAtDepth:
+    def test_deep_siblings_precede_each_other_only(self):
+        doc = parse_document(_deep_chain(depth=40, siblings=4))
+        labels = label_document(doc)
+        deepest = doc
+        while isinstance(deepest, ElementNode) or deepest.children:
+            children = [c for c in deepest.children
+                        if isinstance(c, ElementNode)]
+            if not children or children[0].name.local == "s":
+                leaves = children
+                break
+            deepest = children[0]
+        leaf_labels = [labels[id(leaf)] for leaf in leaves]
+        assert len(leaf_labels) == 4
+        for i, a in enumerate(leaf_labels):
+            for j, b in enumerate(leaf_labels):
+                assert a.precedes(b) == (i < j)
+                assert not a.is_ancestor_of(b)
+                assert not a.is_parent_of(b)
+
+    def test_precedes_is_a_strict_total_order_over_disjoint_nodes(self):
+        doc = parse_document(random_tree(200, seed=13, max_depth=30))
+        labels = label_document(doc)
+        elems = [n for n in doc.descendants_or_self()
+                 if isinstance(n, ElementNode)]
+        lab = [labels[id(n)] for n in elems]
+        for a in lab[:60]:
+            for b in lab[:60]:
+                related = a.is_ancestor_of(b) or b.is_ancestor_of(a) or a == b
+                if related:
+                    assert not a.precedes(b) and not b.precedes(a)
+                else:
+                    # exactly one direction holds
+                    assert a.precedes(b) != b.precedes(a)
+
+    def test_ancestor_predicate_matches_tree_walk(self):
+        doc = parse_document(nested_sections(depth=5, fanout=2))
+        labels = label_document(doc)
+        elems = [n for n in doc.descendants_or_self()
+                 if isinstance(n, ElementNode)]
+
+        def truly_ancestor(a, d) -> bool:
+            return any(x is d for x in a.descendants())
+
+        for a in elems[:40]:
+            for d in elems[:40]:
+                assert labels[id(a)].is_ancestor_of(labels[id(d)]) == \
+                    truly_ancestor(a, d)
+
+    def test_parent_requires_adjacent_level_at_depth(self):
+        doc = parse_document(_deep_chain(depth=30, siblings=1))
+        labels = label_document(doc)
+        chain = []
+        node = doc
+        while True:
+            children = [c for c in node.children if isinstance(c, ElementNode)]
+            if not children:
+                break
+            node = children[0]
+            chain.append(node)
+        for i, a in enumerate(chain):
+            for j, d in enumerate(chain):
+                la, ld = labels[id(a)], labels[id(d)]
+                assert la.is_ancestor_of(ld) == (i < j)
+                assert la.is_parent_of(ld) == (j == i + 1)
+
+
+class TestAttributeLabels:
+    DOC = "<r><a x='1' y='2'><b z='3'/></a><c w='4'/></r>"
+
+    def _labeled(self):
+        doc = parse_document(self.DOC)
+        return doc, label_document(doc)
+
+    def test_attribute_is_child_of_owner_never_ancestor(self):
+        doc, labels = self._labeled()
+        for elem in doc.descendants_or_self():
+            if not isinstance(elem, ElementNode):
+                continue
+            le = labels[id(elem)]
+            for attr in elem.attributes:
+                la = labels[id(attr)]
+                assert le.is_ancestor_of(la)
+                assert le.is_parent_of(la)
+                assert not la.is_ancestor_of(le)
+                assert la.level == le.level + 1
+
+    def test_sibling_attributes_are_ordered_disjoint(self):
+        doc, labels = self._labeled()
+        a = next(n for n in doc.descendants_or_self()
+                 if isinstance(n, ElementNode) and n.name.local == "a")
+        lx, ly = (labels[id(attr)] for attr in a.attributes)
+        assert lx.precedes(ly)
+        assert not lx.is_ancestor_of(ly) and not ly.is_ancestor_of(lx)
+
+    def test_attribute_does_not_contain_following_elements(self):
+        doc, labels = self._labeled()
+        nodes = {n.name.local: n for n in doc.descendants_or_self()
+                 if isinstance(n, ElementNode)}
+        a = nodes["a"]
+        b = nodes["b"]
+        for attr in a.attributes:
+            la = labels[id(attr)]
+            # the synthetic (pre, pre+1) interval is empty: contains nothing
+            assert not la.is_ancestor_of(labels[id(b)])
+            assert la.precedes(labels[id(b)])
+
+    def test_attribute_postings_in_element_index(self):
+        index = ElementIndex(parse_document(self.DOC))
+        assert [p.node.value for p in index.postings("@x")] == ["1"]
+        assert len(index.postings("@z")) == 1
+        z = index.postings("@z")[0]
+        b = index.postings("b")[0]
+        assert b.label.is_parent_of(z.label)
+        # attribute postings join as leaf partners: //a//@z via the probe
+        a = index.postings("a")[0]
+        inside = index.descendants_in("@z", a.label)
+        assert [p.node for p in inside] == [z.node]
+
+    def test_dewey_attribute_labels(self):
+        doc = parse_document(self.DOC)
+        labels = label_document(doc, dewey=True)
+        for elem in doc.descendants_or_self():
+            if not isinstance(elem, ElementNode):
+                continue
+            le = labels[id(elem)]
+            for attr in elem.attributes:
+                la = labels[id(attr)]
+                assert le.is_ancestor_of(la)
+                assert le.is_parent_of(la)
+                assert la.level == le.level + 1
+
+
+class TestDescendantsInProbe:
+    def test_probe_agrees_with_predicate_scan(self):
+        doc = parse_document(random_tree(300, seed=29, max_depth=25))
+        index = ElementIndex(doc)
+        for anc_name in ("a", "b"):
+            for desc_name in ("c", "d"):
+                for anc in index.postings(anc_name)[:20]:
+                    probe = index.descendants_in(desc_name, anc.label)
+                    scan = [p for p in index.postings(desc_name)
+                            if anc.label.is_ancestor_of(p.label)]
+                    assert [p.pre for p in probe] == [p.pre for p in scan]
+
+    def test_probe_at_deep_nesting(self):
+        index = ElementIndex(parse_document(_deep_chain(depth=35, siblings=2)))
+        outermost = index.postings("d")[0]
+        innermost = index.postings("d")[-1]
+        assert outermost.label.is_ancestor_of(innermost.label)
+        # every <s/> leaf sits under the outermost <d>
+        assert len(index.descendants_in("s", outermost.label)) == \
+            len(index.postings("s"))
+        # the innermost <d> contains only its own two leaves
+        assert len(index.descendants_in("s", innermost.label)) == 2
+
+    def test_probe_excludes_following_siblings(self):
+        index = ElementIndex(parse_document(
+            "<r><a><b/></a><a><b/><b/></a></r>"))
+        first, second = index.postings("a")
+        assert len(index.descendants_in("b", first.label)) == 1
+        assert len(index.descendants_in("b", second.label)) == 2
+
+    def test_dewey_sorts_like_pre_order(self):
+        doc = parse_document(random_tree(150, seed=41, max_depth=20))
+        region = label_document(doc)
+        dewey = label_document(doc, dewey=True)
+        elems = [n for n in doc.descendants_or_self()
+                 if isinstance(n, ElementNode)]
+        by_region = sorted(elems, key=lambda n: region[id(n)].pre)
+        by_dewey = sorted(elems, key=lambda n: dewey[id(n)].path)
+        assert [id(n) for n in by_region] == [id(n) for n in by_dewey]

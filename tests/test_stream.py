@@ -167,3 +167,103 @@ class TestBrokers:
         broker.register("s", "//a")
         broker.register("s", "//b")
         assert broker.route("<r><a/><b/><b/></r>") == {"s": 3}
+
+
+class TestBrokerQueryStats:
+    """Per-query delivery counters and re-registration semantics.
+
+    Regression: replacing a subscription under an existing query id
+    used to be impossible without losing all delivery history; now the
+    messages/matches counters restart (they described the old query)
+    but the reset itself is surfaced via the ``resets`` counter.
+    """
+
+    @pytest.mark.parametrize("cls", [MessageBroker, NaiveBroker])
+    def test_stats_accumulate(self, cls):
+        broker = cls()
+        qid = broker.register("s", "//a")
+        broker.route("<r><a/><a/></r>")
+        broker.route("<r><b/></r>")
+        broker.route("<r><a/></r>")
+        assert broker.query_stats(qid) == \
+            {"messages": 2, "matches": 3, "resets": 0}
+
+    @pytest.mark.parametrize("cls", [MessageBroker, NaiveBroker])
+    def test_reregistration_surfaces_reset(self, cls):
+        broker = cls()
+        qid = broker.register("s", "//a")
+        broker.route("<r><a/></r>")
+        assert broker.query_stats(qid)["matches"] == 1
+
+        same = broker.register("s", "//b", query_id=qid)
+        assert same == qid
+        stats = broker.query_stats(qid)
+        # counters restart for the new query, but the reset is visible
+        assert stats == {"messages": 0, "matches": 0, "resets": 1}
+
+        broker.route("<r><a/><b/><b/></r>")
+        assert broker.query_stats(qid) == \
+            {"messages": 1, "matches": 2, "resets": 1}
+
+        broker.register("s", "//a", query_id=qid)
+        assert broker.query_stats(qid)["resets"] == 2
+
+    def test_reregistration_routes_new_query_only(self):
+        broker = MessageBroker()
+        qid = broker.register("old", "//a")
+        broker.register("keep", "//c")
+        assert broker.route("<r><a/><c/></r>") == {"old": 1, "keep": 1}
+        broker.register("new", "//b", query_id=qid)
+        # the replaced query no longer matches; the other query is intact
+        assert broker.route("<r><a/><b/><c/></r>") == {"new": 1, "keep": 1}
+
+    def test_reregistration_matches_naive_broker(self):
+        fast, naive = MessageBroker(), NaiveBroker()
+        for broker in (fast, naive):
+            broker.register("s0", "/order/lines/line")
+            broker.register("s1", "//symbol")
+        for broker in (fast, naive):
+            broker.register("s1", "//tracking", query_id=1)
+        for message in generate_messages(60, seed=9):
+            assert fast.route(message) == naive.route(message), message
+        assert fast.query_stats(1) == naive.query_stats(1)
+
+    @pytest.mark.parametrize("cls", [MessageBroker, NaiveBroker])
+    def test_unknown_query_id_rejected(self, cls):
+        broker = cls()
+        broker.register("s", "//a")
+        with pytest.raises(IndexError):
+            broker.register("s", "//b", query_id=5)
+
+    def test_broker_wide_stats(self):
+        broker = MessageBroker()
+        broker.register("s", "//a")
+        broker.route("<r><a/></r>")
+        stats = broker.stats()
+        assert stats["queries"] == 1
+        assert stats["messages_routed"] == 1
+        assert stats["dfa_states"] == broker.dfa.dfa_size
+        assert stats["computed_transitions"] == broker.dfa.computed_transitions
+
+    def test_route_with_profiler_records_dfa_counters(self):
+        from repro.observability import Profiler
+
+        broker = MessageBroker()
+        broker.register("s", "//a")
+        profiler = Profiler()
+        broker.route("<r><a/><a/></r>", profiler=profiler)
+        stats = profiler.operators["stream.broker"]
+        assert stats.calls == 1
+        assert stats.items == 2
+        assert stats.counters["computed_transitions"] > 0
+        # a second identical message is all cache hits
+        broker.route("<r><a/><a/></r>", profiler=profiler)
+        assert profiler.operators["stream.broker"].counters["cached_hits"] > 0
+
+    def test_lazy_dfa_stats_snapshot(self):
+        dfa = LazyDFA([parse_path("//a")])
+        list(dfa.feed(parse_events("<r><a/></r>")))
+        snap = dfa.stats()
+        assert snap["queries"] == 1
+        assert snap["dfa_states"] == dfa.dfa_size
+        assert snap["computed_transitions"] == dfa.computed_transitions
