@@ -11,7 +11,7 @@ Run:  python examples/ebxml_transform.py [n_partners]
 import sys
 import time
 
-from repro import Engine
+from repro import Engine, xml
 from repro.workloads import EBXML_QUERY, generate_ebxml
 
 
@@ -26,7 +26,7 @@ def main(n_partners: int = 12) -> None:
     print(f"compiled in {compile_ms:.1f} ms")
 
     t0 = time.perf_counter()
-    result = compiled.execute(variables={"input": source})
+    result = compiled.execute(variables={"input": xml(source)})
     # pull the first item to show time-to-first-result
     iterator = iter(result)
     next(iterator)

@@ -6,7 +6,7 @@ schema, including the famous '<a>3</a> eq 3' behaviour flip.
 Run:  python examples/schema_validation.py
 """
 
-from repro import Engine, execute_query
+from repro import Engine, execute_query, xml
 from repro.xsd import Schema
 
 SCHEMA_TEXT = """<schema>
@@ -32,7 +32,7 @@ def main() -> None:
     engine = Engine()
 
     # untyped: attribute compares as a string / via double coercion
-    untyped = execute_query("$r/review/@stars = '4'", variables={"r": DOC})
+    untyped = execute_query("$r/review/@stars = '4'", variables={"r": xml(DOC)})
     print("untyped  @stars = '4'  :", untyped.values())
 
     # validated: @stars is myNS:rating (an integer), arithmetic works
@@ -40,14 +40,14 @@ def main() -> None:
         "let $v := validate { $r/review } return data($v/@stars) + 1",
         variables=("r",), schemas=[schema])
     print("typed    @stars + 1    :",
-          compiled.execute(variables={"r": DOC}).values())
+          compiled.execute(variables={"r": xml(DOC)}).values())
 
     # the derived type's facets are enforced
     bad = DOC.replace('stars="4"', 'stars="9"')
     compiled = engine.compile("validate { $r/review }",
                               variables=("r",), schemas=[schema])
     try:
-        compiled.execute(variables={"r": bad}).items()
+        compiled.execute(variables={"r": xml(bad)}).items()
         print("facet check: MISSED")
     except Exception as exc:
         print(f"facet check: stars=9 rejected ({type(exc).__name__})")

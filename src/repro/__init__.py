@@ -9,25 +9,54 @@ storage with structural/twig joins, and a streaming XPath automaton.
 
 Quickstart::
 
-    from repro import execute_query
+    import repro
 
-    result = execute_query(
+    result = repro.execute(
         "for $b in $doc//book where $b/@year < 1980 return $b/title",
-        variables={"doc": "<bib><book year='1967'><title>T</title></book></bib>"},
+        variables={"doc": repro.xml(
+            "<bib><book year='1967'><title>T</title></book></bib>")},
     )
     print(result.serialize())
+
+``repro.compile`` / ``repro.execute`` / ``repro.explain`` share one
+default engine (and its compile cache); plain strings in
+``variables=`` bind ``xs:string`` atomics — wrap XML text in
+``repro.xml(...)`` to bind a parsed document.  For concurrent
+execution with deadlines, admission control, and parallel-group plans,
+see :class:`repro.service.QueryService`.
 """
 
-from repro.engine import CompiledQuery, Engine, Result, execute_query
+from repro.api import compile, execute, explain
+from repro.engine import CompiledQuery, Engine, Result, execute_query, xml
+from repro.errors import (
+    QueryCancelled,
+    QueryTimeout,
+    ServiceError,
+    ServiceOverloaded,
+)
+from repro.runtime.cancellation import CancellationToken
 from repro.xdm.build import parse_document
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # the unified public API
+    "compile",
+    "execute",
+    "explain",
+    "xml",
+    # engine objects
     "Engine",
     "CompiledQuery",
     "Result",
-    "execute_query",
     "parse_document",
+    # concurrency & cancellation
+    "CancellationToken",
+    "QueryCancelled",
+    "QueryTimeout",
+    "ServiceError",
+    "ServiceOverloaded",
+    # legacy one-shot helper (prefer repro.execute)
+    "execute_query",
     "__version__",
 ]

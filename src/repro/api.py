@@ -1,0 +1,90 @@
+"""The one-import public API: ``repro.compile / execute / explain``.
+
+All three delegate to one process-wide default :class:`~repro.engine.
+Engine`, so repeated queries share its compiled-query cache::
+
+    import repro
+
+    compiled = repro.compile("for $b in //book return $b/title")
+    result = repro.execute("count(//book)", context_item=xml_text)
+    print(repro.explain("//book[@year < 1980]", analyze=True,
+                        context_item=xml_text))
+
+The default engine is created lazily with the default flags
+(optimizer and static typing on, no executor).  For different flags —
+parallel-group execution, optimizer off, a shared base context —
+construct an :class:`~repro.engine.Engine` directly, or use
+:class:`repro.service.QueryService` for concurrent execution with
+deadlines and admission control.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.engine import CompiledQuery, Engine, Result
+from repro.runtime.cancellation import CancellationToken
+
+#: the lazily-created process-wide engine behind the module-level API
+_default_engine: Optional[Engine] = None
+
+
+def default_engine() -> Engine:
+    """The engine behind :func:`compile`/:func:`execute`/:func:`explain`."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = Engine()
+    return _default_engine
+
+
+def compile(query_text: str,  # noqa: A001 - deliberate builtin shadow at module scope
+            variables: Iterable[str] = (),
+            schemas: Iterable = ()) -> CompiledQuery:
+    """Compile a query with the default engine (cached)."""
+    return default_engine().compile(query_text, variables=variables,
+                                    schemas=schemas)
+
+
+def execute(query_text: str, *,
+            context_item: Any = None,
+            variables: Optional[dict[str, Any]] = None,
+            documents: Optional[dict[str, Any]] = None,
+            collections: Optional[dict[str, list]] = None,
+            document_loader=None,
+            profiler=None,
+            deadline: Optional[float] = None,
+            cancellation: Optional[CancellationToken] = None) -> Result:
+    """Compile (cached) and execute a query with the default engine.
+
+    Keyword-only, with the same names as
+    :meth:`~repro.engine.CompiledQuery.execute`.
+    """
+    compiled = default_engine().compile(query_text,
+                                        variables=tuple(variables or ()))
+    return compiled.execute(context_item=context_item, variables=variables,
+                            documents=documents, collections=collections,
+                            document_loader=document_loader,
+                            profiler=profiler, deadline=deadline,
+                            cancellation=cancellation)
+
+
+def explain(query_text: str, *,
+            context_item: Any = None,
+            variables: Optional[dict[str, Any]] = None,
+            documents: Optional[dict[str, Any]] = None,
+            collections: Optional[dict[str, list]] = None,
+            document_loader=None,
+            analyze: bool = False,
+            deadline: Optional[float] = None,
+            cancellation: Optional[CancellationToken] = None):
+    """EXPLAIN (ANALYZE) a query with the default engine.
+
+    Keyword-only, with the same names as :meth:`~repro.engine.Engine.
+    explain`.
+    """
+    return default_engine().explain(query_text, context_item=context_item,
+                                    variables=variables, documents=documents,
+                                    collections=collections,
+                                    document_loader=document_loader,
+                                    analyze=analyze, deadline=deadline,
+                                    cancellation=cancellation)

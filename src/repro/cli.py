@@ -58,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-compile-cache", action="store_true",
                         help="compile from scratch instead of reusing the "
                              "process-wide compiled-query cache")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="evaluate analysis-proven-independent "
+                             "subexpression groups on N parallel workers "
+                             "(default 1: sequential plans)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                        help="abort evaluation after SECS seconds "
+                             "(exit code 124, like timeout(1))")
     parser.add_argument("--xml-decl", action="store_true",
                         help="emit an XML declaration before the result")
     parser.add_argument("--indent", type=int, default=0, metavar="N",
@@ -85,9 +92,13 @@ def _parse_var(text: str):
         raise SystemExit(f"--var needs NAME=VALUE, got {text!r}")
     value: object
     if raw.startswith("@"):
-        value = Path(raw[1:]).read_text()
+        from repro.engine import xml
+
+        value = xml(Path(raw[1:]).read_text())
     elif raw.startswith("<"):
-        value = raw
+        from repro.engine import xml
+
+        value = xml(raw)
     elif raw in ("true", "false"):
         value = raw == "true"
     else:
@@ -129,10 +140,17 @@ def main(argv: list[str] | None = None) -> int:
 
     variables = dict(_parse_var(v) for v in args.var)
 
+    executor = None
+    if args.jobs > 1:
+        from repro.service import default_executor
+
+        executor = default_executor(args.jobs)
+
     engine = Engine(optimize=not args.no_optimize,
                     static_typing=not args.no_static_typing,
                     compile_cache=None if args.no_compile_cache
-                    else _COMPILE_CACHE)
+                    else _COMPILE_CACHE,
+                    executor=executor)
     try:
         compiled = engine.compile(query_text, variables=tuple(variables))
     except Exception as exc:
@@ -161,7 +179,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         result = compiled.execute(
             context_item=context_xml, variables=variables,
-            document_loader=fs_loader, profiler=profiler)
+            document_loader=fs_loader, profiler=profiler,
+            deadline=args.timeout)
         if args.explain:
             # EXPLAIN ANALYZE: drain, print the annotated tree
             result.items()
@@ -184,8 +203,10 @@ def main(argv: list[str] | None = None) -> int:
                                  engine_stats=result.stats).to_dict()
             print(json.dumps(dump), file=sys.stderr)
     except Exception as exc:
+        from repro.errors import QueryTimeout
+
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return 124 if isinstance(exc, QueryTimeout) else 1
     return 0
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterator
 
 from repro.compiler.context import StaticContext
+from repro.compiler.parallel import independent_for_clauses, is_parallel_safe
 from repro.compiler.sequencetype import SequenceType, resolve_sequence_type
 from repro.errors import DynamicError, StaticError, TypeError_, UndefinedNameError
 from repro.qname import QName, XS_NS, XDT_NS
@@ -64,7 +65,8 @@ class CodeGenerator:
     only kind the engine builds.
     """
 
-    def __init__(self, static_ctx: StaticContext, instrument: bool = True):
+    def __init__(self, static_ctx: StaticContext, instrument: bool = True,
+                 executor=None):
         self.ctx = static_ctx
         #: compiled user functions, keyed (name, arity) — fills lazily so
         #: recursive functions terminate compilation
@@ -74,6 +76,10 @@ class CodeGenerator:
         self.plan_tree = None
         self._node_stack: list = []
         self._op_counter = 0
+        #: group executor (``repro.service.executors``): when set,
+        #: analysis-proven-independent sibling groups compile to a
+        #: ``ParallelSeq`` operator that fans members out through it
+        self.executor = executor
 
     # -- dispatch ---------------------------------------------------------------
 
@@ -138,8 +144,61 @@ class CodeGenerator:
             yield dctx.context_item()
         return plan
 
+    # -- parallel groups ---------------------------------------------------------
+
+    def _mark_parallel(self, members: int) -> None:
+        """Relabel the current PlanNode as a ParallelSeq operator."""
+        if self._node_stack:
+            node = self._node_stack[-1]
+            node.kind = f"ParallelSeq({node.kind})"
+            node.detail = f"ParallelSeq[{members}] {node.detail}"
+            if "parallel_group" not in node.annotations:
+                node.annotations = node.annotations + ("parallel_group",)
+
+    def _parallel_seq(self, member_plans: list[Plan],
+                      eligible: list[bool]) -> Plan:
+        """A ParallelSeq operator over ordered sequence members.
+
+        Eligible members fan out through the executor; ineligible ones
+        (and members the executor declines) evaluate inline at their
+        position, so the merged output order is exactly the sequential
+        order.  Stats: ``parallel.groups_run`` on a successful fan-out,
+        ``parallel.fallback_sequential`` when the executor declines the
+        group, ``parallel.member_fallback`` per declined member.
+        """
+        executor = self.executor
+        fan_out = [i for i, ok in enumerate(eligible) if ok]
+
+        def plan(dctx):
+            results = executor.run_group([member_plans[i] for i in fan_out],
+                                         dctx)
+            if results is None:
+                dctx.count("parallel.fallback_sequential")
+                for sub in member_plans:
+                    yield from sub(dctx)
+                return
+            dctx.count("parallel.groups_run")
+            produced = dict(zip(fan_out, results))
+            token = dctx._shared.cancellation
+            for i, sub in enumerate(member_plans):
+                if token is not None:
+                    token.check()
+                items = produced.get(i)
+                if items is None:
+                    if i in produced:
+                        dctx.count("parallel.member_fallback")
+                    yield from sub(dctx)
+                else:
+                    yield from items
+        return plan
+
     def _c_SequenceExpr(self, expr: ast.SequenceExpr) -> Plan:
         plans = [self.compile(item) for item in expr.items]
+        if self.executor is not None:
+            eligible = [is_parallel_safe(item) for item in expr.items]
+            if sum(eligible) >= 2:
+                self._mark_parallel(sum(eligible))
+                return self._parallel_seq(plans, eligible)
 
         def plan(dctx):
             for sub in plans:
@@ -169,7 +228,8 @@ class CodeGenerator:
         def plan(dctx):
             # lazy binding: the paper's buffer-iterator-factory pattern —
             # the value is pulled at most once no matter how often $var is used
-            binding = BufferedSequence(value_plan(dctx))
+            binding = BufferedSequence(value_plan(dctx),
+                                       cancellation=dctx._shared.cancellation)
             yield from body_plan(dctx.bind(var, binding))
         return plan
 
@@ -180,11 +240,17 @@ class CodeGenerator:
 
         if pos_var is None:
             def plan(dctx):
+                token = dctx._shared.cancellation
                 for item in seq_plan(dctx):
+                    if token is not None:
+                        token.check()
                     yield from body_plan(dctx.bind(var, (item,)))
         else:
             def plan(dctx):
+                token = dctx._shared.cancellation
                 for i, item in enumerate(seq_plan(dctx), start=1):
+                    if token is not None:
+                        token.check()
                     child = dctx.bind_many({var: (item,), pos_var: (integer(i),)})
                     yield from body_plan(child)
         return plan
@@ -262,7 +328,18 @@ class CodeGenerator:
                      for spec in expr.order]
         ret_plan = self.compile(expr.ret)
 
-        def tuples(dctx, depth=0):
+        # independent FOR-clause sources form a parallel group: their
+        # sequences are prefetched concurrently before tuple formation
+        executor = self.executor
+        par_indices: list[int] = []
+        if executor is not None:
+            par_indices = independent_for_clauses(expr)
+            if len(par_indices) >= 2:
+                self._mark_parallel(len(par_indices))
+            else:
+                par_indices = []
+
+        def tuples(dctx, depth=0, prefetched=None):
             """Generate the binding-tuple stream (one dctx per tuple)."""
             if depth == len(clause_plans):
                 if where_plan is None or effective_boolean_value(where_plan(dctx)):
@@ -270,14 +347,23 @@ class CodeGenerator:
                 return
             kind, var, pos_var, sub = clause_plans[depth]
             if kind == "let":
-                bound = dctx.bind(var, BufferedSequence(sub(dctx)))
-                yield from tuples(bound, depth + 1)
+                bound = dctx.bind(var, BufferedSequence(
+                    sub(dctx), cancellation=dctx._shared.cancellation))
+                yield from tuples(bound, depth + 1, prefetched)
             else:
-                for i, item in enumerate(sub(dctx), start=1):
+                source = None
+                if prefetched is not None:
+                    source = prefetched.get(depth)
+                if source is None:
+                    source = sub(dctx)
+                token = dctx._shared.cancellation
+                for i, item in enumerate(source, start=1):
+                    if token is not None:
+                        token.check()
                     bound = dctx.bind(var, (item,))
                     if pos_var is not None:
                         bound = bound.bind(pos_var, (integer(i),))
-                    yield from tuples(bound, depth + 1)
+                    yield from tuples(bound, depth + 1, prefetched)
 
         def regroup(rows: list) -> list:
             """The group-by extension: one tuple per distinct key, with
@@ -311,7 +397,21 @@ class CodeGenerator:
             return out
 
         def plan(dctx):
-            rows = list(tuples(dctx))
+            prefetched = None
+            if par_indices:
+                group = [clause_plans[i][3] for i in par_indices]
+                results = executor.run_group(group, dctx)
+                if results is None:
+                    dctx.count("parallel.fallback_sequential")
+                else:
+                    dctx.count("parallel.groups_run")
+                    prefetched = {}
+                    for depth, items in zip(par_indices, results):
+                        if items is None:
+                            dctx.count("parallel.member_fallback")
+                        else:
+                            prefetched[depth] = items
+            rows = list(tuples(dctx, 0, prefetched))
             if group_specs:
                 rows = regroup(rows)
             if key_plans:
@@ -493,6 +593,35 @@ class CodeGenerator:
         right_plan = self.compile(expr.right)
         op = expr.op
 
+        if self.executor is not None and is_parallel_safe(expr.left) \
+                and is_parallel_safe(expr.right):
+            # the slide's example: ns1:WS1($input) + ns2:WS2($input) —
+            # both operands execute unconditionally and independently
+            executor = self.executor
+            self._mark_parallel(2)
+
+            def plan(dctx):
+                results = executor.run_group([left_plan, right_plan], dctx)
+                if results is None:
+                    dctx.count("parallel.fallback_sequential")
+                    a = _opt_atomic_value(left_plan(dctx))
+                    b = _opt_atomic_value(right_plan(dctx))
+                else:
+                    dctx.count("parallel.groups_run")
+                    left_items, right_items = results
+                    if left_items is None:
+                        dctx.count("parallel.member_fallback")
+                        left_items = left_plan(dctx)
+                    if right_items is None:
+                        dctx.count("parallel.member_fallback")
+                        right_items = right_plan(dctx)
+                    a = _opt_atomic_value(iter(left_items))
+                    b = _opt_atomic_value(iter(right_items))
+                result = arithmetic(op, a, b)
+                if result is not None:
+                    yield result
+            return plan
+
         def plan(dctx):
             a = _opt_atomic_value(left_plan(dctx))
             b = _opt_atomic_value(right_plan(dctx))
@@ -556,9 +685,12 @@ class CodeGenerator:
         right_plan = self.compile(expr.right)
 
         def plan(dctx):
-            left_seq = BufferedSequence(left_plan(dctx))
+            token = dctx._shared.cancellation
+            left_seq = BufferedSequence(left_plan(dctx), cancellation=token)
             size = left_seq.length  # resolved lazily by fn:last()
             for i, item in enumerate(left_seq, start=1):
+                if token is not None:
+                    token.check()
                 if not isinstance(item, Node):
                     raise TypeError_("path step applied to a non-node", code="XPTY0019")
                 yield from right_plan(dctx.with_focus(item, i, size))
@@ -584,9 +716,12 @@ class CodeGenerator:
         predicate_plan = self.compile(predicate)
 
         def plan(dctx):
-            base_seq = BufferedSequence(base_plan(dctx))
+            token = dctx._shared.cancellation
+            base_seq = BufferedSequence(base_plan(dctx), cancellation=token)
             size = base_seq.length
             for i, item in enumerate(base_seq, start=1):
+                if token is not None:
+                    token.check()
                 focus = dctx.with_focus(item, i, size)
                 result = list(predicate_plan(focus))
                 if result and all(isinstance(v, AtomicValue) and T.is_numeric(v.type)
@@ -723,6 +858,37 @@ class CodeGenerator:
         if builtin is not None:
             impl, lazy = builtin.impl, builtin.lazy
 
+            # eager builtins materialize every argument anyway, so
+            # independent pure arguments are a parallel group (lazy
+            # builtins keep pull semantics: prefetching could hang on
+            # an infinite argument that exists() would never drain)
+            if self.executor is not None and not lazy:
+                eligible = [is_parallel_safe(a) for a in expr.args]
+                if sum(eligible) >= 2:
+                    executor = self.executor
+                    fan_out = [i for i, ok in enumerate(eligible) if ok]
+                    self._mark_parallel(len(fan_out))
+
+                    def plan(dctx):
+                        results = executor.run_group(
+                            [arg_plans[i] for i in fan_out], dctx)
+                        if results is None:
+                            dctx.count("parallel.fallback_sequential")
+                            args = [list(sub(dctx)) for sub in arg_plans]
+                        else:
+                            dctx.count("parallel.groups_run")
+                            produced = dict(zip(fan_out, results))
+                            args = []
+                            for i, sub in enumerate(arg_plans):
+                                items = produced.get(i)
+                                if items is None:
+                                    if i in produced:
+                                        dctx.count("parallel.member_fallback")
+                                    items = list(sub(dctx))
+                                args.append(items)
+                        yield from impl(dctx, *args)
+                    return plan
+
             def plan(dctx):
                 if lazy:
                     args = [sub(dctx) for sub in arg_plans]
@@ -755,7 +921,8 @@ class CodeGenerator:
                     value = arg_plan(dctx)
                     if seq_type is not None:
                         value = _function_convert(value, seq_type, "argument")
-                    bindings[pname] = BufferedSequence(value)
+                    bindings[pname] = BufferedSequence(
+                        value, cancellation=dctx._shared.cancellation)
                 result = body_plan(dctx.bind_many(bindings))
                 if return_type is not None:
                     result = _function_convert(result, return_type, "return")

@@ -21,9 +21,12 @@ conditions, derived from the slide and the analysis annotations:
 4. **determinism** — none of them depends on mutable dynamic-context
    state beyond the focus they share (the declarative function flags).
 
-The actual parallel runtime is out of scope for a GIL-bound
-interpreter (the paper likewise defers to DeWitt/Gray); the analysis
-is the reusable piece, and :func:`parallel_groups` exposes it.
+:func:`parallel_groups` exposes the whole-tree analysis (EXPLAIN and
+tests use it); :func:`is_parallel_safe` and
+:func:`independent_for_clauses` are the per-node entry points the code
+generator calls when an executor is configured, to decide — at compile
+time — which sibling subexpressions become a ``ParallelSeq`` fan-out
+(see ``repro.service.executors`` for the runtime half).
 """
 
 from __future__ import annotations
@@ -62,6 +65,44 @@ def _is_pure(expr: ast.Expr) -> bool:
     return True
 
 
+def is_parallel_safe(expr: ast.Expr) -> bool:
+    """May ``expr`` run concurrently with its siblings?
+
+    Requires the tree to be *analyzed*: an unannotated node means the
+    analysis pass never ran, and treating it as pure would let a
+    constructor slip into a parallel group — so unannotated trees are
+    conservatively not safe.
+    """
+    if "creates_nodes" not in expr.annotations:
+        return False
+    return _is_pure(expr)
+
+
+def independent_for_clauses(flwor: "ast.FLWOR") -> list[int]:
+    """Indices of FOR clauses whose *sources* are mutually independent.
+
+    A clause source qualifies when it is pure **and** references no
+    variable bound by an earlier clause of the same FLWOR (``for $x in
+    $d/a, $y in $x/b`` — $y's source depends on $x, so only clause 0
+    qualifies).  Qualifying sources can all be evaluated concurrently
+    before tuple formation starts.
+    """
+    from repro.compiler.analysis import free_vars
+
+    out: list[int] = []
+    bound: set = set()
+    for i, clause in enumerate(flwor.clauses):
+        if isinstance(clause, ast.ForClause):
+            if is_parallel_safe(clause.expr) and \
+                    not (free_vars(clause.expr) & bound):
+                out.append(i)
+        bound.add(clause.var)
+        pos_var = getattr(clause, "pos_var", None)
+        if pos_var is not None:
+            bound.add(pos_var)
+    return out
+
+
 def parallel_groups(expr: ast.Expr, min_size: int = 2) -> list[ParallelGroup]:
     """All parallelizable sibling groups in the tree (pre-order).
 
@@ -80,9 +121,10 @@ def parallel_groups(expr: ast.Expr, min_size: int = 2) -> list[ParallelGroup]:
             candidates = list(node.args)
         elif isinstance(node, ast.FLWOR):
             # clause *sources* of independent FOR clauses evaluate
-            # unconditionally; LET values are lazy, skip them
-            candidates = [c.expr for c in node.clauses
-                          if isinstance(c, ast.ForClause)]
+            # unconditionally; LET values are lazy, skip them, and a
+            # source reading an earlier clause's variable is dependent
+            candidates = [node.clauses[i].expr
+                          for i in independent_for_clauses(node)]
         # if/and/or are excluded: branches are conditional / short-circuit
 
         eligible = [c for c in candidates if _is_pure(c)]

@@ -10,12 +10,15 @@ one item of the result does one item's worth of work (E1/E2).
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Iterable, Iterator, Optional
 
 from repro.compiler.codegen import CodeGenerator
 from repro.compiler.context import StaticContext
 from repro.compiler.normalize import normalize_module
+from repro.errors import QueryCancelled
 from repro.qname import QName
+from repro.runtime.cancellation import CancellationToken
 from repro.runtime.dynamic import DynamicContext
 from repro.runtime.iterators import BufferedSequence
 from repro.xdm.build import node_events, parse_document
@@ -26,6 +29,34 @@ from repro.xquery import ast
 from repro.xquery.parser import parse_query
 
 
+class xml:
+    """Marks a string as XML text to parse into a document node.
+
+    Variable bindings treat plain Python strings as ``xs:string``
+    atomics; wrap the text to bind a parsed document instead::
+
+        repro.execute("$doc//book", variables={"doc": repro.xml(text)})
+
+    Accepted anywhere a document can be bound: ``variables=``,
+    ``documents=``, and the context item.
+    """
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str):
+        if not isinstance(text, str):
+            raise TypeError("repro.xml() wraps XML text (a str), "
+                            f"got {type(text).__name__}")
+        self.text = text
+
+    def parse(self) -> "DocumentNode":
+        return parse_document(self.text)
+
+    def __repr__(self) -> str:
+        return f"repro.xml({self.text[:40]!r}...)" if len(self.text) > 40 \
+            else f"repro.xml({self.text!r})"
+
+
 class Result:
     """A lazy query result: iterate it, or serialize it.
 
@@ -34,7 +65,12 @@ class Result:
     """
 
     def __init__(self, plan, dctx: DynamicContext):
-        self._seq = BufferedSequence(plan(dctx))
+        source = plan(dctx)
+        if dctx._shared.cancellation is not None:
+            # a cancelled/timed-out pull surfaces the partial stats on
+            # the exception (only queries with a token pay this layer)
+            source = _annotate_cancellation(source, dctx)
+        self._seq = BufferedSequence(source)
         self._dctx = dctx
 
     def __iter__(self) -> Iterator[Any]:
@@ -109,33 +145,67 @@ class CompiledQuery:
         #: (:class:`repro.observability.PlanNode`)
         self.plan_tree = plan_tree
 
-    def execute(self,
+    #: legacy positional parameter order of :meth:`execute` (pre-1.1),
+    #: kept so old positional calls keep working behind a warning
+    _EXECUTE_POSITIONAL = ("context_item", "variables", "documents",
+                           "collections", "document_loader", "profiler")
+
+    def execute(self, *args,
                 context_item: Any = None,
                 variables: Optional[dict[str, Any]] = None,
                 documents: Optional[dict[str, Any]] = None,
                 collections: Optional[dict[str, list]] = None,
                 document_loader=None,
-                profiler=None) -> Result:
-        """Run the query.
+                profiler=None,
+                deadline: Optional[float] = None,
+                cancellation: Optional[CancellationToken] = None) -> Result:
+        """Run the query.  All parameters are keyword-only.
 
         - ``context_item``: XML text, a node, or None — bound to ``.``;
-        - ``variables``: name → value; values may be XML text (parsed to
-          a document), nodes, items, lists of items, or plain Python
-          values (converted to typed atomics);
-        - ``documents``: uri → XML text / node / callable for fn:doc;
+        - ``variables``: name → value; a plain ``str`` binds an
+          ``xs:string`` atomic — wrap XML text in :func:`repro.xml` to
+          bind a parsed document; values may also be nodes, items,
+          lists of items, or plain Python values (converted to typed
+          atomics);
+        - ``documents``: uri → XML text / :func:`repro.xml` / node /
+          callable for fn:doc;
         - ``collections``: uri → list of nodes for fn:collection;
         - ``document_loader``: fallback ``loader(uri)`` for fn:doc URIs
           not pre-registered (return XML text / a node / None);
         - ``profiler``: a :class:`repro.observability.Profiler` to
-          activate the plan's per-operator hooks (None = off, free).
+          activate the plan's per-operator hooks (None = off, free);
+        - ``deadline``: seconds this execution may run — evaluation
+          raises :class:`repro.errors.QueryTimeout` once exceeded;
+        - ``cancellation``: a :class:`repro.runtime.cancellation.
+          CancellationToken` to share (``deadline`` tightens it).
+
+        Positional arguments still map to the pre-1.1 order
+        (``context_item, variables, documents, collections,
+        document_loader, profiler``) behind a ``DeprecationWarning``.
         """
+        if args:
+            (context_item, variables, documents, collections,
+             document_loader, profiler) = _legacy_positional(
+                "CompiledQuery.execute", self._EXECUTE_POSITIONAL, args,
+                (context_item, variables, documents, collections,
+                 document_loader, profiler))
         dctx = DynamicContext(self.static_context)
         if profiler is not None:
             dctx.profiler = profiler
+        token = cancellation
+        if deadline is not None:
+            if token is None:
+                token = CancellationToken.with_timeout(deadline)
+            else:
+                token.tighten(deadline)
+        if token is not None:
+            dctx.cancellation = token
         if document_loader is not None:
             dctx.set_document_loader(document_loader)
         if documents:
             for uri, provider in documents.items():
+                if isinstance(provider, xml):
+                    provider = provider.text
                 dctx.register_document(uri, provider)
         if collections:
             for uri, nodes in collections.items():
@@ -196,12 +266,17 @@ class Engine:
                  static_typing: bool = True,
                  base_context: StaticContext | None = None,
                  compile_cache_size: int = 64,
-                 compile_cache=_DEFAULT_CACHE):
+                 compile_cache=_DEFAULT_CACHE,
+                 executor=None):
         self.optimize = optimize
         #: the "static typing feature" (optional in XQuery): infer the
         #: result type and reject statically-impossible queries
         self.static_typing = static_typing
         self.base_context = base_context
+        #: group executor (``repro.service.executors``): when set, the
+        #: code generator fans analysis-proven-independent subexpression
+        #: groups out through it (``ParallelSeq`` operators)
+        self.executor = executor
         from repro.runtime.memo import LRUCache
 
         #: compiled queries are pure — cache them keyed by (source
@@ -230,8 +305,13 @@ class Engine:
         if self.compile_cache is not None and not schemas:
             base_fp = self.base_context.fingerprint() \
                 if self.base_context is not None else None
-            cache_key = (query_text, extra, self.optimize,
-                         self.static_typing, base_fp)
+            # variables are a *set* of declared names: normalize the
+            # order so {"a","b"} and {"b","a"} hit the same entry; the
+            # executor shapes the emitted plan, so it keys too
+            cache_key = (query_text, tuple(sorted(extra, key=str)),
+                         self.optimize, self.static_typing, base_fp,
+                         id(self.executor) if self.executor is not None
+                         else None)
             cached = self.compile_cache.get(cache_key)
             if cached is not None:
                 return cached
@@ -264,7 +344,7 @@ class Engine:
 
             analyze(optimized, static_ctx)
 
-        generator = CodeGenerator(static_ctx)
+        generator = CodeGenerator(static_ctx, executor=self.executor)
         plan = generator.compile(optimized)
         compiled = CompiledQuery(module, core, optimized, static_ctx, plan,
                                  static_type, plan_tree=generator.plan_tree)
@@ -272,13 +352,19 @@ class Engine:
             self.compile_cache.put(cache_key, compiled)
         return compiled
 
-    def explain(self, query_text: str,
+    #: legacy positional parameter order of :meth:`explain` (pre-1.1)
+    _EXPLAIN_POSITIONAL = ("context_item", "variables", "analyze",
+                           "documents", "collections", "document_loader")
+
+    def explain(self, query_text: str, *args,
                 context_item: Any = None,
                 variables: Optional[dict[str, Any]] = None,
-                analyze: bool = False,
                 documents: Optional[dict[str, Any]] = None,
                 collections: Optional[dict[str, list]] = None,
-                document_loader=None):
+                document_loader=None,
+                analyze: bool = False,
+                deadline: Optional[float] = None,
+                cancellation: Optional[CancellationToken] = None):
         """EXPLAIN (ANALYZE): the annotated operator tree for a query.
 
         With ``analyze=False`` the query is only compiled and the
@@ -292,6 +378,12 @@ class Engine:
         """
         from repro.observability import ExplainResult, Profiler
 
+        if args:
+            (context_item, variables, analyze, documents, collections,
+             document_loader) = _legacy_positional(
+                "Engine.explain", self._EXPLAIN_POSITIONAL, args,
+                (context_item, variables, analyze, documents, collections,
+                 document_loader))
         compiled = self.compile(query_text, variables=tuple(variables or ()))
         if not analyze:
             return ExplainResult(compiled, query_text=query_text)
@@ -300,7 +392,9 @@ class Engine:
                                   variables=variables, documents=documents,
                                   collections=collections,
                                   document_loader=document_loader,
-                                  profiler=profiler)
+                                  profiler=profiler,
+                                  deadline=deadline,
+                                  cancellation=cancellation)
         result.items()  # drain: ANALYZE measures a full evaluation
         engine_stats = dict(result.stats)
         if self.compile_cache is not None:
@@ -310,18 +404,69 @@ class Engine:
                              engine_stats=engine_stats)
 
 
+def _legacy_positional(where: str, names: tuple[str, ...], args: tuple,
+                       current: tuple) -> tuple:
+    """Map pre-1.1 positional arguments onto the keyword-only params."""
+    if len(args) > len(names):
+        raise TypeError(f"{where} takes at most {len(names)} "
+                        f"positional arguments ({len(args)} given)")
+    warnings.warn(
+        f"positional arguments to {where} are deprecated; "
+        f"use keywords ({', '.join(names[:len(args)])}=...)",
+        DeprecationWarning, stacklevel=3)
+    out = list(current)
+    for i, value in enumerate(args):
+        if out[i] is not None and not (out[i] is False):
+            raise TypeError(f"{where} got multiple values for "
+                            f"argument {names[i]!r}")
+        out[i] = value
+    return tuple(out)
+
+
+def _annotate_cancellation(source, dctx):
+    """Surface partial stats on a cancellation raised mid-evaluation."""
+    try:
+        yield from source
+    except QueryCancelled as exc:
+        if not exc.stats:
+            exc.stats = dict(dctx.stats)
+        raise
+
+
 def _to_item(value: Any) -> Any:
+    """Convert a *context item* argument: XML text parses to a document."""
     if isinstance(value, Node) or isinstance(value, AtomicValue):
         return value
+    if isinstance(value, xml):
+        return value.parse()
     if isinstance(value, str):
         return parse_document(value)
     return _to_atomic(value)
 
 
+def _to_variable_item(value: Any) -> Any:
+    """Convert a *variable binding* value.
+
+    Unlike the context item, a plain ``str`` here is data, not markup:
+    it binds an ``xs:string`` atomic.  Use :class:`xml` to bind a
+    parsed document (pre-1.1 every str was parsed as XML — the silent
+    misparse that motivated the wrapper).
+    """
+    if isinstance(value, Node) or isinstance(value, AtomicValue):
+        return value
+    if isinstance(value, xml):
+        return value.parse()
+    if isinstance(value, str):
+        from repro.xsd import types as T
+
+        return AtomicValue(value, T.XS_STRING)
+    return _to_atomic(value)
+
+
 def _to_sequence(value: Any) -> list[Any]:
     if isinstance(value, (list, tuple)):
-        return [_to_item(v) for v in value]
-    return [_to_item(value)]
+        return [_to_variable_item(v) for v in value]
+    return [_to_variable_item(value)]
 
 
 def _to_atomic(value: Any) -> AtomicValue:
@@ -344,8 +489,15 @@ def execute_query(query_text: str, context_item: Any = None,
                   variables: dict[str, Any] | None = None,
                   documents: dict[str, Any] | None = None,
                   optimize: bool = True) -> Result:
-    """One-shot convenience: compile and execute in one call."""
+    """One-shot convenience: compile and execute in one call.
+
+    Note: variable values that are plain strings bound ``xs:string``
+    atomics since 1.1 — wrap XML text in :func:`repro.xml`.  Prefer
+    :func:`repro.execute`, which shares the default engine's compile
+    cache.
+    """
     engine = Engine(optimize=optimize)
     compiled = engine.compile(query_text,
                               variables=tuple(variables or ()))
-    return compiled.execute(context_item, variables, documents)
+    return compiled.execute(context_item=context_item, variables=variables,
+                            documents=documents)

@@ -92,3 +92,72 @@ class StorageError(XQueryError):
     """Failure in a storage backend (corrupt page, bad magic, ...)."""
 
     code = "FODC0002"
+
+
+class ServiceError(XQueryError):
+    """Failure in the query service layer (``repro.service``).
+
+    The ``SVC``-prefixed codes are ours: the W3C catalogue has no codes
+    for serving concerns (admission control, deadlines, cancellation),
+    so we extend the scheme rather than overload a dynamic-error code.
+    """
+
+    code = "SVC0000"
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control rejected a query: pool and queue are full.
+
+    Carries the observed ``queue_depth`` and the configured limits so
+    clients can implement load shedding / retry policies.
+    """
+
+    code = "SVC0001"
+
+    def __init__(self, message: str = "", queue_depth: int = 0,
+                 max_queue: int = 0, max_workers: int = 0):
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+        self.max_workers = max_workers
+        if not message:
+            message = (f"service overloaded: queue depth {queue_depth} "
+                       f"(limits: {max_workers} workers, {max_queue} queued)")
+        super().__init__(message)
+
+
+class QueryCancelled(ServiceError):
+    """The query's :class:`~repro.runtime.cancellation.CancellationToken`
+    was cancelled by the caller."""
+
+    code = "SVC0002"
+
+    def __init__(self, message: str = "query cancelled", reason: str = ""):
+        self.reason = reason
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+        #: partial instrumentation counters at the point of cancellation
+        #: (filled in by the Result/service layer when available)
+        self.stats: dict[str, int] = {}
+
+
+class QueryTimeout(QueryCancelled):
+    """The query's deadline expired before evaluation finished.
+
+    ``stats`` carries the partial instrumentation counters collected up
+    to the moment the deadline fired, so callers can see how far the
+    runaway query got.
+    """
+
+    code = "SVC0003"
+
+    def __init__(self, message: str = "", deadline: float = 0.0,
+                 elapsed: float = 0.0):
+        self.deadline = deadline
+        self.elapsed = elapsed
+        if not message:
+            message = (f"query deadline of {deadline:.3f}s exceeded "
+                       f"(ran {elapsed:.3f}s)")
+        ServiceError.__init__(self, message)
+        self.reason = "deadline"
+        self.stats = {}

@@ -45,7 +45,8 @@ def navigate_anc_desc(index: ElementIndex, ancestor_name: str,
 
 
 def navigate_pattern(index: ElementIndex, pattern: TwigPattern,
-                     counters: Optional[dict[str, int]] = None) -> list[Posting]:
+                     counters: Optional[dict[str, int]] = None,
+                     cancellation=None) -> list[Posting]:
     """Evaluate a twig purely by navigation.
 
     Strategy: walk the document for candidate roots; descend along the
@@ -108,6 +109,8 @@ def navigate_pattern(index: ElementIndex, pattern: TwigPattern,
     root_name = pattern.root.name
     for node in index.doc.descendants_or_self():
         scanned += 1
+        if cancellation is not None:
+            cancellation.check()
         if isinstance(node, ElementNode) and node.name.local == root_name:
             walk(node, 0)
 

@@ -120,7 +120,7 @@ class TwigPattern:
 
 def evaluate_pattern(index: ElementIndex, pattern: TwigPattern,
                      algorithm: str = "twigstack",
-                     profiler=None) -> list[Posting]:
+                     profiler=None, cancellation=None) -> list[Posting]:
     """Matches of the pattern's output node, distinct, in document order.
 
     With a :class:`repro.observability.Profiler` attached, records a
@@ -129,6 +129,11 @@ def evaluate_pattern(index: ElementIndex, pattern: TwigPattern,
     ``stack_pushes``/``path_solutions``/``output_matches`` where they
     apply).  ``elements_scanned`` is the E6 cost model the differential
     harness ranks: holistic ≤ binary ≤ navigation.
+
+    ``cancellation`` (an optional
+    :class:`repro.runtime.cancellation.CancellationToken`) is polled
+    inside every algorithm's scan loop, so a deadline interrupts a join
+    mid-scan instead of after it.
     """
     counters: Optional[dict[str, int]] = {} if profiler is not None else None
     if profiler is not None:
@@ -138,14 +143,17 @@ def evaluate_pattern(index: ElementIndex, pattern: TwigPattern,
     if algorithm == "twigstack":
         from repro.joins.twigstack import twig_stack
 
-        matches = twig_stack(index, pattern, counters=counters)
+        matches = twig_stack(index, pattern, counters=counters,
+                             cancellation=cancellation)
         result = _distinct_postings(m[pattern.output.name] for m in matches)
     elif algorithm == "binary":
-        result = binary_join_plan(index, pattern, counters=counters)
+        result = binary_join_plan(index, pattern, counters=counters,
+                                  cancellation=cancellation)
     elif algorithm == "navigation":
         from repro.joins.navigation import navigate_pattern
 
-        result = navigate_pattern(index, pattern, counters=counters)
+        result = navigate_pattern(index, pattern, counters=counters,
+                                  cancellation=cancellation)
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
     if profiler is not None:
@@ -155,7 +163,8 @@ def evaluate_pattern(index: ElementIndex, pattern: TwigPattern,
 
 
 def binary_join_plan(index: ElementIndex, pattern: TwigPattern,
-                     counters: Optional[dict[str, int]] = None) -> list[Posting]:
+                     counters: Optional[dict[str, int]] = None,
+                     cancellation=None) -> list[Posting]:
     """Evaluate the twig as a sequence of binary structural joins.
 
     Each edge runs one stack-tree join; intermediate results are
@@ -175,7 +184,8 @@ def binary_join_plan(index: ElementIndex, pattern: TwigPattern,
             alist = _distinct_postings(row[node.name] for row in rows)
             pairs = list(stack_tree_desc(alist, index.postings(child.name),
                                          parent_child=(edge.kind == "child"),
-                                         counters=counters))
+                                         counters=counters,
+                                         cancellation=cancellation))
             # group descendants by ancestor pre
             by_anc: dict[int, list[Posting]] = {}
             for a, d in pairs:

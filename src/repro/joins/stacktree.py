@@ -22,12 +22,15 @@ from repro.storage.indexes import Posting
 def stack_tree_desc(alist: list[Posting], dlist: list[Posting],
                     parent_child: bool = False,
                     counters: Optional[dict[str, int]] = None,
+                    cancellation=None,
                     ) -> Iterator[tuple[Posting, Posting]]:
     """All (ancestor, descendant) pairs, sorted by descendant pre.
 
     ``parent_child`` restricts to direct parents (level check).
     ``counters`` (optional) accumulates ``elements_scanned`` (the merge
     touches every posting of both inputs once) and ``stack_pushes``.
+    ``cancellation`` (optional CancellationToken) is polled once per
+    descendant so a deadline can stop a long merge mid-scan.
     """
     if counters is not None:
         counters["elements_scanned"] = counters.get("elements_scanned", 0) \
@@ -38,6 +41,8 @@ def stack_tree_desc(alist: list[Posting], dlist: list[Posting],
     ai, di = 0, 0
     na, nd = len(alist), len(dlist)
     while di < nd:
+        if cancellation is not None:
+            cancellation.check()
         d = dlist[di]
         # push every ancestor that starts before d
         while ai < na and alist[ai].pre < d.pre:

@@ -67,12 +67,15 @@ class _TwigState:
 
 
 def twig_stack(index: ElementIndex, pattern: TwigPattern,
-               counters: Optional[dict[str, int]] = None) -> list[dict[str, Posting]]:
+               counters: Optional[dict[str, int]] = None,
+               cancellation=None) -> list[dict[str, Posting]]:
     """All full matches of ``pattern``: list of name → posting bindings.
 
     ``counters`` (optional) accumulates observability metrics:
     ``elements_scanned`` (postings consumed across all streams),
     ``stack_pushes``, ``path_solutions``, ``output_matches``.
+    ``cancellation`` (optional CancellationToken) is polled once per
+    coordinated advance so deadlines interrupt long joins.
     """
     state = _TwigState(index, pattern)
     root = pattern.root
@@ -80,6 +83,8 @@ def twig_stack(index: ElementIndex, pattern: TwigPattern,
     pushes = 0
 
     while True:
+        if cancellation is not None:
+            cancellation.check()
         q = _get_next(state, root)
         stream = state.streams[q.name]
         head = stream.head()

@@ -161,6 +161,21 @@ class DynamicContext:
         self._shared.profiler = profiler
 
     @property
+    def cancellation(self):
+        """The attached :class:`repro.runtime.cancellation.CancellationToken`,
+        or None.
+
+        Hot loops read ``_shared.cancellation`` directly (the guarded
+        check, same pattern as the profiler hook); this property is the
+        public spelling.
+        """
+        return self._shared.cancellation
+
+    @cancellation.setter
+    def cancellation(self, token) -> None:
+        self._shared.cancellation = token
+
+    @property
     def stats(self) -> dict[str, int]:
         """Cheap instrumentation counters (benchmarks read these)."""
         return self._shared.stats
@@ -175,7 +190,8 @@ class _Shared:
     """State shared by all contexts derived from one evaluation."""
 
     __slots__ = ("static_ctx", "current_datetime", "documents", "collections",
-                 "node_ids_required", "stats", "document_loader", "profiler")
+                 "node_ids_required", "stats", "document_loader", "profiler",
+                 "cancellation")
 
     def __init__(self, static_ctx, current_datetime):
         self.static_ctx = static_ctx
@@ -190,3 +206,6 @@ class _Shared:
         #: per-operator metrics sink (repro.observability); None = off,
         #: and every plan hook reduces to one is-None check
         self.profiler = None
+        #: cooperative CancellationToken polled by the hot iterator
+        #: loops; None = no deadline/cancellation, one is-None check
+        self.cancellation = None

@@ -29,15 +29,20 @@ class BufferedSequence:
     of consumers.
     """
 
-    __slots__ = ("_source", "_cache", "_done")
+    __slots__ = ("_source", "_cache", "_done", "_cancellation")
 
-    def __init__(self, source: Iterable[Any]):
+    def __init__(self, source: Iterable[Any], cancellation=None):
         self._source: Optional[Iterator[Any]] = iter(source)
         self._cache: list[Any] = []
         self._done = False
+        #: optional CancellationToken polled on every fresh pull — the
+        #: buffer sits under every LET binding, so a deadline fires even
+        #: while a consumer drains one long-running binding
+        self._cancellation = cancellation
 
     def __iter__(self) -> Iterator[Any]:
         index = 0
+        token = self._cancellation
         while True:
             if index < len(self._cache):
                 yield self._cache[index]
@@ -46,6 +51,8 @@ class BufferedSequence:
                 return
             else:
                 assert self._source is not None
+                if token is not None:
+                    token.check()
                 try:
                     item = next(self._source)
                 except StopIteration:
@@ -62,8 +69,11 @@ class BufferedSequence:
 
         Raises IndexError past the end.
         """
+        token = self._cancellation
         while len(self._cache) <= index and not self._done:
             assert self._source is not None
+            if token is not None:
+                token.check()
             try:
                 self._cache.append(next(self._source))
             except StopIteration:
@@ -81,8 +91,11 @@ class BufferedSequence:
 
     def length(self) -> int:
         """Total length (materializes the remainder)."""
+        token = self._cancellation
         while not self._done:
             assert self._source is not None
+            if token is not None:
+                token.check()
             try:
                 self._cache.append(next(self._source))
             except StopIteration:

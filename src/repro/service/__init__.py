@@ -1,0 +1,25 @@
+"""Concurrent query execution: pools, parallel groups, admission control.
+
+- :class:`QueryService` — run queries on a bounded pool with deadlines,
+  retry, and load shedding;
+- :mod:`repro.service.executors` — the group executors behind the
+  compiler's ``ParallelSeq`` operator (threads for overlap, fork for
+  multi-core speedup).
+"""
+
+from repro.service.executors import (
+    ForkGroupExecutor,
+    SequentialExecutor,
+    ThreadGroupExecutor,
+    default_executor,
+)
+from repro.service.queryservice import QueryService, RetryingDocumentLoader
+
+__all__ = [
+    "QueryService",
+    "RetryingDocumentLoader",
+    "SequentialExecutor",
+    "ThreadGroupExecutor",
+    "ForkGroupExecutor",
+    "default_executor",
+]

@@ -1,0 +1,296 @@
+"""Group executors: the runtime half of parallel-group execution.
+
+The compiler half (``repro.compiler.parallel``) proves which sibling
+subexpressions are independent; the code generator then emits a
+``ParallelSeq`` operator that hands the member subplans to one of the
+executors here.  The contract is one duck-typed method::
+
+    run_group(plans, dctx) -> list[list[item] | None] | None
+
+- returning ``None`` declines the whole group (saturated pool, nested
+  fan-out, platform without fork): the caller evaluates every member
+  inline, sequentially, and counts ``parallel.fallback_sequential``;
+- a ``None`` *entry* declines one member (result not transportable
+  across a process boundary): the caller evaluates just that member
+  inline — results are always exact, parallelism is only a fast path.
+
+Two families, because CPython's GIL splits the problem:
+
+- :class:`ThreadGroupExecutor` — a bounded thread pool.  Threads share
+  the heap, so any member result (including nodes) comes back intact,
+  and blocking members (``fn:doc`` through a slow document loader)
+  overlap.  Pure-Python CPU work does *not* speed up under the GIL.
+- :class:`ForkGroupExecutor` — ``os.fork()`` fan-out.  Children
+  inherit the parsed document tree copy-on-write (no serialization of
+  inputs at all) and evaluate members on separate cores; results come
+  back over a pipe, which restricts transport to atomic values — the
+  shape aggregation queries produce.  This is the executor that turns
+  the paper's dataflow-parallelism slide into wall-clock speedup.
+
+Deadlock freedom (thread pool): a group is admitted only when *every*
+member can occupy a worker immediately (permit accounting), and a
+worker thread never fans out again (thread-local reentrancy guard) —
+so no task ever waits in the queue behind a blocked parent.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterator, Optional
+
+Plan = Callable[..., Iterator[Any]]
+GroupResult = Optional[list[Optional[list[Any]]]]
+
+_FORK_AVAILABLE = hasattr(os, "fork")
+
+
+class SequentialExecutor:
+    """The null executor: declines every group.
+
+    Configure it to exercise the sequential-fallback path explicitly
+    (tests, benchmark baselines) while keeping the ``ParallelSeq``
+    operators — and their stats — in the plan.
+    """
+
+    def run_group(self, plans: list[Plan], dctx) -> GroupResult:
+        return None
+
+    def shutdown(self) -> None:
+        pass
+
+
+class ThreadGroupExecutor:
+    """Fan group members out to a bounded thread pool.
+
+    ``max_workers`` bounds concurrent members across *all* groups; a
+    group is only admitted when all its members get a worker at once
+    (see module docstring for why that is deadlock-free).
+    """
+
+    def __init__(self, max_workers: int = 4):
+        self.max_workers = max_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers,
+            thread_name_prefix="repro-group")
+        self._lock = threading.Lock()
+        self._free = max_workers
+        self._local = threading.local()
+
+    def run_group(self, plans: list[Plan], dctx) -> GroupResult:
+        if getattr(self._local, "in_worker", False):
+            return None  # nested fan-out inside a member: run inline
+        with self._lock:
+            if self._free < len(plans):
+                return None  # saturated: caller degrades to sequential
+            self._free -= len(plans)
+        futures = [self._pool.submit(self._run_member, plan, dctx)
+                   for plan in plans]
+        results: list[Optional[list[Any]]] = []
+        error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                # keep draining: members are pure, and permits must be
+                # returned by every _run_member before we leave
+                if error is None:
+                    error = exc  # earliest member, as sequential order would
+                results.append(None)
+        if error is not None:
+            raise error
+        return results
+
+    def _run_member(self, plan: Plan, dctx) -> list[Any]:
+        self._local.in_worker = True
+        try:
+            return list(plan(dctx))
+        finally:
+            self._local.in_worker = False
+            with self._lock:
+                self._free += 1
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadGroupExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class ForkGroupExecutor:
+    """Fan group members out to forked child processes.
+
+    Children are forked per group (so they see the documents already
+    parsed by the parent, copy-on-write) and stream their member's
+    result back over a pipe.  Only atomic values survive the pipe —
+    a member producing nodes, an unpicklable value, or any exception
+    reports a marker instead, and the parent re-evaluates that member
+    inline (pure members are deterministic, so the rerun is faithful,
+    and an erroring rerun raises with the real traceback).
+
+    Deadlines propagate: the forked child inherits the parent's
+    :class:`~repro.runtime.cancellation.CancellationToken` snapshot,
+    and its absolute monotonic deadline is valid in the child, so a
+    runaway member times itself out.  Explicit ``cancel()`` after the
+    fork only interrupts the parent (documented limitation).
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 2))
+        #: set in forked children so nested groups never fork again
+        self._in_child = False
+
+    @property
+    def available(self) -> bool:
+        return _FORK_AVAILABLE
+
+    def run_group(self, plans: list[Plan], dctx) -> GroupResult:
+        if not _FORK_AVAILABLE or self._in_child or len(plans) < 2:
+            return None
+        token = getattr(dctx._shared, "cancellation", None)
+        results: list[Optional[list[Any]]] = [None] * len(plans)
+        next_member = 0
+        while next_member < len(results):
+            if token is not None:
+                token.check()
+            wave = range(next_member,
+                         min(next_member + self.jobs, len(results)))
+            children = [(i, *self._fork_member(plans[i], dctx)) for i in wave]
+            for i, pid, read_fd in children:
+                payload = self._read_all(read_fd)
+                os.waitpid(pid, 0)
+                results[i] = self._decode(payload)
+            next_member = wave.stop
+        return results
+
+    # -- child side --------------------------------------------------------
+
+    def _fork_member(self, plan: Plan, dctx) -> tuple[int, int]:
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid:  # parent
+            os.close(write_fd)
+            return pid, read_fd
+        # child: evaluate, encode, write, hard-exit (no atexit/buffers)
+        os.close(read_fd)
+        self._in_child = True
+        try:
+            payload = _encode_items(list(plan(dctx)))
+        except BaseException:  # noqa: BLE001 - parent reruns for the traceback
+            payload = pickle.dumps(("raised",))
+        try:
+            os.write(write_fd, struct.pack("<Q", len(payload)))
+            offset = 0
+            while offset < len(payload):
+                offset += os.write(write_fd, payload[offset:offset + 1 << 20])
+        except BaseException:
+            os._exit(1)
+        finally:
+            os._exit(0)
+        return 0, 0  # pragma: no cover - unreachable
+
+    # -- parent side -------------------------------------------------------
+
+    @staticmethod
+    def _read_all(read_fd: int) -> bytes:
+        try:
+            header = b""
+            while len(header) < 8:
+                chunk = os.read(read_fd, 8 - len(header))
+                if not chunk:
+                    return b""
+                header += chunk
+            (length,) = struct.unpack("<Q", header)
+            parts: list[bytes] = []
+            remaining = length
+            while remaining:
+                chunk = os.read(read_fd, min(remaining, 1 << 20))
+                if not chunk:
+                    return b""
+                parts.append(chunk)
+                remaining -= len(chunk)
+            return b"".join(parts)
+        finally:
+            os.close(read_fd)
+
+    @staticmethod
+    def _decode(payload: bytes) -> Optional[list[Any]]:
+        """Rebuild a member's items, or None to request an inline rerun."""
+        if not payload:
+            return None  # child died before writing: rerun inline
+        try:
+            message = pickle.loads(payload)
+        except Exception:
+            return None
+        if not isinstance(message, tuple) or not message:
+            return None
+        if message[0] != "items":
+            return None  # ("fallback",) / ("raised",): rerun inline
+        from repro.xdm.items import AtomicValue
+        from repro.xsd.types import builtin_types
+
+        types = builtin_types()
+        items: list[Any] = []
+        for value, name_pair in message[1]:
+            atype = types.get(_qname(name_pair))
+            if atype is None:
+                return None  # schema-derived type: rerun inline
+            items.append(AtomicValue(value, atype))
+        return items
+
+    def shutdown(self) -> None:
+        pass
+
+    def __enter__(self) -> "ForkGroupExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def _encode_items(items: list[Any]) -> bytes:
+    """Pickle a member result for the pipe, or a fallback marker.
+
+    Atomic values travel as ``(python value, (type uri, type local))``
+    pairs; nodes (or values pickle rejects) turn the whole member into
+    ``("fallback",)`` — parents re-evaluate those inline.
+    """
+    from repro.xdm.items import AtomicValue
+
+    encoded: list[tuple[Any, tuple[str, str]]] = []
+    for item in items:
+        if not isinstance(item, AtomicValue):
+            return pickle.dumps(("fallback",))
+        encoded.append((item.value, (item.type.name.uri, item.type.name.local)))
+    try:
+        return pickle.dumps(("items", encoded))
+    except Exception:
+        return pickle.dumps(("fallback",))
+
+
+def _qname(name_pair: tuple[str, str]):
+    from repro.qname import QName
+
+    return QName(name_pair[0], name_pair[1])
+
+
+def default_executor(jobs: Optional[int] = None):
+    """The best executor this platform offers for ``jobs`` workers.
+
+    Fork-capable platforms get :class:`ForkGroupExecutor` (real
+    multi-core speedup); elsewhere :class:`ThreadGroupExecutor` keeps
+    the same semantics with overlap limited to blocking members.
+    ``jobs=0``/``1`` means "don't parallelize": returns None so the
+    engine compiles plain sequential plans.
+    """
+    if jobs is not None and jobs <= 1:
+        return None
+    if _FORK_AVAILABLE:
+        return ForkGroupExecutor(jobs=jobs)
+    return ThreadGroupExecutor(max_workers=jobs or 4)

@@ -35,6 +35,14 @@ def _new_stats() -> dict[str, int]:
     return {"messages": 0, "matches": 0, "resets": 0}
 
 
+def _checked_events(events, cancellation):
+    """Poll the cancellation token once per streamed parse event."""
+    check = cancellation.check
+    for event in events:
+        check()
+        yield event
+
+
 class MessageBroker:
     """Routes messages through one shared lazy DFA."""
 
@@ -92,7 +100,8 @@ class MessageBroker:
     def dfa(self) -> LazyDFA:
         return self._dfa
 
-    def route(self, message_xml: str, profiler=None) -> dict[str, int]:
+    def route(self, message_xml: str, profiler=None,
+              cancellation=None) -> dict[str, int]:
         """Process one message; returns subscriber → match count.
 
         With a :class:`repro.observability.Profiler` attached, records
@@ -100,13 +109,21 @@ class MessageBroker:
         delivered (items), wall time, and the DFA's memoization
         counters for this message (``computed_transitions`` /
         ``cached_hits`` / ``dfa_states``).
+
+        ``cancellation`` (an optional
+        :class:`repro.runtime.cancellation.CancellationToken`) is
+        polled per parse event, so a deadline can stop routing in the
+        middle of one large message.
         """
         dfa = self._dfa
         if profiler is not None:
             t0 = perf_counter()
             computed0 = dfa.computed_transitions
             hits0 = dfa.cached_hits
-        counts = dfa.match_counts(parse_events(message_xml))
+        events = parse_events(message_xml)
+        if cancellation is not None:
+            events = _checked_events(events, cancellation)
+        counts = dfa.match_counts(events)
         self._messages_routed += 1
         out: dict[str, int] = {}
         delivered = 0
@@ -173,13 +190,16 @@ class NaiveBroker:
         self._stats.append(_new_stats())
         return len(self._queries) - 1
 
-    def route(self, message_xml: str, profiler=None) -> dict[str, int]:
+    def route(self, message_xml: str, profiler=None,
+              cancellation=None) -> dict[str, int]:
         if profiler is not None:
             t0 = perf_counter()
         doc = parse_document(message_xml)
         out: dict[str, int] = {}
         delivered = 0
         for qi, query in enumerate(self._queries):
+            if cancellation is not None:
+                cancellation.check()
             # distinct matches: nested intermediate steps can reach the
             # same final element along several witness paths
             count = len({id(n) for n in _navigate(doc, query.steps)})

@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro
 from repro import Engine, execute_query, parse_document
 from repro.workloads import EBXML_QUERY, generate_ebxml
 
@@ -20,7 +21,7 @@ class TestEngineAPI:
     def test_variable_conversion(self):
         result = execute_query(
             "($i, $f, $s, $b, $seq[2])",
-            variables={"i": 42, "f": 1.5, "s": "<a/>", "b": True,
+            variables={"i": 42, "f": 1.5, "s": repro.xml("<a/>"), "b": True,
                        "seq": [1, 2, 3]})
         values = result.items()
         assert values[0].value == 42
@@ -92,7 +93,7 @@ class TestEbxmlTransformation:
         engine = Engine()
         compiled = engine.compile(EBXML_QUERY, variables=("input",))
         doc = generate_ebxml(n_partners=8, seed=42)
-        result = compiled.execute(variables={"input": doc})
+        result = compiled.execute(variables={"input": repro.xml(doc)})
         return parse_document(result.serialize()), doc
 
     def test_every_partner_transformed(self, output):
@@ -151,16 +152,16 @@ class TestEbxmlTransformation:
         engine = Engine()
         compiled = engine.compile(EBXML_QUERY, variables=("input",))
         doc = generate_ebxml(n_partners=4, seed=9)
-        first = compiled.execute(variables={"input": doc}).serialize()
-        second = compiled.execute(variables={"input": doc}).serialize()
+        first = compiled.execute(variables={"input": repro.xml(doc)}).serialize()
+        second = compiled.execute(variables={"input": repro.xml(doc)}).serialize()
         assert first == second
 
     def test_optimized_equals_unoptimized(self):
         doc = generate_ebxml(n_partners=4, seed=11)
         fast = Engine(optimize=True).compile(EBXML_QUERY, variables=("input",))
         slow = Engine(optimize=False).compile(EBXML_QUERY, variables=("input",))
-        assert fast.execute(variables={"input": doc}).serialize() == \
-            slow.execute(variables={"input": doc}).serialize()
+        assert fast.execute(variables={"input": repro.xml(doc)}).serialize() == \
+            slow.execute(variables={"input": repro.xml(doc)}).serialize()
 
 
 class TestWorkloads:

@@ -2,6 +2,8 @@
 
 import pytest
 
+import repro
+
 from repro.errors import TypeError_
 
 
@@ -165,20 +167,20 @@ class TestNamespaceSteps:
         q = ("declare namespace amz = 'www.amazon.com'; "
              "count($d//amz:book)")
         xml = '<root xmlns:a="www.amazon.com"><a:book/><book/></root>'
-        assert values(q, variables={"d": xml}) == [1]
+        assert values(q, variables={"d": repro.xml(xml)}) == [1]
 
     def test_default_element_namespace_applies_to_steps(self, values):
         q = ("declare default element namespace 'www.amazon.com'; "
              "count($d//book)")
         xml = '<root xmlns="www.amazon.com"><book/></root>'
-        assert values(q, variables={"d": xml}) == [1]
+        assert values(q, variables={"d": repro.xml(xml)}) == [1]
 
     def test_wildcard_uri(self, values):
         q = "count($d//*:book)"
         xml = '<root xmlns:a="u1"><a:book/><book/></root>'
-        assert values(q, variables={"d": xml}) == [2]
+        assert values(q, variables={"d": repro.xml(xml)}) == [2]
 
     def test_prefix_wildcard_local(self, values):
         q = "declare namespace a = 'u1'; count($d//a:*)"
         xml = '<root xmlns:a="u1"><a:book/><a:mag/><other/></root>'
-        assert values(q, variables={"d": xml}) == [2]
+        assert values(q, variables={"d": repro.xml(xml)}) == [2]
