@@ -1,0 +1,100 @@
+"""E13 — index-aware access paths vs tree navigation.
+
+Claim (paper §"Physical algebra", via the DocumentCatalog layer added
+in PR 4): once per-document statistics and element/value indexes exist,
+the compiler can answer selective path+predicate queries from posting
+lists — a point lookup plus residual verification — instead of walking
+the tree.  Costed selection keeps unselective queries on navigation.
+
+Series reported: per query shape, runtime of the navigation plan (same
+query, same pre-parsed document, no catalog) vs the planned plan
+(catalog-compiled; the planner's chosen access path is asserted in
+each benchmark so a regression that silently falls back to navigation
+fails loudly rather than reporting a meaningless 1.0x).  Shape
+targets: value_index >> navigation on selective predicates (E13's
+headline, ≥3x); element_index > navigation on name-sparse chains;
+parity (same plan) when the planner declines the rewrite.
+"""
+
+import pytest
+
+import repro
+from repro.engine import Engine
+from repro.xquery import ast
+
+#: query shapes and the access path the planner must choose for them
+QUERIES = [
+    ("selective value lookup",
+     '$doc/site/people/person[emailaddress = "{email}"]', "value_index"),
+    ("attribute point lookup",
+     '$doc//watch[@open_auction = "open_auction7"]', "value_index"),
+    ("name-sparse chain", "$doc/site/regions", "element_index"),
+    ("numeric predicate", "$doc//closed_auction[quantity = 1]",
+     "element_index"),
+]
+
+
+@pytest.fixture(scope="module")
+def catalog_engine(xmark_s08):
+    cat = repro.catalog()
+    cat.add("doc", xmark_s08)
+    return Engine(catalog=cat)
+
+
+@pytest.fixture(scope="module")
+def nav_engine():
+    return Engine()
+
+
+@pytest.fixture(scope="module")
+def probe_email(xmark_s08_doc, nav_engine):
+    compiled = nav_engine.compile("string(($doc//emailaddress)[1])",
+                                  variables=("doc",))
+    return compiled.execute(variables={"doc": xmark_s08_doc}).values()[0]
+
+
+def _resolve(template: str, email: str) -> str:
+    return template.replace("{email}", email)
+
+
+def _chosen_path(compiled) -> str:
+    for node in compiled.optimized.walk():
+        if isinstance(node, ast.AccessPath):
+            return node.chosen
+    return "navigation"
+
+
+@pytest.mark.parametrize("label,template,expected_path", QUERIES,
+                         ids=[q[0] for q in QUERIES])
+def test_navigation(benchmark, nav_engine, xmark_s08_doc, probe_email,
+                    label, template, expected_path):
+    query = _resolve(template, probe_email)
+    compiled = nav_engine.compile(query, variables=("doc",))
+    benchmark.group = f"E13 {label}"
+    benchmark.name = "navigation"
+    result = benchmark(
+        lambda: compiled.execute(variables={"doc": xmark_s08_doc}).items())
+    assert result is not None
+
+
+@pytest.mark.parametrize("label,template,expected_path", QUERIES,
+                         ids=[q[0] for q in QUERIES])
+def test_access_path(benchmark, catalog_engine, probe_email,
+                     label, template, expected_path):
+    query = _resolve(template, probe_email)
+    compiled = catalog_engine.compile(query)
+    assert _chosen_path(compiled) == expected_path
+    benchmark.group = f"E13 {label}"
+    benchmark.name = f"planned ({expected_path})"
+    result = benchmark(lambda: compiled.execute().items())
+    assert result is not None
+
+
+def test_plans_agree(catalog_engine, nav_engine, xmark_s08_doc, probe_email):
+    """The planned plan must serialize byte-identically to navigation."""
+    for _, template, _ in QUERIES:
+        query = _resolve(template, probe_email)
+        planned = catalog_engine.compile(query).execute().serialize()
+        navigated = nav_engine.compile(query, variables=("doc",)) \
+            .execute(variables={"doc": xmark_s08_doc}).serialize()
+        assert planned == navigated, query

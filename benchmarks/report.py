@@ -298,7 +298,8 @@ def e8_storage() -> None:
     xml = generate_xmark(scale=0.2, seed=2004)
     compiled = Engine().compile("count(/site/open_auctions/open_auction/bidder)")
     rows = []
-    for store in (TextStore(xml), TreeStore(xml), TokenStore(xml)):
+    for store in (TextStore(xml_text=xml), TreeStore(xml_text=xml),
+                  TokenStore(xml_text=xml)):
         one = timed(lambda: compiled.execute(context_item=store.document()).values())
 
         def five():
@@ -462,9 +463,53 @@ def e11_observability() -> None:
           ["operator", "detail", "calls", "items", "inclusive time"], rows)
 
 
+def e13_access_paths() -> None:
+    """Index-aware access paths vs navigation (the PR 4 planner)."""
+    import repro
+    from repro import Engine
+    from repro.workloads import generate_xmark
+    from repro.xquery import ast
+
+    xml = generate_xmark(scale=0.8 if not QUICK else 0.2, seed=2004)
+    cat = repro.catalog()
+    cat.add("doc", xml)
+    planned_engine = Engine(catalog=cat)
+    nav_engine = Engine()
+
+    doc = nav_engine.compile("$doc", variables=("doc",)) \
+        .execute(variables={"doc": repro.xml(xml)}).items()[0]
+    email = nav_engine.compile("string(($doc//emailaddress)[1])",
+                               variables=("doc",)) \
+        .execute(variables={"doc": doc}).values()[0]
+
+    queries = [
+        ("value lookup (element)",
+         f'$doc/site/people/person[emailaddress = "{email}"]'),
+        ("value lookup (attribute)",
+         '$doc//watch[@open_auction = "open_auction7"]'),
+        ("name-sparse chain", "$doc/site/regions"),
+        ("numeric predicate", "$doc//closed_auction[quantity = 1]"),
+    ]
+    rows = []
+    for label, query in queries:
+        planned = planned_engine.compile(query)
+        navigated = nav_engine.compile(query, variables=("doc",))
+        chosen = "navigation"
+        for node in planned.optimized.walk():
+            if isinstance(node, ast.AccessPath):
+                chosen = node.chosen
+        assert planned.execute().serialize() == \
+            navigated.execute(variables={"doc": doc}).serialize()
+        pt = timed(lambda: planned.execute().items())
+        nt = timed(lambda: navigated.execute(variables={"doc": doc}).items())
+        rows.append([label, chosen, fmt(pt), fmt(nt), f"{nt / pt:7.1f}x"])
+    table(f"E13 access-path selection over XMark ({len(xml) // 1024} KB)",
+          ["query", "chosen path", "planned", "navigation", "win"], rows)
+
+
 EXPERIMENTS = [e0_parse, e1_streaming, e2_lazy, e3_pooling, e4_nodeids, e5_ddo,
                e6_joins, e7_rewrites, e8_storage, e9_broker, e10_xslt,
-               e11_observability]
+               e11_observability, e13_access_paths]
 
 
 def main() -> None:

@@ -26,7 +26,8 @@ execution with deadlines, admission control, and parallel-group plans,
 see :class:`repro.service.QueryService`.
 """
 
-from repro.api import compile, execute, explain
+from repro.api import catalog, compile, execute, explain
+from repro.catalog import DocumentCatalog, StoredDocument
 from repro.engine import CompiledQuery, Engine, Result, execute_query, xml
 from repro.errors import (
     QueryCancelled,
@@ -37,7 +38,7 @@ from repro.errors import (
 from repro.runtime.cancellation import CancellationToken
 from repro.xdm.build import parse_document
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # the unified public API
@@ -45,6 +46,9 @@ __all__ = [
     "execute",
     "explain",
     "xml",
+    "catalog",
+    "DocumentCatalog",
+    "StoredDocument",
     # engine objects
     "Engine",
     "CompiledQuery",

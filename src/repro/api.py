@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional
 
+from repro.catalog import DocumentCatalog
 from repro.engine import CompiledQuery, Engine, Result
 from repro.runtime.cancellation import CancellationToken
 
@@ -35,6 +36,22 @@ def default_engine() -> Engine:
     if _default_engine is None:
         _default_engine = Engine()
     return _default_engine
+
+
+def catalog() -> DocumentCatalog:
+    """A fresh :class:`~repro.catalog.DocumentCatalog`.
+
+    Add documents, then hand the catalog to an engine::
+
+        cat = repro.catalog()
+        cat.add("books", xml_text)                 # tree store, indexed
+        engine = repro.Engine(catalog=cat)
+        engine.compile("$books//book[price = '55']").execute()
+
+    Catalog documents bind automatically by name; indexed ones make
+    eligible path steps run on posting lists instead of navigation.
+    """
+    return DocumentCatalog()
 
 
 def compile(query_text: str,  # noqa: A001 - deliberate builtin shadow at module scope

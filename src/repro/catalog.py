@@ -1,0 +1,186 @@
+"""The document catalog: one place to bind documents to queries.
+
+Before 1.2 a document reached the engine four different ways (XML text
+as the context item, ``repro.xml(...)`` wrappers, raw nodes, hand-built
+stores).  The catalog unifies them::
+
+    cat = repro.catalog()
+    books = cat.add("books", xml_text)            # tree store + indexes
+    engine = repro.Engine(catalog=cat)
+    engine.compile("$books//book[price = '55']").execute()
+
+``add`` ingests a source into one of the three storage modes
+(:mod:`repro.storage`), collects per-document statistics, and (by
+default) builds the element/value indexes the access-path planner
+(:mod:`repro.compiler.planner`) uses to replace tree navigation with
+posting-list scans and point lookups.  The returned
+:class:`StoredDocument` handle is accepted anywhere ``repro.xml(...)``
+is: ``variables=``, ``documents=``, and the context item.
+
+Catalog documents are bound automatically when executing queries
+compiled by a catalog-carrying engine: ``$books`` above needs no
+explicit ``variables={"books": ...}``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.storage.indexes import ElementIndex, ValueIndex
+from repro.storage.stats import DocumentStats
+from repro.storage.stores import BaseStore, TextStore, TokenStore, TreeStore
+from repro.xdm.nodes import DocumentNode, Node
+
+_STORE_KINDS = {"tree": TreeStore, "tokens": TokenStore, "text": TextStore}
+
+
+class StoredDocument:
+    """A named, stored (and optionally indexed) document.
+
+    Indexed documents pin one materialized tree so that posting lists
+    and the bound document share node identity; unindexed documents
+    keep their store's native access semantics (a text store re-parses
+    per execution).
+    """
+
+    __slots__ = ("name", "store", "indexed", "_doc",
+                 "_element_index", "_value_index")
+
+    def __init__(self, name: str, store: BaseStore, indexed: bool):
+        self.name = name
+        self.store = store
+        self.indexed = indexed
+        self._doc: Optional[DocumentNode] = None
+        self._element_index: Optional[ElementIndex] = None
+        self._value_index: Optional[ValueIndex] = None
+        if indexed:
+            self._doc = store.document()
+
+    def document(self) -> DocumentNode:
+        """The document node this handle binds."""
+        if self._doc is not None:
+            return self._doc
+        return self.store.document()
+
+    @property
+    def stats(self) -> DocumentStats:
+        return self.store.stats()
+
+    @property
+    def element_index(self) -> Optional[ElementIndex]:
+        """Element-name posting lists (None when not indexed)."""
+        if not self.indexed:
+            return None
+        if self._element_index is None:
+            if isinstance(self.store, TreeStore) and self.store.document() is self._doc:
+                self._element_index = self.store.element_index
+            else:
+                self._element_index = ElementIndex(self._doc)
+        return self._element_index
+
+    @property
+    def value_index(self) -> Optional[ValueIndex]:
+        """(name, value) point-lookup index (None when not indexed)."""
+        if not self.indexed:
+            return None
+        if self._value_index is None:
+            if isinstance(self.store, TreeStore) and self.store.document() is self._doc:
+                self._value_index = self.store.value_index
+            else:
+                self._value_index = ValueIndex(self._doc)
+        return self._value_index
+
+    def fingerprint(self) -> tuple:
+        """Identity of this binding for the compile cache: a plan built
+        against these indexes must not be reused for a different store."""
+        return (self.name, self.store.kind, self.indexed, id(self.store))
+
+    def __repr__(self) -> str:
+        flags = "indexed" if self.indexed else "unindexed"
+        return f"StoredDocument({self.name!r}, {self.store.kind}, {flags})"
+
+
+class DocumentCatalog:
+    """Named documents behind one binding surface (see module docs)."""
+
+    def __init__(self) -> None:
+        self._docs: dict[str, StoredDocument] = {}
+        # id(document node) → handle, for the runtime index-eligibility
+        # check in compiled AccessPath operators (only indexed documents
+        # pin a tree, so the ids stay valid while the catalog lives)
+        self._by_node: dict[int, StoredDocument] = {}
+
+    def add(self, name: str, source: Any, *, store: str = "tree",
+            index: bool = True) -> StoredDocument:
+        """Ingest ``source`` under ``name``, replacing any previous entry.
+
+        - ``source``: XML text (str), :func:`repro.xml`, a
+          :class:`DocumentNode`, or an existing store;
+        - ``store``: ``"tree"`` | ``"tokens"`` | ``"text"`` — ignored
+          when ``source`` is already a store;
+        - ``index``: build element/value indexes (pins a materialized
+          tree; required for index-backed access paths).
+        """
+        if not isinstance(name, str) or not name:
+            raise TypeError("catalog document name must be a non-empty str")
+        from repro.engine import xml as xml_wrapper
+
+        if isinstance(source, BaseStore):
+            backing = source
+        elif isinstance(source, DocumentNode):
+            if store != "tree":
+                raise ValueError(
+                    f"a DocumentNode can only back a tree store, not {store!r}")
+            backing = TreeStore.from_document(source)
+        else:
+            if isinstance(source, xml_wrapper):
+                source = source.text
+            if not isinstance(source, str):
+                raise TypeError(
+                    "catalog source must be XML text, repro.xml(...), a "
+                    f"DocumentNode, or a store — got {type(source).__name__}")
+            try:
+                store_cls = _STORE_KINDS[store]
+            except KeyError:
+                raise ValueError(
+                    f"unknown store kind {store!r}; expected one of "
+                    f"{sorted(_STORE_KINDS)}") from None
+            backing = store_cls(xml_text=source)
+        stored = StoredDocument(name, backing, bool(index))
+        previous = self._docs.get(name)
+        if previous is not None and previous._doc is not None:
+            self._by_node.pop(id(previous._doc), None)
+        self._docs[name] = stored
+        if stored._doc is not None:
+            self._by_node[id(stored._doc)] = stored
+        return stored
+
+    def get(self, name: str) -> Optional[StoredDocument]:
+        return self._docs.get(name)
+
+    def __getitem__(self, name: str) -> StoredDocument:
+        return self._docs[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._docs
+
+    def __iter__(self) -> Iterator[StoredDocument]:
+        return iter(self._docs.values())
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def names(self) -> list[str]:
+        return sorted(self._docs)
+
+    def stored_for(self, node: Node) -> Optional[StoredDocument]:
+        """The indexed handle whose pinned tree is ``node``, if any."""
+        return self._by_node.get(id(node))
+
+    def fingerprint(self) -> tuple:
+        """Hashable identity of every binding, for the compile cache."""
+        return tuple(self._docs[name].fingerprint()
+                     for name in sorted(self._docs))
+
+    def __repr__(self) -> str:
+        return f"DocumentCatalog({self.names()!r})"

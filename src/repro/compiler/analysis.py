@@ -100,6 +100,13 @@ def _node_properties(expr: ast.Expr, static_ctx) -> dict:
                 "doc_ordered": True, "distinct": True, "disjoint": True,
                 "singleton": True}
 
+    if isinstance(expr, ast.AccessPath):
+        # planner-introduced: emits distinct elements of one document
+        # in document order, like the DDO(PathExpr) it replaced
+        return {"creates_nodes": False, "can_raise": True,
+                "uses_focus": False, "doc_ordered": True, "distinct": True,
+                "disjoint": False}
+
     if isinstance(expr, ast.Step):
         # a step from ONE context node
         if expr.axis in _FORWARD_STABLE:

@@ -66,8 +66,11 @@ class CodeGenerator:
     """
 
     def __init__(self, static_ctx: StaticContext, instrument: bool = True,
-                 executor=None):
+                 executor=None, catalog=None):
         self.ctx = static_ctx
+        #: document catalog (``repro.catalog``): AccessPath operators
+        #: resolve their posting lists through it at runtime
+        self.catalog = catalog
         #: compiled user functions, keyed (name, arity) — fills lazily so
         #: recursive functions terminate compilation
         self._function_plans: dict[tuple[QName, int], Plan] = {}
@@ -753,6 +756,65 @@ class CodeGenerator:
 
     def _c_OrderedExpr(self, expr: ast.OrderedExpr) -> Plan:
         return self.compile(expr.operand)
+
+    def _c_AccessPath(self, expr: ast.AccessPath) -> Plan:
+        from repro.joins.access import (
+            element_chain_postings,
+            value_lookup_elements,
+        )
+
+        fallback_plan = self.compile(expr.fallback)
+        predicate_plan = self.compile(expr.predicate) \
+            if expr.predicate is not None else None
+        catalog = self.catalog
+        var, steps, pred, chosen = expr.var, expr.steps, expr.pred, expr.chosen
+
+        def plan(dctx):
+            stored = None
+            doc = None
+            if catalog is not None:
+                value = dctx.variable(var)
+                items = list(value) if isinstance(
+                    value, (list, tuple, BufferedSequence)) else [value]
+                if len(items) == 1:
+                    doc = items[0]
+                    stored = catalog.stored_for(doc)
+            if stored is None or not stored.indexed:
+                # the runtime binding is not the indexed document this
+                # plan was costed for — degrade to navigation
+                dctx.count("access_path.fallback_navigation")
+                yield from fallback_plan(dctx)
+                return
+            dctx.count(f"access_path.{chosen}")
+            token = dctx._shared.cancellation
+            eindex = stored.element_index
+            if chosen == "value_index":
+                candidates = value_lookup_elements(
+                    eindex, stored.value_index, doc, steps,
+                    pred[0], pred[1], pred[2])
+            else:
+                candidates = [p.node for p in
+                              element_chain_postings(eindex, steps)]
+            if predicate_plan is not None:
+                # re-verify every index candidate with the original
+                # predicate: normalized value keys over-approximate
+                # string equality, and numeric probes never consult
+                # the value index at all
+                verified = []
+                size = len(candidates)
+                for i, node in enumerate(candidates, start=1):
+                    if token is not None:
+                        token.check()
+                    focus = dctx.with_focus(node, i, size)
+                    if effective_boolean_value(predicate_plan(focus)):
+                        verified.append(node)
+                candidates = verified
+            dctx.count("access_path.actual_rows", len(candidates))
+            for node in candidates:
+                if token is not None:
+                    token.check()
+                yield node
+        return plan
 
     # -- constructors -----------------------------------------------------------
 

@@ -1,0 +1,241 @@
+"""Cost-based access-path selection.
+
+Runs after the rewrite engine when the engine carries a
+:class:`~repro.catalog.DocumentCatalog`.  Eligible path chains rooted
+at a catalog-bound variable —
+
+    $doc//book                      (element-index scan)
+    $doc/site/people/person[emailaddress = "x"]   (value-index lookup)
+
+— are replaced by :class:`~repro.xquery.ast.AccessPath` operators that
+run on the stored document's posting lists instead of navigating the
+tree.  The planner chooses among three physical access paths by
+estimated cost from the store's :class:`~repro.storage.stats.
+DocumentStats`:
+
+- **navigation** (the unmodified expression): cost ≈ ``total_nodes``
+  (every step chain scans the subtree under its context);
+- **element-index scan**: one stack-tree merge per step, cost ≈ the
+  sum of the step names' posting-list lengths (+ one residual
+  predicate evaluation per output candidate);
+- **value-index point lookup**: cost ≈ the estimated matches of the
+  equality probe (occurrences / distinct values) times the chain
+  verification depth.
+
+Eligibility (anything else keeps navigation untouched):
+
+- the chain root is a variable bound in the catalog to an *indexed*
+  document, and no default element namespace is in force;
+- every step is ``child::name`` or ``descendant::name`` with a simple
+  no-namespace name test (``descendant-or-self::node()/child::name``
+  pairs count as one descendant step), and the document itself has no
+  namespaced nodes (posting lists key local names only);
+- at most one predicate, on the last step, of the form
+  ``name = literal`` / ``@name = literal`` (either operand order);
+- the value-index path additionally requires a *string* literal (a
+  numeric probe like ``price = 55`` must match ``"55.0"`` by numeric
+  promotion, which a string-keyed index cannot answer) and a predicate
+  name whose element occurrences are all text-only leaves.
+
+Index results are re-verified: value probes run through whitespace-
+normalized keys (a superset of exact equality), so every candidate
+passes through the *original* predicate before being emitted — the
+compiled access path is result-identical to navigation by
+construction, and falls back to it at runtime when the bound value is
+not the indexed document the plan was costed for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xquery import ast
+from repro.xsd import types as T
+
+#: fixed per-candidate overhead of the upward chain verification
+_VERIFY_FACTOR = 2
+#: an index path must beat navigation by this margin to be worth the
+#: runtime binding check and posting-list machinery
+_MARGIN = 0.75
+
+
+def plan_access_paths(expr: ast.Expr, static_ctx, catalog) -> ast.Expr:
+    """Rewrite eligible chains in ``expr`` into AccessPath operators."""
+    if catalog is None or len(catalog) == 0:
+        return expr
+    if static_ctx is not None and getattr(static_ctx, "default_element_ns", ""):
+        # step names would resolve into a namespace; posting lists
+        # key local names — never eligible
+        return expr
+
+    def visit(node: ast.Expr) -> ast.Expr:
+        replaced = _try_rewrite(node, catalog)
+        if replaced is not None:
+            return replaced
+        return node.with_children(visit)
+
+    return visit(expr)
+
+
+def _try_rewrite(expr: ast.Expr, catalog) -> Optional[ast.AccessPath]:
+    decomposed = _decompose(expr)
+    if decomposed is None:
+        return None
+    var, steps, pred_parts = decomposed
+
+    if var.name.uri:
+        return None
+    stored = catalog.get(var.name.local)
+    if stored is None or not stored.indexed:
+        return None
+    stats = stored.stats
+    if stats.has_namespaces:
+        return None
+
+    pred = None
+    predicate_expr = None
+    probe = None
+    pred_key = None
+    if pred_parts is not None:
+        pred_kind, pred_name, literal, predicate_expr = pred_parts
+        pred_key = "@" + pred_name if pred_kind == "attribute" else pred_name
+        if literal.value.type.derives_from(T.XS_STRING):
+            probe = str(literal.value.value)
+        elif T.is_numeric(literal.value.type):
+            probe = None  # element-scan only; residual does the compare
+        else:
+            return None
+        pred = (pred_kind, pred_name, probe)
+
+    out_name = steps[-1][1]
+    nav_cost = max(1, stats.total_nodes)
+
+    candidates: list[tuple[float, str, int]] = []
+
+    # element-index scan: merge the chain's posting lists
+    elem_cost = sum(stats.count(name) for _, name in steps)
+    est_rows = stats.count(out_name)
+    if pred is not None:
+        elem_cost += est_rows  # one residual predicate check per candidate
+        est_rows = min(est_rows, max(1, stats.estimated_matches(pred_key))) \
+            if stats.value_counts.get(pred_key) else est_rows
+    candidates.append((float(max(1, elem_cost)), "element_index", est_rows))
+
+    # value-index point lookup: probe, then verify each owner's chain
+    if probe is not None and stats.is_leaf_only(pred_key) \
+            and stats.value_counts.get(pred_key):
+        matches = stats.estimated_matches(pred_key)
+        value_cost = max(1, matches) * (len(steps) + _VERIFY_FACTOR)
+        candidates.append((float(value_cost), "value_index", max(1, matches)))
+
+    cost, chosen, rows = min(candidates)
+    if cost >= nav_cost * _MARGIN:
+        return None
+
+    node = ast.AccessPath(var.name, tuple(steps), pred, chosen, rows,
+                          predicate_expr, expr, pos=expr.pos)
+    node.annotations.update({
+        "creates_nodes": False,
+        "can_raise": True,       # unbound variable, cancellation
+        "uses_focus": False,
+        "doc_ordered": True,
+        "distinct": True,
+        "disjoint": False,
+        "access_path.chosen": chosen,
+        "access_path.est_rows": rows,
+    })
+    return node
+
+
+def _decompose(expr: ast.Expr):
+    """Match ``DDO(PathExpr(... VarRef ...))`` chains.
+
+    Returns ``(var, steps, pred_parts)`` where ``steps`` is the
+    root-to-output ``(edge, name)`` list and ``pred_parts`` is None or
+    ``(kind, name, literal, comparison)`` for a final-step equality
+    predicate; None when the shape is ineligible.
+    """
+    if not isinstance(expr, ast.DDO):
+        return None
+    node = expr.operand
+    rights: list[ast.Expr] = []
+    while True:
+        if isinstance(node, ast.DDO):
+            node = node.operand
+        elif isinstance(node, ast.PathExpr):
+            rights.append(node.right)
+            node = node.left
+        else:
+            break
+    if not isinstance(node, ast.VarRef) or not rights:
+        return None
+    var = node
+    rights.reverse()
+
+    steps: list[tuple[str, str]] = []
+    pred_parts = None
+    pending_descendant = False
+    last_index = len(rights) - 1
+    for i, right in enumerate(rights):
+        if isinstance(right, ast.Filter):
+            if i != last_index:
+                return None
+            pred_parts = _match_predicate(right.predicate)
+            if pred_parts is None:
+                return None
+            right = right.base
+        if not isinstance(right, ast.Step):
+            return None
+        if _is_dos_node(right):
+            if pending_descendant or i == last_index:
+                return None
+            pending_descendant = True
+            continue
+        name = _simple_element_name(right)
+        if name is None:
+            return None
+        if pending_descendant:
+            if right.axis != "child":
+                return None
+            steps.append(("descendant", name))
+            pending_descendant = False
+        else:
+            steps.append((right.axis, name))
+    if pending_descendant or not steps:
+        return None
+    return var, steps, pred_parts
+
+
+def _is_dos_node(step: ast.Step) -> bool:
+    return (step.axis == "descendant-or-self" and step.test.kind == "node"
+            and step.test.name is None and step.test.type_name is None)
+
+
+def _simple_element_name(step: ast.Step) -> Optional[str]:
+    if step.axis not in ("child", "descendant"):
+        return None
+    test = step.test
+    if test.kind != "element" or test.name is None or test.type_name is not None:
+        return None
+    if test.name.uri or test.name.local in ("*", ""):
+        return None
+    return test.name.local
+
+
+def _match_predicate(pred: ast.Expr):
+    """``name = literal`` / ``@name = literal`` (general comparison)."""
+    if not isinstance(pred, ast.Comparison) or pred.family != "general" \
+            or pred.op != "=":
+        return None
+    for lhs, rhs in ((pred.left, pred.right), (pred.right, pred.left)):
+        if not isinstance(rhs, ast.Literal) or not isinstance(lhs, ast.Step):
+            continue
+        test = lhs.test
+        if test.type_name is not None or test.name is None \
+                or test.name.uri or test.name.local in ("*", ""):
+            continue
+        if lhs.axis == "child" and test.kind == "element":
+            return ("child", test.name.local, rhs, pred)
+        if lhs.axis == "attribute" and test.kind == "attribute":
+            return ("attribute", test.name.local, rhs, pred)
+    return None

@@ -131,7 +131,7 @@ class CompiledQuery:
 
     def __init__(self, module: ast.Module, core: ast.Expr, optimized: ast.Expr,
                  static_ctx: StaticContext, plan, static_type=None,
-                 plan_tree=None):
+                 plan_tree=None, catalog_bindings=None):
         self.module = module
         #: core expression tree straight out of normalization
         self.core = core
@@ -144,6 +144,9 @@ class CompiledQuery:
         #: the operator tree the code generator emitted hooks for
         #: (:class:`repro.observability.PlanNode`)
         self.plan_tree = plan_tree
+        #: catalog documents the query references, bound automatically
+        #: at execute unless overridden (name → StoredDocument)
+        self.catalog_bindings = catalog_bindings
 
     #: legacy positional parameter order of :meth:`execute` (pre-1.1),
     #: kept so old positional calls keep working behind a warning
@@ -206,6 +209,11 @@ class CompiledQuery:
             for uri, provider in documents.items():
                 if isinstance(provider, xml):
                     provider = provider.text
+                else:
+                    from repro.catalog import StoredDocument
+
+                    if isinstance(provider, StoredDocument):
+                        provider = provider.document()
                 dctx.register_document(uri, provider)
         if collections:
             for uri, nodes in collections.items():
@@ -215,6 +223,11 @@ class CompiledQuery:
             for name, value in variables.items():
                 qname = name if isinstance(name, QName) else QName("", name)
                 bindings[qname] = _to_sequence(value)
+        if self.catalog_bindings:
+            for name, stored in self.catalog_bindings.items():
+                qname = QName("", name)
+                if qname not in bindings:
+                    bindings[qname] = [stored.document()]
         if bindings:
             dctx = dctx.bind_many(bindings)
         if context_item is not None:
@@ -267,8 +280,13 @@ class Engine:
                  base_context: StaticContext | None = None,
                  compile_cache_size: int = 64,
                  compile_cache=_DEFAULT_CACHE,
-                 executor=None):
+                 executor=None,
+                 catalog=None):
         self.optimize = optimize
+        #: document catalog (:func:`repro.catalog`): its documents bind
+        #: automatically by name, and the access-path planner may
+        #: compile eligible steps onto its indexes
+        self.catalog = catalog
         #: the "static typing feature" (optional in XQuery): infer the
         #: result type and reject statically-impossible queries
         self.static_typing = static_typing
@@ -301,17 +319,27 @@ class Engine:
         """
         extra = tuple(QName("", v) if not isinstance(v, QName) else v
                       for v in variables)
+        if self.catalog is not None:
+            declared = {q.local for q in extra if not q.uri}
+            extra = extra + tuple(QName("", name)
+                                  for name in self.catalog.names()
+                                  if name not in declared)
         cache_key = None
         if self.compile_cache is not None and not schemas:
             base_fp = self.base_context.fingerprint() \
                 if self.base_context is not None else None
             # variables are a *set* of declared names: normalize the
             # order so {"a","b"} and {"b","a"} hit the same entry; the
-            # executor shapes the emitted plan, so it keys too
+            # executor shapes the emitted plan, so it keys too; the
+            # catalog fingerprint keys store/index identity so a plan
+            # compiled against an index is never reused for a
+            # different (e.g. unindexed) binding of the same name
             cache_key = (query_text, tuple(sorted(extra, key=str)),
                          self.optimize, self.static_typing, base_fp,
                          id(self.executor) if self.executor is not None
-                         else None)
+                         else None,
+                         self.catalog.fingerprint()
+                         if self.catalog is not None else None)
             cached = self.compile_cache.get(cache_key)
             if cached is not None:
                 return cached
@@ -344,10 +372,26 @@ class Engine:
 
             analyze(optimized, static_ctx)
 
-        generator = CodeGenerator(static_ctx, executor=self.executor)
+        if self.catalog is not None and self.optimize:
+            from repro.compiler.planner import plan_access_paths
+
+            optimized = plan_access_paths(optimized, static_ctx, self.catalog)
+
+        generator = CodeGenerator(static_ctx, executor=self.executor,
+                                  catalog=self.catalog)
         plan = generator.compile(optimized)
+        catalog_bindings = None
+        if self.catalog is not None:
+            used = {e.name.local for e in optimized.walk()
+                    if isinstance(e, ast.VarRef) and not e.name.uri}
+            used.update(e.var.local for e in optimized.walk()
+                        if isinstance(e, ast.AccessPath) and not e.var.uri)
+            catalog_bindings = {name: self.catalog[name]
+                               for name in self.catalog.names()
+                               if name in used}
         compiled = CompiledQuery(module, core, optimized, static_ctx, plan,
-                                 static_type, plan_tree=generator.plan_tree)
+                                 static_type, plan_tree=generator.plan_tree,
+                                 catalog_bindings=catalog_bindings)
         if cache_key is not None:
             self.compile_cache.put(cache_key, compiled)
         return compiled
@@ -435,10 +479,14 @@ def _annotate_cancellation(source, dctx):
 
 def _to_item(value: Any) -> Any:
     """Convert a *context item* argument: XML text parses to a document."""
+    from repro.catalog import StoredDocument
+
     if isinstance(value, Node) or isinstance(value, AtomicValue):
         return value
     if isinstance(value, xml):
         return value.parse()
+    if isinstance(value, StoredDocument):
+        return value.document()
     if isinstance(value, str):
         return parse_document(value)
     return _to_atomic(value)
@@ -452,10 +500,14 @@ def _to_variable_item(value: Any) -> Any:
     parsed document (pre-1.1 every str was parsed as XML — the silent
     misparse that motivated the wrapper).
     """
+    from repro.catalog import StoredDocument
+
     if isinstance(value, Node) or isinstance(value, AtomicValue):
         return value
     if isinstance(value, xml):
         return value.parse()
+    if isinstance(value, StoredDocument):
+        return value.document()
     if isinstance(value, str):
         from repro.xsd import types as T
 

@@ -33,6 +33,9 @@ class PlanNode:
     #: optimizer annotation flags that were set (lineage of rewrites)
     annotations: tuple[str, ...] = ()
     children: list["PlanNode"] = field(default_factory=list)
+    #: valued annotations (``access_path.chosen = value_index``, ...) —
+    #: rendered as ``key=value`` and merged into the JSON node dict
+    info: dict[str, Any] = field(default_factory=dict)
 
     def walk(self) -> Iterator["PlanNode"]:
         yield self
@@ -44,9 +47,12 @@ class PlanNode:
         detail = repr(expr)
         if len(detail) > _DETAIL_LIMIT:
             detail = detail[:_DETAIL_LIMIT - 3] + "..."
-        flagged = tuple(k for k, v in sorted(getattr(expr, "annotations",
-                                                     {}).items()) if v)
-        return cls(op_id, type(expr).__name__, detail, flagged)
+        annotations = getattr(expr, "annotations", {})
+        flagged = tuple(k for k, v in sorted(annotations.items())
+                        if v and isinstance(v, bool))
+        info = {k: v for k, v in sorted(annotations.items())
+                if not isinstance(v, bool) and isinstance(v, (str, int, float))}
+        return cls(op_id, type(expr).__name__, detail, flagged, info=info)
 
 
 class ExplainResult:
@@ -84,8 +90,9 @@ class ExplainResult:
             return "\n".join(lines + ["<plan tree unavailable>"])
 
         def walk(node: PlanNode, depth: int) -> None:
-            note = "  {" + ", ".join(node.annotations) + "}" \
-                if node.annotations else ""
+            parts = list(node.annotations)
+            parts += [f"{k}={v}" for k, v in node.info.items()]
+            note = "  {" + ", ".join(parts) + "}" if parts else ""
             metrics = ""
             if self.profiler is not None:
                 stats = self.profiler.operators.get(node.id)
@@ -119,6 +126,8 @@ class ExplainResult:
                                    "detail": node.detail}
             if node.annotations:
                 out["annotations"] = list(node.annotations)
+            if node.info:
+                out.update(node.info)
             if profiler is not None:
                 stats = profiler.operators.get(node.id)
                 if stats is not None:

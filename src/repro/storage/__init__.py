@@ -16,8 +16,9 @@ plus the **(pre, post, level) + Dewey labeling** scheme
 """
 
 from repro.storage.labels import DeweyLabel, Label, label_document
-from repro.storage.indexes import ElementIndex, Posting, ValueIndex
-from repro.storage.stores import TextStore, TokenStore, TreeStore
+from repro.storage.indexes import ElementIndex, Posting, ValueIndex, normalize_value
+from repro.storage.stats import DocumentStats, collect_stats
+from repro.storage.stores import BaseStore, TextStore, TokenStore, TreeStore
 
 __all__ = [
     "Label",
@@ -26,6 +27,10 @@ __all__ = [
     "ElementIndex",
     "ValueIndex",
     "Posting",
+    "normalize_value",
+    "DocumentStats",
+    "collect_stats",
+    "BaseStore",
     "TextStore",
     "TreeStore",
     "TokenStore",

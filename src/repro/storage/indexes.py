@@ -94,24 +94,41 @@ class ElementIndex:
         return out
 
 
+def normalize_value(value: str) -> str:
+    """Whitespace-normalize per typed-value atomization: collapse runs
+    of whitespace and strip, so ``" 55 "`` and ``"55"`` share one key.
+
+    Probes through the normalized key are a superset of exact string
+    equality; callers that need exact semantics (the access-path
+    planner's value lookups) re-verify candidates with the original
+    predicate.
+    """
+    return " ".join(value.split())
+
+
 class ValueIndex:
-    """(element name, string value) → nodes, for equality lookups."""
+    """(element name, normalized string value) → nodes, for equality lookups.
+
+    Keys are whitespace-normalized (:func:`normalize_value`) so that
+    ``price = 55`` and ``price = "55"`` probes agree with the navigation
+    evaluator's typed-value atomization regardless of source formatting.
+    """
 
     def __init__(self, doc: DocumentNode):
         self._by_value: dict[tuple[str, str], list[Node]] = {}
         for node in doc.descendants_or_self():
             if isinstance(node, ElementNode):
-                # index only text-only elements (value joins in the
-                # benchmarks are on leaf elements and attributes)
-                if node.children and all(isinstance(c, TextNode) for c in node.children):
-                    key = (node.name.local, node.string_value)
+                # index only text-only (or empty) elements — value joins
+                # are on leaf elements and attributes
+                if all(isinstance(c, TextNode) for c in node.children):
+                    key = (node.name.local, normalize_value(node.string_value))
                     self._by_value.setdefault(key, []).append(node)
                 for attr in node.attributes:
-                    key = ("@" + attr.name.local, attr.value)
+                    key = ("@" + attr.name.local, normalize_value(attr.value))
                     self._by_value.setdefault(key, []).append(attr)
 
     def lookup(self, name: str, value: str) -> list[Node]:
-        return self._by_value.get((name, value), [])
+        return self._by_value.get((name, normalize_value(value)), [])
 
     def keys(self) -> Iterator[tuple[str, str]]:
         return iter(self._by_value)

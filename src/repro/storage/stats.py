@@ -1,0 +1,118 @@
+"""Per-document statistics collected at store-ingest time.
+
+One walk over the tree yields everything the access-path planner needs
+to estimate costs without touching the document again: element and
+attribute cardinalities, distinct-value counts for indexable names,
+fan-out, and two safety bits (``has_namespaces``, per-name leaf purity)
+that gate index eligibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xdm.nodes import DocumentNode, ElementNode, TextNode
+
+
+@dataclass(slots=True)
+class DocumentStats:
+    """Summary statistics for one stored document."""
+
+    total_nodes: int = 0
+    total_elements: int = 0
+    max_depth: int = 0
+    max_fanout: int = 0
+    has_namespaces: bool = False
+    # tag name (or "@attr") → number of occurrences
+    element_counts: dict[str, int] = field(default_factory=dict)
+    # name → number of occurrences carrying an indexable value
+    # (text-only/empty elements; every attribute)
+    value_counts: dict[str, int] = field(default_factory=dict)
+    # name → number of distinct indexable values
+    distinct_values: dict[str, int] = field(default_factory=dict)
+    # element names where *every* occurrence is text-only or empty —
+    # only these are safe targets for value-index point lookups
+    leaf_only_names: frozenset[str] = frozenset()
+
+    def count(self, name: str) -> int:
+        """Occurrences of a tag (or ``@attr``) name; 0 when absent."""
+        return self.element_counts.get(name, 0)
+
+    def estimated_matches(self, name: str) -> int:
+        """Expected rows for an equality probe on ``name`` under a
+        uniform-value assumption: occurrences / distinct values."""
+        occurrences = self.value_counts.get(name, 0)
+        distinct = self.distinct_values.get(name, 0)
+        if not occurrences or not distinct:
+            return 0
+        return max(1, occurrences // distinct)
+
+    def is_leaf_only(self, name: str) -> bool:
+        """True when every element with this name is text-only/empty
+        (attributes, keyed ``@name``, are always leaves)."""
+        return name.startswith("@") or name in self.leaf_only_names
+
+    def to_dict(self) -> dict:
+        return {
+            "total_nodes": self.total_nodes,
+            "total_elements": self.total_elements,
+            "max_depth": self.max_depth,
+            "max_fanout": self.max_fanout,
+            "has_namespaces": self.has_namespaces,
+            "element_counts": dict(self.element_counts),
+            "value_counts": dict(self.value_counts),
+            "distinct_values": dict(self.distinct_values),
+            "leaf_only_names": sorted(self.leaf_only_names),
+        }
+
+
+def collect_stats(doc: DocumentNode) -> DocumentStats:
+    """Collect :class:`DocumentStats` in a single pre-order walk."""
+    stats = DocumentStats()
+    counts = stats.element_counts
+    value_counts = stats.value_counts
+    distinct: dict[str, set[str]] = {}
+    non_leaf: set[str] = set()
+    seen_names: set[str] = set()
+
+    # (node, depth) stack; DocumentNode is depth 0
+    stack: list[tuple[object, int]] = [(doc, 0)]
+    while stack:
+        node, depth = stack.pop()
+        stats.total_nodes += 1
+        if depth > stats.max_depth:
+            stats.max_depth = depth
+        if isinstance(node, ElementNode):
+            stats.total_elements += 1
+            name = node.name.local
+            if node.name.uri:
+                stats.has_namespaces = True
+            seen_names.add(name)
+            counts[name] = counts.get(name, 0) + 1
+            children = node.children
+            if len(children) > stats.max_fanout:
+                stats.max_fanout = len(children)
+            if all(isinstance(c, TextNode) for c in children):
+                value_counts[name] = value_counts.get(name, 0) + 1
+                distinct.setdefault(name, set()).add(node.string_value)
+            else:
+                non_leaf.add(name)
+            for attr in node.attributes:
+                akey = "@" + attr.name.local
+                if attr.name.uri:
+                    stats.has_namespaces = True
+                stats.total_nodes += 1
+                counts[akey] = counts.get(akey, 0) + 1
+                value_counts[akey] = value_counts.get(akey, 0) + 1
+                distinct.setdefault(akey, set()).add(attr.value)
+            for child in reversed(children):
+                stack.append((child, depth + 1))
+        else:
+            children = getattr(node, "children", None)
+            if children:
+                for child in reversed(children):
+                    stack.append((child, depth + 1))
+
+    stats.distinct_values = {name: len(vals) for name, vals in distinct.items()}
+    stats.leaf_only_names = frozenset(seen_names - non_leaf)
+    return stats

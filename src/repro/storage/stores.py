@@ -9,19 +9,45 @@ engine; what differs is what lives between queries:
   indexes) — fast navigation, biggest resident footprint;
 - :class:`TokenStore` keeps the pooled binary token form — compact,
   streams without parsing, rebuilds trees only on demand.
+
+Constructors are keyword-only as of 1.2 (``TreeStore(xml_text=...)``);
+positional calls still work behind a :class:`DeprecationWarning`.
+Every store exposes a common :meth:`BaseStore.stats` with per-document
+statistics for the access-path planner.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterator, Optional
 
 from repro.storage.indexes import ElementIndex, ValueIndex
+from repro.storage.stats import DocumentStats, collect_stats
 from repro.tokens.binary import read_binary, write_binary
 from repro.tokens.build import tokens_from_events, tree_from_tokens
 from repro.tokens.token import Token
 from repro.xdm.build import parse_document
 from repro.xdm.nodes import DocumentNode
 from repro.xmlio.parser import parse_events
+
+
+def _positional_shim(cls_name: str, args: tuple, names: tuple[str, ...],
+                     provided: dict) -> dict:
+    """Map legacy positional store arguments onto keywords, warning once."""
+    if len(args) > len(names):
+        raise TypeError(
+            f"{cls_name}() takes at most {len(names)} positional arguments "
+            f"({len(args)} given)")
+    warnings.warn(
+        f"positional arguments to {cls_name}() are deprecated since 1.2; "
+        f"use keywords, e.g. {cls_name}(xml_text=...)",
+        DeprecationWarning, stacklevel=3)
+    out = dict(provided)
+    for name, value in zip(names, args):
+        if name in out:
+            raise TypeError(f"{cls_name}() got multiple values for argument {name!r}")
+        out[name] = value
+    return out
 
 
 class BaseStore:
@@ -35,6 +61,14 @@ class BaseStore:
         """Approximate size of what the store keeps resident."""
         raise NotImplementedError
 
+    def stats(self) -> DocumentStats:
+        """Per-document statistics, collected once and cached."""
+        cached = getattr(self, "_stats", None)
+        if cached is None:
+            cached = collect_stats(self.document())
+            self._stats = cached
+        return cached
+
     kind: str = "base"
 
 
@@ -43,7 +77,16 @@ class TextStore(BaseStore):
 
     kind = "text"
 
-    def __init__(self, xml_text: str, base_uri: str = ""):
+    def __init__(self, *args, xml_text: Optional[str] = None, base_uri: str = ""):
+        if args:
+            provided = {"base_uri": base_uri} if base_uri else {}
+            if xml_text is not None:
+                provided["xml_text"] = xml_text
+            kw = _positional_shim("TextStore", args, ("xml_text", "base_uri"), provided)
+            xml_text = kw.get("xml_text")
+            base_uri = kw.get("base_uri", "")
+        if xml_text is None:
+            raise TypeError("TextStore() missing required argument: 'xml_text'")
         self.text = xml_text
         self.base_uri = base_uri
 
@@ -59,7 +102,16 @@ class TreeStore(BaseStore):
 
     kind = "tree"
 
-    def __init__(self, xml_text: str, base_uri: str = ""):
+    def __init__(self, *args, xml_text: Optional[str] = None, base_uri: str = ""):
+        if args:
+            provided = {"base_uri": base_uri} if base_uri else {}
+            if xml_text is not None:
+                provided["xml_text"] = xml_text
+            kw = _positional_shim("TreeStore", args, ("xml_text", "base_uri"), provided)
+            xml_text = kw.get("xml_text")
+            base_uri = kw.get("base_uri", "")
+        if xml_text is None:
+            raise TypeError("TreeStore() missing required argument: 'xml_text'")
         self._doc = parse_document(xml_text, base_uri)
         self._element_index: Optional[ElementIndex] = None
         self._value_index: Optional[ValueIndex] = None
@@ -98,7 +150,21 @@ class TokenStore(BaseStore):
 
     kind = "tokens"
 
-    def __init__(self, xml_text: str, base_uri: str = "", pooled: bool = True):
+    def __init__(self, *args, xml_text: Optional[str] = None, base_uri: str = "",
+                 pooled: bool = True):
+        if args:
+            provided = {"pooled": pooled} if pooled is not True else {}
+            if base_uri:
+                provided["base_uri"] = base_uri
+            if xml_text is not None:
+                provided["xml_text"] = xml_text
+            kw = _positional_shim("TokenStore", args,
+                                  ("xml_text", "base_uri", "pooled"), provided)
+            xml_text = kw.get("xml_text")
+            base_uri = kw.get("base_uri", "")
+            pooled = kw.get("pooled", True)
+        if xml_text is None:
+            raise TypeError("TokenStore() missing required argument: 'xml_text'")
         events = parse_events(xml_text, base_uri)
         self.blob = write_binary(tokens_from_events(events), pooled=pooled)
         self.base_uri = base_uri

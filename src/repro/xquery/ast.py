@@ -704,6 +704,55 @@ class RootExpr(Expr):
     __slots__ = ()
 
 
+class AccessPath(Expr):
+    """An index-backed access path chosen by the planner.
+
+    Replaces an eligible ``DDO(PathExpr(...))`` chain rooted at a
+    catalog-bound variable.  ``steps`` is the root-to-output element
+    chain as ``(edge, name)`` pairs (edge ``"child"`` | ``"descendant"``);
+    ``pred`` optionally names a value-equality predicate on the output
+    step: ``(kind, name, probe)`` with kind ``"child"`` | ``"attribute"``
+    and ``probe`` the string to probe the value index with (None when
+    the literal is non-string — element-scan only).
+
+    ``chosen`` records the planner's decision (``"element_index"`` |
+    ``"value_index"``) and ``est_rows`` its selectivity estimate; both
+    surface through EXPLAIN.  ``predicate`` keeps the original
+    comparison for exact residual re-verification, and ``fallback`` the
+    original expression, compiled alongside so evaluation degrades to
+    navigation whenever the runtime binding is not the indexed document
+    the plan was costed for.
+    """
+
+    __slots__ = ("var", "steps", "pred", "chosen", "est_rows",
+                 "predicate", "fallback")
+    _fields = ("predicate", "fallback")
+
+    def __init__(self, var: QName, steps: tuple, pred, chosen: str,
+                 est_rows: int, predicate: Optional[Expr],
+                 fallback: Expr, pos=(0, 0)):
+        super().__init__(pos)
+        self.var = var
+        self.steps = steps
+        self.pred = pred
+        self.chosen = chosen
+        self.est_rows = est_rows
+        self.predicate = predicate
+        self.fallback = fallback
+
+    def __repr__(self) -> str:
+        path = "".join(
+            ("//" if edge == "descendant" else "/") + name
+            for edge, name in self.steps)
+        note = ""
+        if self.pred is not None:
+            kind, name, probe = self.pred
+            shown = name if kind != "attribute" else "@" + name
+            note = f"[{shown} = {probe!r}]" if probe is not None \
+                else f"[{shown} = <non-string>]"
+        return f"AccessPath(${self.var}{path}{note} via {self.chosen})"
+
+
 # ---------------------------------------------------------------------------
 # Constructors
 # ---------------------------------------------------------------------------

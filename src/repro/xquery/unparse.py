@@ -99,6 +99,11 @@ class Unparser:
     def _u_VarRef(self, e: ast.VarRef) -> str:
         return self.var(e.name)
 
+    def _u_AccessPath(self, e: ast.AccessPath) -> str:
+        # an index-backed access path has no surface syntax of its own;
+        # its fallback is the original expression it replaced
+        return self.expr(e.fallback)
+
     def _u_ContextItem(self, e) -> str:
         return "."
 

@@ -1,0 +1,152 @@
+"""The DocumentCatalog API: ingestion, handles, and engine binding."""
+
+import pytest
+
+import repro
+from repro.catalog import DocumentCatalog, StoredDocument
+from repro.engine import Engine
+from repro.storage import TextStore, TokenStore, TreeStore
+from repro.xdm.build import parse_document
+
+XML = "<shop>" + "".join(
+    f'<item sku="s{i}"><price>{i * 10}</price></item>' for i in range(8)
+) + "</shop>"
+
+
+class TestAdd:
+    def test_returns_handle(self):
+        cat = repro.catalog()
+        stored = cat.add("shop", XML)
+        assert isinstance(stored, StoredDocument)
+        assert stored.name == "shop"
+        assert stored.indexed
+        assert stored.store.kind == "tree"
+        assert cat["shop"] is stored
+        assert "shop" in cat and len(cat) == 1
+        assert cat.names() == ["shop"]
+
+    @pytest.mark.parametrize("kind,cls", [
+        ("tree", TreeStore), ("tokens", TokenStore), ("text", TextStore)])
+    def test_store_kinds(self, kind, cls):
+        cat = repro.catalog()
+        stored = cat.add("shop", XML, store=kind)
+        assert isinstance(stored.store, cls)
+        root = stored.document().document_element()
+        assert root.name.local == "shop"
+
+    def test_accepts_repro_xml_wrapper(self):
+        cat = repro.catalog()
+        stored = cat.add("shop", repro.xml(XML))
+        assert stored.stats.count("item") == 8
+
+    def test_accepts_document_node(self):
+        cat = repro.catalog()
+        doc = parse_document(XML)
+        stored = cat.add("shop", doc)
+        assert stored.document() is doc
+
+    def test_document_node_requires_tree_store(self):
+        cat = repro.catalog()
+        with pytest.raises(ValueError, match="tree store"):
+            cat.add("shop", parse_document(XML), store="text")
+
+    def test_accepts_existing_store(self):
+        store = TreeStore(xml_text=XML)
+        cat = repro.catalog()
+        stored = cat.add("shop", store, store="text")  # kind arg ignored
+        assert stored.store is store
+
+    def test_rejects_unknown_kind_and_bad_source(self):
+        cat = repro.catalog()
+        with pytest.raises(ValueError, match="unknown store kind"):
+            cat.add("shop", XML, store="columnar")
+        with pytest.raises(TypeError, match="catalog source"):
+            cat.add("shop", 42)
+        with pytest.raises(TypeError, match="non-empty str"):
+            cat.add("", XML)
+
+    def test_replace_updates_fingerprint(self):
+        cat = repro.catalog()
+        first = cat.add("shop", XML)
+        fp1 = cat.fingerprint()
+        second = cat.add("shop", XML, index=False)
+        assert cat["shop"] is second and len(cat) == 1
+        assert cat.fingerprint() != fp1
+        # the replaced pinned tree no longer resolves
+        assert cat.stored_for(first.document()) is None
+
+
+class TestStoredDocument:
+    def test_indexed_pins_one_tree(self):
+        cat = repro.catalog()
+        stored = cat.add("shop", XML, store="text")
+        assert stored.document() is stored.document()
+        assert cat.stored_for(stored.document()) is stored
+
+    def test_unindexed_text_store_keeps_reparse_semantics(self):
+        cat = repro.catalog()
+        stored = cat.add("shop", XML, store="text", index=False)
+        assert stored.document() is not stored.document()
+        assert stored.element_index is None
+        assert stored.value_index is None
+
+    def test_indexes_share_pinned_nodes(self):
+        cat = repro.catalog()
+        stored = cat.add("shop", XML)
+        postings = stored.element_index.postings("item")
+        pinned = {id(n) for n in stored.document().descendants()}
+        assert all(id(p.node) in pinned for p in postings)
+        match = stored.value_index.lookup("price", "30")
+        assert len(match) == 1 and id(match[0]) in pinned
+
+    def test_tree_store_indexes_reused(self):
+        store = TreeStore(xml_text=XML)
+        cat = repro.catalog()
+        stored = cat.add("shop", store)
+        assert stored.element_index is store.element_index
+        assert stored.value_index is store.value_index
+
+    def test_stats_delegate_to_store(self):
+        cat = repro.catalog()
+        stored = cat.add("shop", XML)
+        assert stored.stats.count("@sku") == 8
+        assert stored.stats.is_leaf_only("price")
+
+
+class TestEngineIntegration:
+    def test_auto_binding_by_name(self):
+        cat = repro.catalog()
+        cat.add("shop", XML)
+        engine = Engine(catalog=cat)
+        assert engine.compile("count($shop//item)").execute().values() == [8]
+
+    def test_user_binding_overrides_catalog(self):
+        cat = repro.catalog()
+        cat.add("shop", XML)
+        engine = Engine(catalog=cat)
+        compiled = engine.compile("count($shop//item)")
+        other = repro.xml("<shop><item/></shop>")
+        result = compiled.execute(variables={"shop": other})
+        assert result.values() == [1]
+
+    def test_multiple_documents(self):
+        cat = repro.catalog()
+        cat.add("a", "<r><x/><x/></r>")
+        cat.add("b", "<r><x/></r>")
+        engine = Engine(catalog=cat)
+        result = engine.compile("count($a//x) + count($b//x)").execute()
+        assert result.values() == [3]
+
+    def test_handle_as_context_item_and_document(self):
+        cat = repro.catalog()
+        stored = cat.add("shop", XML)
+        nav = Engine()
+        assert nav.compile("count(//item)").execute(
+            context_item=stored).values() == [8]
+        assert nav.compile("count(doc('s')//item)").execute(
+            documents={"s": stored}).values() == [8]
+
+    def test_repro_catalog_factory(self):
+        assert isinstance(repro.catalog(), DocumentCatalog)
+        assert repro.DocumentCatalog is DocumentCatalog
+        assert repro.StoredDocument is StoredDocument

@@ -116,6 +116,19 @@ class TestValueIndex:
         idx = ValueIndex(parse_document('<r><x k="a"/><x k="b"/><x k="a"/></r>'))
         assert len(idx.lookup("@k", "a")) == 2
 
+    def test_whitespace_normalized_keys(self):
+        # regression (PR 4): raw-string keys made "  55 " invisible to a
+        # "55" probe, so index and navigation plans disagreed
+        idx = ValueIndex(parse_document(
+            "<r><p>  55 </p><p>55</p><p>5 5</p></r>"))
+        assert len(idx.lookup("p", "55")) == 2
+        assert len(idx.lookup("p", " 55\t")) == 2
+        assert len(idx.lookup("p", "5 5")) == 1
+
+    def test_empty_leaf_indexed(self):
+        idx = ValueIndex(parse_document("<r><p/><p>x</p></r>"))
+        assert len(idx.lookup("p", "")) == 1
+
 
 class TestStores:
     XML = "<inventory>" + "".join(
@@ -123,30 +136,30 @@ class TestStores:
 
     @pytest.mark.parametrize("store_cls", [TextStore, TreeStore, TokenStore])
     def test_document_roundtrip(self, store_cls):
-        store = store_cls(self.XML)
+        store = store_cls(xml_text=self.XML)
         doc = store.document()
         assert len(doc.document_element().children) == 50
 
     def test_text_store_reparses(self):
-        store = TextStore(self.XML)
+        store = TextStore(xml_text=self.XML)
         assert store.document() is not store.document()
 
     def test_tree_store_shares(self):
-        store = TreeStore(self.XML)
+        store = TreeStore(xml_text=self.XML)
         assert store.document() is store.document()
 
     def test_tree_store_indexes(self):
-        store = TreeStore(self.XML)
+        store = TreeStore(xml_text=self.XML)
         assert store.element_index.cardinality("item") == 50
         assert len(store.value_index.lookup("qty", "7")) == 1
 
     def test_token_store_is_compact(self):
-        text = TextStore(self.XML)
-        tokens = TokenStore(self.XML)
+        text = TextStore(xml_text=self.XML)
+        tokens = TokenStore(xml_text=self.XML)
         assert tokens.resident_bytes() < text.resident_bytes()
 
     def test_token_store_streams(self):
-        store = TokenStore(self.XML)
+        store = TokenStore(xml_text=self.XML)
         stream = store.tokens()
         first = next(stream)
         from repro.tokens import Tok
@@ -154,5 +167,21 @@ class TestStores:
         assert first.kind == Tok.BEGIN_DOCUMENT
 
     def test_unpooled_token_store(self):
-        store = TokenStore(self.XML, pooled=False)
+        store = TokenStore(xml_text=self.XML, pooled=False)
+        assert store.document().document_element().name.local == "inventory"
+
+    @pytest.mark.parametrize("store_cls", [TextStore, TreeStore, TokenStore])
+    def test_common_stats(self, store_cls):
+        stats = store_cls(xml_text=self.XML).stats()
+        assert stats.count("item") == 50
+        assert stats.count("@sku") == 50
+        assert stats.distinct_values["qty"] == 50
+        assert stats.is_leaf_only("qty")
+        assert not stats.is_leaf_only("item")
+        assert not stats.has_namespaces
+
+    @pytest.mark.parametrize("store_cls", [TextStore, TreeStore, TokenStore])
+    def test_positional_args_warn(self, store_cls):
+        with pytest.warns(DeprecationWarning, match="positional arguments"):
+            store = store_cls(self.XML)
         assert store.document().document_element().name.local == "inventory"
