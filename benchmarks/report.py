@@ -507,9 +507,41 @@ def e13_access_paths() -> None:
           ["query", "chosen path", "planned", "navigation", "win"], rows)
 
 
+def e14_batching() -> None:
+    """Block-at-a-time batched execution vs the item iterator model."""
+    from repro import Engine
+    from repro.workloads import generate_xmark
+    from repro.xdm.build import parse_document
+
+    xml = generate_xmark(scale=0.8 if not QUICK else 0.2, seed=2004)
+    doc = parse_document(xml)  # pre-parsed: time the query, not the parser
+    item_engine, batch_engine = Engine(), Engine(batch_size=256)
+
+    queries = [
+        ("descendant scan + count", "count(/site/regions//item)"),
+        ("scan + filter + step", "/site/regions//item[@id]/name"),
+        ("descendant aggregate", "count(//description)"),
+        ("child-chain scan", "count(//item/name)"),
+        ("for-where-return",
+         "for $i in /site/regions//item where $i/location return $i/name"),
+    ]
+    rows = []
+    for label, query in queries:
+        item = item_engine.compile(query)
+        batched = batch_engine.compile(query)
+        assert item.execute(context_item=doc).serialize() == \
+            batched.execute(context_item=doc).serialize()
+        it = timed(lambda: item.execute(context_item=doc).items())
+        bt = timed(lambda: batched.execute(context_item=doc).items())
+        rows.append([label, fmt(it), fmt(bt), f"{it / bt:5.2f}x"])
+    table(f"E14 block-at-a-time execution over XMark ({len(xml) // 1024} KB, "
+          "pre-parsed)",
+          ["query", "item-at-a-time", "batched (256)", "win"], rows)
+
+
 EXPERIMENTS = [e0_parse, e1_streaming, e2_lazy, e3_pooling, e4_nodeids, e5_ddo,
                e6_joins, e7_rewrites, e8_storage, e9_broker, e10_xslt,
-               e11_observability, e13_access_paths]
+               e11_observability, e13_access_paths, e14_batching]
 
 
 def main() -> None:

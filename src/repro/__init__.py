@@ -38,7 +38,7 @@ from repro.errors import (
 from repro.runtime.cancellation import CancellationToken
 from repro.xdm.build import parse_document
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # the unified public API

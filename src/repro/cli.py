@@ -62,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="evaluate analysis-proven-independent "
                              "subexpression groups on N parallel workers "
                              "(default 1: sequential plans)")
+    parser.add_argument("--batch-size", type=int, default=0, metavar="N",
+                        help="execute block-at-a-time with chunks of about "
+                             "N items (256 is a good default; 0 = fully "
+                             "lazy item-at-a-time mode)")
     parser.add_argument("--timeout", type=float, default=None, metavar="SECS",
                         help="abort evaluation after SECS seconds "
                              "(exit code 124, like timeout(1))")
@@ -150,7 +154,8 @@ def main(argv: list[str] | None = None) -> int:
                     static_typing=not args.no_static_typing,
                     compile_cache=None if args.no_compile_cache
                     else _COMPILE_CACHE,
-                    executor=executor)
+                    executor=executor,
+                    batch_size=args.batch_size)
     try:
         compiled = engine.compile(query_text, variables=tuple(variables))
     except Exception as exc:

@@ -281,8 +281,15 @@ class Engine:
                  compile_cache_size: int = 64,
                  compile_cache=_DEFAULT_CACHE,
                  executor=None,
-                 catalog=None):
+                 catalog=None,
+                 batch_size: int = 0):
         self.optimize = optimize
+        #: block-at-a-time execution: >0 compiles the relational core
+        #: (paths, filters, FLWOR loops, aggregates) to operators that
+        #: exchange list-backed chunks of about this many items —
+        #: typically 256 (``repro.runtime.batching.DEFAULT_BATCH_SIZE``).
+        #: 0 (the default) keeps the fully lazy item-at-a-time pipeline.
+        self.batch_size = batch_size
         #: document catalog (:func:`repro.catalog`): its documents bind
         #: automatically by name, and the access-path planner may
         #: compile eligible steps onto its indexes
@@ -339,7 +346,8 @@ class Engine:
                          id(self.executor) if self.executor is not None
                          else None,
                          self.catalog.fingerprint()
-                         if self.catalog is not None else None)
+                         if self.catalog is not None else None,
+                         self.batch_size)
             cached = self.compile_cache.get(cache_key)
             if cached is not None:
                 return cached
@@ -378,8 +386,9 @@ class Engine:
             optimized = plan_access_paths(optimized, static_ctx, self.catalog)
 
         generator = CodeGenerator(static_ctx, executor=self.executor,
-                                  catalog=self.catalog)
-        plan = generator.compile(optimized)
+                                  catalog=self.catalog,
+                                  batch_size=self.batch_size)
+        plan = generator.compile_root(optimized)
         catalog_bindings = None
         if self.catalog is not None:
             used = {e.name.local for e in optimized.walk()

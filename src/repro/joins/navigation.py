@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.joins.patterns import TwigEdge, TwigNode, TwigPattern
+from repro.runtime.cancellation import POLL_MASK
 from repro.storage.indexes import ElementIndex, Posting
 from repro.xdm.nodes import DocumentNode, ElementNode, Node
 
@@ -108,9 +109,11 @@ def navigate_pattern(index: ElementIndex, pattern: TwigPattern,
 
     root_name = pattern.root.name
     for node in index.doc.descendants_or_self():
-        scanned += 1
-        if cancellation is not None:
+        # per-block poll: a reference-and-mask check per node; the
+        # token's check() method fires once per POLL_INTERVAL nodes
+        if cancellation is not None and (scanned & POLL_MASK) == 0:
             cancellation.check()
+        scanned += 1
         if isinstance(node, ElementNode) and node.name.local == root_name:
             walk(node, 0)
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.joins.patterns import TwigNode, TwigPattern
+from repro.runtime.cancellation import POLL_MASK
 from repro.storage.indexes import ElementIndex, Posting
 
 
@@ -75,16 +76,20 @@ def twig_stack(index: ElementIndex, pattern: TwigPattern,
     ``elements_scanned`` (postings consumed across all streams),
     ``stack_pushes``, ``path_solutions``, ``output_matches``.
     ``cancellation`` (optional CancellationToken) is polled once per
-    coordinated advance so deadlines interrupt long joins.
+    :data:`~repro.runtime.cancellation.POLL_INTERVAL` coordinated
+    advances — a reference-and-mask check per advance otherwise — so
+    deadlines interrupt long joins within one block of work.
     """
     state = _TwigState(index, pattern)
     root = pattern.root
     counting = counters is not None
     pushes = 0
+    advances = 0
 
     while True:
-        if cancellation is not None:
+        if cancellation is not None and (advances & POLL_MASK) == 0:
             cancellation.check()
+        advances += 1
         q = _get_next(state, root)
         stream = state.streams[q.name]
         head = stream.head()

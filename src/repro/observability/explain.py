@@ -23,6 +23,14 @@ from repro.observability.profiler import Profiler
 _DETAIL_LIMIT = 96
 
 
+def _rows_per_call(stats) -> Optional[float]:
+    """Mean rows per block for operators that ran batch-at-a-time."""
+    batches = stats.counters.get("batches", 0)
+    if not batches:
+        return None
+    return round(stats.items / batches, 1)
+
+
 @dataclass
 class PlanNode:
     """One operator in the compiled plan tree."""
@@ -98,7 +106,13 @@ class ExplainResult:
                 stats = self.profiler.operators.get(node.id)
                 if stats is not None:
                     metrics = (f"  (calls={stats.calls} items={stats.items} "
-                               f"time={stats.seconds * 1000:.3f}ms)")
+                               f"time={stats.seconds * 1000:.3f}ms")
+                    rpc = _rows_per_call(stats)
+                    if rpc is not None:
+                        metrics += f" batch.rows_per_call={rpc}"
+                    metrics += ")"
+                elif "batch" in node.info and node.info["batch"] == "fused":
+                    metrics = "  (fused into parent)"
                 else:
                     metrics = "  (never executed)"
             lines.append("  " * depth + node.detail + note + metrics)
@@ -111,6 +125,10 @@ class ExplainResult:
                                        key=lambda kv: str(kv[0])):
                 if isinstance(op_id, str):
                     lines.append(f"{op_id}: {stats!r}")
+        if self.engine_stats:
+            pairs = ", ".join(f"{k}={v}"
+                              for k, v in sorted(self.engine_stats.items()))
+            lines.append(f"engine stats: {pairs}")
         return "\n".join(lines)
 
     __str__ = render
@@ -132,6 +150,9 @@ class ExplainResult:
                 stats = profiler.operators.get(node.id)
                 if stats is not None:
                     out.update(stats.to_dict())
+                    rpc = _rows_per_call(stats)
+                    if rpc is not None:
+                        out["batch.rows_per_call"] = rpc
                 else:
                     out.update({"calls": 0, "items": 0, "time_ms": 0.0})
             if node.children:

@@ -1,0 +1,93 @@
+"""Block-at-a-time execution: the ``Batch`` protocol.
+
+A *batch* is a plain Python list of XDM items — the item-granularity
+mirror of the paper's TokenStream chunks: operators exchange bounded,
+list-backed blocks instead of single items, so per-item interpreter
+overhead (generator hops, observability hooks, cancellation polls)
+amortizes over :data:`DEFAULT_BATCH_SIZE` items at a time.
+
+A *batch plan* is a closure ``bplan(dctx) -> Iterator[list]`` — the
+block-at-a-time counterpart of the item-plan protocol in
+``repro.compiler.codegen``.  Batch sizes are a *target*, not an
+invariant: fused operators emit whatever a source chunk produced
+(re-chunking only when a block outgrows the target), and consumers
+must accept any non-empty list.  Two adapters bridge the worlds:
+
+- :func:`iter_batches` lifts an item iterator into a batch stream
+  (the universal fallback — any operator without a native batch
+  implementation runs item-at-a-time behind this adapter);
+- :func:`flatten` lowers a batch stream back to items (the engine's
+  ``Result`` keeps its item-granularity surface).
+
+Laziness is preserved at block granularity: a batch source pulls at
+most one block ahead of its consumer, so early-exit consumers
+(``(//a)[1]``, ``fn:exists``) do at most one block's extra work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List
+
+#: the default block size — large enough that per-block bookkeeping
+#: (one cancellation poll, one profiler hook) is noise, small enough
+#: that early-exit consumers and deadlines stay responsive
+DEFAULT_BATCH_SIZE = 256
+
+#: a batch is nothing more exotic than a list of items
+Batch = List[Any]
+
+
+def iter_batches(items: Iterable[Any], size: int = DEFAULT_BATCH_SIZE,
+                 cancellation=None) -> Iterator[Batch]:
+    """Chunk an item iterable into lists of at most ``size`` items.
+
+    The universal item→batch adapter: pulls lazily (never more than
+    one block ahead) and polls ``cancellation`` once per block.
+    """
+    iterator = iter(items)
+    while True:
+        if cancellation is not None:
+            cancellation.check()
+        batch = []
+        append = batch.append
+        for item in iterator:
+            append(item)
+            if len(batch) >= size:
+                break
+        if not batch:
+            return
+        yield batch
+        if len(batch) < size:
+            return
+
+
+def flatten(batches: Iterable[Batch]) -> Iterator[Any]:
+    """Items of a batch stream, in order (the batch→item adapter)."""
+    for batch in batches:
+        yield from batch
+
+
+def rechunk(batches: Iterable[Batch],
+            size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+    """Re-block a batch stream toward the target size.
+
+    Oversized blocks are split; undersized ones pass through as-is
+    (coalescing would force the producer a block ahead).
+    """
+    for batch in batches:
+        if len(batch) <= size:
+            if batch:
+                yield batch
+            continue
+        for start in range(0, len(batch), size):
+            yield batch[start:start + size]
+
+
+def chunk_list(items: list, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+    """Batches over an already-materialized list (cheap slicing)."""
+    if len(items) <= size:
+        if items:
+            yield items
+        return
+    for start in range(0, len(items), size):
+        yield items[start:start + size]

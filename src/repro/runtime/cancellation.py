@@ -13,6 +13,13 @@ nothing else.  With a token attached, ``check()`` is one attribute
 load, one flag test, and (when a deadline is set) one monotonic clock
 read — cheap enough to run per item.
 
+Block-at-a-time loops (batched plans, the join scan loops) go one
+step further: they poll once per :data:`POLL_INTERVAL` items instead
+of once per item, so a token *without* a deadline costs a no-op
+reference-and-mask check on the hot path and the method call fires
+per block.  Deadline semantics stay bounded: a blown deadline is
+observed within one block of work.
+
 Tokens are shared freely across threads: ``cancel()`` publishes a
 plain attribute write (atomic under the GIL) that every loop observes
 on its next check, which is what lets one token stop a
@@ -26,6 +33,11 @@ from time import monotonic
 from typing import Optional
 
 from repro.errors import QueryCancelled, QueryTimeout
+
+#: how many loop iterations a scan runs between ``check()`` calls —
+#: a power of two so the poll gate is ``(i & POLL_MASK) == 0``
+POLL_INTERVAL = 256
+POLL_MASK = POLL_INTERVAL - 1
 
 
 class CancellationToken:

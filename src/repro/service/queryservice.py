@@ -111,9 +111,14 @@ class QueryService:
                  max_workers: int = 4, max_queue: int = 8,
                  jobs: Optional[int] = None,
                  default_timeout: Optional[float] = None,
-                 retries: int = 2, retry_base_delay: float = 0.05):
+                 retries: int = 2, retry_base_delay: float = 0.05,
+                 batch_size: int = 0):
         if engine is None:
-            engine = Engine(executor=default_executor(jobs))
+            # batch_size > 0 compiles block-at-a-time plans; deadline
+            # tokens are then polled once per block, so a timed-out
+            # request is interrupted within one chunk of work
+            engine = Engine(executor=default_executor(jobs),
+                            batch_size=batch_size)
         self.engine = engine
         self.max_workers = max_workers
         self.max_queue = max_queue

@@ -21,17 +21,21 @@ from repro.xmlio.events import (
 )
 
 
+#: escape tables for ``str.translate`` — one C-level pass over the
+#: string instead of one scan per special character (replace chains)
+_TEXT_ESCAPES = str.maketrans({"&": "&amp;", "<": "&lt;", ">": "&gt;"})
+_ATTR_ESCAPES = str.maketrans({"&": "&amp;", "<": "&lt;", '"': "&quot;",
+                               "\n": "&#10;", "\t": "&#9;"})
+
+
 def escape_text(value: str) -> str:
     """Escape character data for element content."""
-    if not any(c in value for c in "<>&"):
-        return value
-    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    return value.translate(_TEXT_ESCAPES)
 
 
 def escape_attribute(value: str) -> str:
     """Escape character data for a double-quoted attribute value."""
-    out = value.replace("&", "&amp;").replace("<", "&lt;")
-    return out.replace('"', "&quot;").replace("\n", "&#10;").replace("\t", "&#9;")
+    return value.translate(_ATTR_ESCAPES)
 
 
 def serialize_chunks(events: Iterable[Event], xml_decl: bool = False) -> Iterator[str]:
@@ -94,8 +98,67 @@ def serialize_events(events: Iterable[Event], xml_decl: bool = False,
     content is never altered).
     """
     if indent <= 0:
-        return "".join(serialize_chunks(events, xml_decl))
+        return _serialize_flat(events, xml_decl)
     return _pretty(list(events), xml_decl, indent)
+
+
+def _serialize_flat(events: Iterable[Event], xml_decl: bool) -> str:
+    """The batch fast path: one parts-list pass, joined once.
+
+    Produces byte-identical output to joining
+    :func:`serialize_chunks`, but appends into a single list instead
+    of threading every chunk through a generator — the difference is
+    measurable when serializing large results block-at-a-time.
+    """
+    parts: list[str] = []
+    append = parts.append
+    if xml_decl:
+        append('<?xml version="1.0" encoding="UTF-8"?>')
+    pending_open = False
+    for event in events:
+        if isinstance(event, StartElement):
+            if pending_open:
+                append(">")
+            name = event.name
+            append(f"<{name.prefix}:{name.local}" if name.prefix
+                   else f"<{name.local}")
+            for prefix, uri in event.ns_decls:
+                attr = f"xmlns:{prefix}" if prefix else "xmlns"
+                append(f' {attr}="{uri.translate(_ATTR_ESCAPES)}"')
+            for aname, value in event.attributes:
+                lex = f"{aname.prefix}:{aname.local}" if aname.prefix \
+                    else aname.local
+                append(f' {lex}="{value.translate(_ATTR_ESCAPES)}"')
+            pending_open = True
+        elif isinstance(event, EndElement):
+            if pending_open:
+                pending_open = False
+                append("/>")
+            else:
+                name = event.name
+                append(f"</{name.prefix}:{name.local}>" if name.prefix
+                       else f"</{name.local}>")
+        elif isinstance(event, Text):
+            if pending_open:
+                pending_open = False
+                append(">")
+            append(event.content.translate(_TEXT_ESCAPES))
+        elif isinstance(event, Comment):
+            if pending_open:
+                pending_open = False
+                append(">")
+            append(f"<!--{event.content}-->")
+        elif isinstance(event, ProcessingInstruction):
+            if pending_open:
+                pending_open = False
+                append(">")
+            body = f" {event.content}" if event.content else ""
+            append(f"<?{event.target}{body}?>")
+        elif isinstance(event, (StartDocument, EndDocument)):
+            continue
+        else:
+            raise TypeError(f"cannot serialize event {event!r}")
+    return "".join(parts)
 
 
 def _pretty(events: list[Event], xml_decl: bool, indent: int) -> str:
