@@ -539,9 +539,47 @@ def e14_batching() -> None:
           ["query", "item-at-a-time", "batched (256)", "win"], rows)
 
 
+def e15_codegen() -> None:
+    """Compile-to-source codegen vs closure interpretation (batched too)."""
+    from repro import Engine
+    from repro.workloads import generate_xmark
+    from repro.xdm.build import parse_document
+
+    xml = generate_xmark(scale=0.8 if not QUICK else 0.2, seed=2004)
+    doc = parse_document(xml)  # pre-parsed: time the query, not the parser
+    closure_engine = Engine()
+    batch_engine = Engine(batch_size=256)
+    source_engine = Engine(codegen="source")
+
+    queries = [
+        ("descendant scan + count", "count(/site/regions//item)"),
+        ("scan + filter + step", "/site/regions//item[@id]/name"),
+        ("descendant aggregate", "count(//description)"),
+        ("child-chain scan", "count(//item/name)"),
+        ("for-where-return",
+         "for $i in /site/regions//item where $i/location return $i/name"),
+    ]
+    rows = []
+    for label, query in queries:
+        closure = closure_engine.compile(query)
+        batched = batch_engine.compile(query)
+        source = source_engine.compile(query)
+        assert closure.execute(context_item=doc).serialize() == \
+            source.execute(context_item=doc).serialize()
+        ct = timed(lambda: closure.execute(context_item=doc).items())
+        bt = timed(lambda: batched.execute(context_item=doc).items())
+        st = timed(lambda: source.execute(context_item=doc).items())
+        rows.append([label, fmt(ct), fmt(bt), fmt(st),
+                     f"{ct / st:5.2f}x", f"{bt / st:5.2f}x"])
+    table(f"E15 compile-to-source codegen over XMark ({len(xml) // 1024} KB, "
+          "pre-parsed)",
+          ["query", "closure", "batched (256)", "source",
+           "vs closure", "vs batched"], rows)
+
+
 EXPERIMENTS = [e0_parse, e1_streaming, e2_lazy, e3_pooling, e4_nodeids, e5_ddo,
                e6_joins, e7_rewrites, e8_storage, e9_broker, e10_xslt,
-               e11_observability, e13_access_paths, e14_batching]
+               e11_observability, e13_access_paths, e14_batching, e15_codegen]
 
 
 def main() -> None:

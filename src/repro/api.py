@@ -11,9 +11,11 @@ Engine`, so repeated queries share its compiled-query cache::
                         context_item=xml_text))
 
 The default engine is created lazily with the default flags
-(optimizer and static typing on, no executor).  For different flags —
-parallel-group execution, optimizer off, a shared base context —
-construct an :class:`~repro.engine.Engine` directly, or use
+(optimizer and static typing on, no executor, closure codegen).  For
+different flags — compile-to-source codegen
+(``Engine(codegen="source")``), parallel-group execution, optimizer
+off, a shared base context — construct an
+:class:`~repro.engine.Engine` directly, or use
 :class:`repro.service.QueryService` for concurrent execution with
 deadlines and admission control.
 """

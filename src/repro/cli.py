@@ -66,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="execute block-at-a-time with chunks of about "
                              "N items (256 is a good default; 0 = fully "
                              "lazy item-at-a-time mode)")
+    parser.add_argument("--codegen", choices=("closure", "source"),
+                        default="closure",
+                        help="execution backend: 'closure' interprets the "
+                             "compiled operator tree; 'source' emits one "
+                             "specialized Python function per query with "
+                             "whole-FLWOR fusion (with --explain, also "
+                             "prints the generated source)")
     parser.add_argument("--timeout", type=float, default=None, metavar="SECS",
                         help="abort evaluation after SECS seconds "
                              "(exit code 124, like timeout(1))")
@@ -144,6 +151,10 @@ def main(argv: list[str] | None = None) -> int:
 
     variables = dict(_parse_var(v) for v in args.var)
 
+    if args.codegen == "source" and args.batch_size > 0:
+        parser.error("--codegen source emits its own fused loops; "
+                     "it cannot be combined with --batch-size > 0")
+
     executor = None
     if args.jobs > 1:
         from repro.service import default_executor
@@ -155,7 +166,8 @@ def main(argv: list[str] | None = None) -> int:
                     compile_cache=None if args.no_compile_cache
                     else _COMPILE_CACHE,
                     executor=executor,
-                    batch_size=args.batch_size)
+                    batch_size=args.batch_size,
+                    codegen=args.codegen)
     try:
         compiled = engine.compile(query_text, variables=tuple(variables))
     except Exception as exc:
@@ -167,6 +179,9 @@ def main(argv: list[str] | None = None) -> int:
             if compiled.static_type is not None:
                 print(f"static type: {compiled.static_type}")
             print(compiled.explain())
+            if compiled.generated_source is not None:
+                print("-- generated source --")
+                print(compiled.generated_source)
         except BrokenPipeError:  # e.g. `| head` closed the pipe
             pass
         return 0

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.qname import QName
+from repro.qname import QName, XDT_NS as _XDT_NS, XS_NS as _XS_NS
 from repro.runtime import functions as fnlib
 from repro.xquery import ast
 
@@ -235,6 +235,50 @@ def _node_properties(expr: ast.Expr, static_ctx) -> dict:
     return {"creates_nodes": creates, "can_raise": can_raise or True,
             "uses_focus": uses_focus,
             "doc_ordered": False, "distinct": False, "disjoint": False}
+
+
+# ---------------------------------------------------------------------------
+# Focus-size usage (the batched/source-codegen eligibility walk)
+# ---------------------------------------------------------------------------
+
+
+def uses_last(expr: ast.Expr) -> bool:
+    """Does the subtree (conservatively) observe the focus size?
+
+    Walks ``_fields`` children plus the clause/case expressions the
+    generic traversal skips; unknown (user) function calls count as
+    using last() because their bodies inherit the caller's focus.
+    Both execution backends that replace the lazily-sized
+    ``BufferedSequence`` focus with a plain counter — the block-at-a-
+    time operators and the compile-to-source emitter — gate their
+    fusion on this walk.
+    """
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.FunctionCall):
+            if node.name.local == "last" and not node.args:
+                return True
+            if node.name.uri not in (_XS_NS, _XDT_NS) and \
+                    fnlib.lookup(node.name, len(node.args)) is None:
+                return True
+        stack.extend(node.children())
+        clauses = getattr(node, "clauses", None)
+        if clauses:
+            stack.extend(c.expr for c in clauses)
+        cases = getattr(node, "cases", None)
+        if cases:
+            stack.extend(c.body for c in cases)
+        default = getattr(node, "default", None)
+        if default is not None and getattr(default, "body", None) is not None:
+            stack.append(default.body)
+        order = getattr(node, "order", None)
+        if order:
+            stack.extend(s.expr for s in order)
+        group = getattr(node, "group", None)
+        if group:
+            stack.extend(key for _var, key in group)
+    return False
 
 
 # ---------------------------------------------------------------------------

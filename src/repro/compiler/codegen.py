@@ -226,36 +226,12 @@ class CodeGenerator:
     def _uses_last(self, expr: ast.Expr) -> bool:
         """Does the subtree (conservatively) observe the focus size?
 
-        Walks ``_fields`` children plus the clause/case expressions the
-        generic traversal skips; unknown (user) function calls count as
-        using last() because their bodies inherit the caller's focus.
+        Shared with the compile-to-source backend: the walk lives in
+        :func:`repro.compiler.analysis.uses_last`.
         """
-        stack = [expr]
-        while stack:
-            node = stack.pop()
-            if isinstance(node, ast.FunctionCall):
-                if node.name.local == "last" and not node.args:
-                    return True
-                if node.name.uri not in (XS_NS, XDT_NS) and \
-                        fnlib.lookup(node.name, len(node.args)) is None:
-                    return True
-            stack.extend(node.children())
-            clauses = getattr(node, "clauses", None)
-            if clauses:
-                stack.extend(c.expr for c in clauses)
-            cases = getattr(node, "cases", None)
-            if cases:
-                stack.extend(c.body for c in cases)
-            default = getattr(node, "default", None)
-            if default is not None and getattr(default, "body", None) is not None:
-                stack.append(default.body)
-            order = getattr(node, "order", None)
-            if order:
-                stack.extend(s.expr for s in order)
-            group = getattr(node, "group", None)
-            if group:
-                stack.extend(key for _var, key in group)
-        return False
+        from repro.compiler.analysis import uses_last
+
+        return uses_last(expr)
 
     def _adapt_item(self, expr: ast.Expr) -> Plan:
         """The universal fallback: item-compile ``expr``, re-chunk its output."""

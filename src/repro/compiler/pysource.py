@@ -1,0 +1,1555 @@
+"""Compile-to-source: emit specialized Python per query.
+
+The second execution backend (``Engine(codegen="source")``).  Where the
+closure backend builds a tree of generator closures — one Python frame
+per operator per item — this module walks the *same* post-planner core
+tree and writes one flat Python generator function per fused region:
+whole FLWOR bodies (the ``for``/``let``/``if`` chains normalization
+produces), path chains, predicate filters, and aggregate tails collapse
+into plain loops with no per-operator calls.  It is the paper's
+"compile the query into an executable" move (XQRL compiles queries to
+Java; we compile to Python and ``compile()`` the text in-process).
+
+Contracts with the closure backend, in both directions:
+
+- **Byte-identical semantics.**  Every emission mirrors the matching
+  ``_c_`` closure in :mod:`repro.compiler.codegen` exactly — evaluation
+  order, laziness, error codes, and cancellation-poll placement
+  included.  The differential suites (``tests/test_codegen_source.py``)
+  enforce this over the XMark/bib/seeded-random corpus.
+- **Fallback, not failure.**  Subtrees this emitter does not fuse
+  (order-by FLWOR, typeswitch, node constructors, access paths,
+  parallel groups, user functions, ...) compile through the shared
+  :class:`~repro.compiler.codegen.CodeGenerator` and run as ordinary
+  closure plans behind :func:`_fallback_iter`, which transfers the
+  generated code's variable bindings (as replayable sequences — the
+  same :class:`BufferedSequence` contract the batched backend's
+  ``_adapt_item`` keeps) and focus into a child dynamic context.  Each
+  crossing counts ``codegen.fallback_closure``.
+- **Observability.**  The root region is registered as a hooked
+  :class:`~repro.observability.explain.PlanNode` (tagged
+  ``codegen=source``) so EXPLAIN ANALYZE item counts match the closure
+  backend's root operator; fused operators appear as ``codegen=fused``
+  nodes, closure seams as ``codegen=closure``.  The generated text is
+  registered with :mod:`linecache`, so tracebacks out of generated
+  loops show real source lines.
+
+Early exit (EBV, ``fn:exists``, general comparisons, positional
+filters) uses the :class:`_Early` control exception *with a per-site
+token*: each consumption site only absorbs its own escapes and
+re-raises the rest, so a lazily-satisfied inner consumer never causes
+an outer producer to keep running (which would diverge from the
+closure backend's pull semantics).
+"""
+
+from __future__ import annotations
+
+import itertools
+import linecache
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.compiler.analysis import uses_last
+from repro.compiler.codegen import (
+    CodeGenerator,
+    Plan,
+    _all_nodes,
+    _compile_step_fn,
+    _opt_integer,
+    _opt_single_node,
+)
+from repro.compiler.context import StaticContext
+from repro.errors import DynamicError, TypeError_
+from repro.qname import FN_NS, QName, XDT_NS, XS_NS
+from repro.runtime import functions as fnlib
+from repro.runtime.arithmetic import arithmetic, negate, unary_plus
+from repro.runtime.batching import ensure_replayable
+from repro.runtime.compare import (
+    _GENERAL_TO_VALUE,
+    _general_pair,
+    node_compare,
+    order_compare,
+    value_compare,
+)
+from repro.runtime.dynamic import DynamicContext
+from repro.runtime.ebv import _atomic_ebv, effective_boolean_value
+from repro.runtime.iterators import BufferedSequence
+from repro.xdm.atomize import atomize_item
+from repro.xdm.items import AtomicValue, boolean, integer
+from repro.xdm.nodes import ElementNode, Node, TextNode
+from repro.xdm.order import in_document_order
+from repro.xquery import ast
+from repro.xsd import types as T
+from repro.xsd.casting import cast_value
+
+#: sequence for generated-module filenames (linecache keys)
+_source_seq = itertools.count()
+
+
+class _Early(Exception):
+    """Control-flow escape for early-exit consumers.
+
+    Carries the consumption site's token as ``args[0]``; every
+    ``except _Early`` the emitter writes re-raises foreign tokens so an
+    escape always unwinds to the site that requested it.
+    """
+
+
+#: sentinel for "no first item seen yet" in EBV accumulation
+_ABSENT = object()
+
+
+def _fallback_iter(plan, dctx, bindings, focus):
+    """Run a closure plan at a source/closure seam.
+
+    ``bindings`` are the generated code's in-scope variables as
+    ``(name, value)`` pairs; values cross the boundary replayable
+    (:func:`repro.runtime.batching.ensure_replayable`) so a LET binding
+    shared between generated loops and the closure plan is pulled at
+    most once, exactly as within either backend alone.
+    """
+    dctx.count("codegen.fallback_closure")
+    if bindings:
+        token = dctx._shared.cancellation
+        dctx = dctx.bind_many({name: ensure_replayable(value, token)
+                               for name, value in bindings})
+    if focus is not None:
+        dctx = dctx.with_focus(focus[0], focus[1], focus[2])
+    return plan(dctx)
+
+
+def _filter_keep(result, pos):
+    """The item-mode predicate decision over a materialized result.
+
+    Mirrors ``_c_Filter``: an all-numeric result filters positionally
+    (including the 2003-draft ``author[1 to 2]`` sequence form), any
+    other result is taken by effective boolean value.
+    """
+    if result and all(isinstance(v, AtomicValue) and T.is_numeric(v.type)
+                      for v in result):
+        return any(float(v.value) == pos for v in result)
+    return effective_boolean_value(iter(result))
+
+
+def _ddo_list(items, dctx):
+    """Distinct-doc-order over a materialized list (mirrors ``_c_DDO``)."""
+    if not items:
+        return ()
+    any_nodes = False
+    all_nodes = True
+    for item in items:
+        if isinstance(item, Node):
+            any_nodes = True
+        else:
+            all_nodes = False
+    if all_nodes:
+        dctx.count("ddo_sorts")
+        return in_document_order(items)
+    if any_nodes:
+        raise TypeError_("path result mixes nodes and atomic values",
+                         code="XPTY0018")
+    return items
+
+
+def _set_result(op, left_nodes, right_nodes):
+    """Combine validated node lists for a SetOp (mirrors ``_c_SetOp``)."""
+    right_ids = {id(n) for n in right_nodes}
+    if op == "union":
+        result = left_nodes + right_nodes
+    elif op == "intersect":
+        result = [n for n in left_nodes if id(n) in right_ids]
+    else:
+        result = [n for n in left_nodes if id(n) not in right_ids]
+    return in_document_order(result)
+
+
+#: names every generated module can see (the emitter adds per-query
+#: constants — literals, QNames, step kernels, closure plans — on top)
+_BASE_ENV = {
+    "_Early": _Early,
+    "_ABSENT": _ABSENT,
+    "_atomize_item": atomize_item,
+    "_ebv_atom": _atomic_ebv,
+    "_general_pair": _general_pair,
+    "_value_compare": value_compare,
+    "_node_compare": node_compare,
+    "_order_compare": order_compare,
+    "_arith": arithmetic,
+    "_negate": negate,
+    "_uplus": unary_plus,
+    "_integer": integer,
+    "_boolean": boolean,
+    "_AtomicValue": AtomicValue,
+    "_cast_value": cast_value,
+    "_Node": Node,
+    "_Elem": ElementNode,
+    "_Text": TextNode,
+    "_TypeError_": TypeError_,
+    "_DynamicError": DynamicError,
+    "_BufferedSequence": BufferedSequence,
+    "_fb": _fallback_iter,
+    "_filter_keep": _filter_keep,
+    "_ddo_list": _ddo_list,
+    "_set_result": _set_result,
+    "_all_nodes": _all_nodes,
+    "_opt_integer": _opt_integer,
+    "_opt_single_node": _opt_single_node,
+}
+
+#: fn: builtins whose EBV equals their (boolean-singleton) value — used
+#: to route fused predicates through the static-boolean EBV emission
+_EBV_FUSED_BUILTINS = ("not", "boolean", "exists", "empty")
+
+
+def _nodes_only_path(expr) -> bool:
+    """Can the expression statically produce only nodes, without
+    raising while being produced?
+
+    True for axis steps and chains of them (with DDO wrappers): node
+    inputs through name/kind tests never yield atomics and never
+    raise, so their effective boolean value equals ``fn:exists`` — a
+    predicate of this shape may early-exit instead of materializing.
+    """
+    if isinstance(expr, ast.Step):
+        return True
+    if isinstance(expr, ast.DDO):
+        return _nodes_only_path(expr.operand)
+    if isinstance(expr, ast.PathExpr):
+        return _nodes_only_path(expr.left) and isinstance(expr.right, ast.Step)
+    return False
+
+
+def _peel_ddo(expr):
+    """Strip DDO wrappers (sound when only existence is observed)."""
+    while isinstance(expr, ast.DDO):
+        expr = expr.operand
+    return expr
+
+
+def _yields_only_nodes(expr) -> bool:
+    """Is every item the expression yields a node?  (Errors are fine —
+    this is weaker than :func:`_nodes_only_path` — so the per-item
+    XPTY0019 guard downstream of the expression is dead code.)"""
+    if isinstance(expr, ast.Step):
+        return True
+    if isinstance(expr, ast.DDO):
+        # DDO passes atomic-only sequences through, so the operand
+        # must itself be nodes-only
+        return _yields_only_nodes(expr.operand)
+    if isinstance(expr, ast.PathExpr):
+        # a step on the right means every output item came off an axis
+        # walk, whatever the left produced
+        return _yields_only_nodes(expr.right)
+    if isinstance(expr, ast.Filter):
+        return _yields_only_nodes(expr.base)
+    return False
+
+
+def _static_boolean(expr) -> bool:
+    """Is the expression statically a boolean singleton?
+
+    For such predicates ``_filter_keep`` always takes the EBV branch
+    (booleans are not numeric), so the emitter may skip materializing
+    the predicate result entirely.
+    """
+    if isinstance(expr, (ast.Comparison, ast.AndExpr, ast.OrExpr,
+                         ast.Quantified, ast.InstanceOf, ast.CastableExpr)):
+        return True
+    if isinstance(expr, ast.Literal):
+        return expr.value.type.derives_from(T.XS_BOOLEAN)
+    if isinstance(expr, ast.FunctionCall) and expr.name.uri == FN_NS:
+        if expr.name.local in _EBV_FUSED_BUILTINS and len(expr.args) == 1:
+            return True
+        if expr.name.local in ("true", "false") and not expr.args:
+            return True
+        return False
+    if isinstance(expr, ast.IfExpr):
+        return _static_boolean(expr.then) and _static_boolean(expr.orelse)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Sinks: code-emitting consumers
+# ---------------------------------------------------------------------------
+#
+# A sink receives each *produced item* as a code string at every
+# production site.  Convention: producers pre-assign effectful
+# expressions to temps before calling ``sink.item`` (``_as_local``), so
+# a sink may duplicate or discard the code string freely; and a sink's
+# ``item`` may be invoked at several sites (e.g. both branches of an
+# if), so everything it emits must be self-contained.
+
+
+class _YieldSink:
+    def item(self, em: "SourcePlanCompiler", code: str) -> None:
+        em.w(f"yield {code}")
+
+
+class _CollectSink:
+    def __init__(self, target: str):
+        self.target = target
+
+    def item(self, em, code):
+        em.w(f"{self.target}.append({code})")
+
+
+class _AtomizeSink:
+    def __init__(self, target: str):
+        self.target = target
+
+    def item(self, em, code):
+        em.w(f"{self.target}.extend(_atomize_item({code}))")
+
+
+class _CountSink:
+    def __init__(self, counter: str):
+        self.counter = counter
+
+    def item(self, em, code):
+        em.w(f"{self.counter} += 1")
+
+
+class _DistinctCountSink:
+    """Streaming distinct count for ``count(DDO(...))``: nodes are
+    deduped by identity (the key ``_ddo_list`` uses) without buffering
+    or sorting; atomic items are tallied so the caller can reproduce
+    the XPTY0018 mixed-sequence check after the drain."""
+
+    def __init__(self, seen: str, nodes: str, atoms: str):
+        self.seen = seen
+        self.nodes = nodes
+        self.atoms = atoms
+
+    def item(self, em, code):
+        t = em._as_local(code)
+        with em.block(f"if isinstance({t}, _Node):"):
+            k = em.fresh("k")
+            em.w(f"{k} = id({t})")
+            with em.block(f"if {k} not in {self.seen}:"):
+                em.w(f"{self.seen}.add({k})")
+                em.w(f"{self.nodes} += 1")
+        with em.block("else:"):
+            em.w(f"{self.atoms} += 1")
+
+
+class _ExistsSink:
+    def __init__(self, flag: str, token: int):
+        self.flag = flag
+        self.token = token
+
+    def item(self, em, code):
+        em.w(f"{self.flag} = True")
+        em.w(f"raise _Early({self.token})")
+
+
+class _EBVSink:
+    """Generic effective-boolean-value accumulation.
+
+    The second-item check precedes the node check: a node as the
+    *second* item alongside a non-node first is still err:FORG0006,
+    exactly as :func:`effective_boolean_value` raises it.
+    """
+
+    def __init__(self, result: str, first: str, token: int):
+        self.result = result
+        self.first = first
+        self.token = token
+
+    def item(self, em, code):
+        code = em._as_local(code)
+        with em.block(f"if {self.first} is not _ABSENT:"):
+            em.w('raise _TypeError_("effective boolean value of a '
+                 'multi-item atomic sequence", code="FORG0006")')
+        with em.block(f"if isinstance({code}, _Node):"):
+            em.w(f"{self.result} = True")
+            em.w(f"raise _Early({self.token})")
+        em.w(f"{self.first} = {code}")
+
+
+class _SingletonAtomSink:
+    """Streaming ``_opt_atomic_value``: err:XPTY0004 the moment a
+    second atomized value appears."""
+
+    def __init__(self, var: str):
+        self.var = var
+
+    def item(self, em, code):
+        code = em._as_local(code)
+        t = em.fresh("t")
+        with em.block(f"for {t} in _atomize_item({code}):"):
+            with em.block(f"if {self.var} is not None:"):
+                em.w('raise _TypeError_("expected at most one atomic '
+                     'value", code="XPTY0004")')
+            em.w(f"{self.var} = {t}")
+
+
+class _GCLeftSink:
+    """General-comparison left loop: lazy, early-exit on first match."""
+
+    def __init__(self, result: str, right_list: str, value_op: str, token: int):
+        self.result = result
+        self.right_list = right_list
+        self.value_op = value_op
+        self.token = token
+
+    def item(self, em, code):
+        code = em._as_local(code)
+        a = em.fresh("a")
+        with em.block(f"for {a} in _atomize_item({code}):"):
+            b = em.fresh("b")
+            with em.block(f"for {b} in {self.right_list}:"):
+                with em.block(
+                        f"if _general_pair({self.value_op!r}, {a}, {b}):"):
+                    em.w(f"{self.result} = True")
+                    em.w(f"raise _Early({self.token})")
+
+
+class _NthSink:
+    """Static-index filter ``base[N]``: lazy early exit at the Nth item."""
+
+    def __init__(self, counter: str, index: int, out, token: int):
+        self.counter = counter
+        self.index = index
+        self.out = out
+        self.token = token
+
+    def item(self, em, code):
+        code = em._as_local(code)
+        em.w(f"{self.counter} += 1")
+        with em.block(f"if {self.counter} == {self.index}:"):
+            self.out.item(em, code)
+            em.w(f"raise _Early({self.token})")
+
+
+class _QuantSink:
+    """some/every loop body: EBV the condition, early-exit on decision."""
+
+    def __init__(self, expr: ast.Quantified, flag: str, token: int, parent):
+        self.expr = expr
+        self.flag = flag
+        self.token = token
+        self.parent = parent
+
+    def item(self, em, code):
+        item = em._as_local(code)
+        with em.under(self.parent):
+            with em.bound(self.expr.var, item, "item"):
+                holds = em._emit_ebv(self.expr.cond)
+        if self.expr.kind == "some":
+            with em.block(f"if {holds}:"):
+                em.w(f"{self.flag} = True")
+                em.w(f"raise _Early({self.token})")
+        else:
+            with em.block(f"if not {holds}:"):
+                em.w(f"{self.flag} = False")
+                em.w(f"raise _Early({self.token})")
+
+
+class _ForSink:
+    """ForExpr body: cancellation poll, bind, emit body into the outer
+    sink — the whole-FLWOR fusion workhorse (a normalized FLWOR is a
+    chain of ForExpr/LetExpr/IfExpr nodes, so the nested sinks flatten
+    it into one loop nest)."""
+
+    def __init__(self, expr: ast.ForExpr, out, pos_counter, parent):
+        self.expr = expr
+        self.out = out
+        self.pos_counter = pos_counter
+        self.parent = parent
+
+    def item(self, em, code):
+        item = em._as_local(code)
+        with em.block("if _tok is not None:"):
+            em.w("_tok.check()")
+        with em.under(self.parent):
+            if self.pos_counter is None:
+                with em.bound(self.expr.var, item, "item"):
+                    em.emit(self.expr.body, self.out)
+            else:
+                em.w(f"{self.pos_counter} += 1")
+                pv = em.fresh("pv")
+                em.w(f"{pv} = _integer({self.pos_counter})")
+                with em.bound(self.expr.var, item, "item"), \
+                        em.bound(self.expr.pos_var, pv, "item"):
+                    em.emit(self.expr.body, self.out)
+
+
+class _FilterSink:
+    """Generic filter: per-item poll, local focus, materialized
+    predicate through ``_filter_keep``."""
+
+    def __init__(self, expr: ast.Filter, out, pos_counter, parent):
+        self.expr = expr
+        self.out = out
+        self.pos_counter = pos_counter
+        self.parent = parent
+
+    def item(self, em, code):
+        item = em._as_local(code)
+        with em.block("if _tok is not None:"):
+            em.w("_tok.check()")
+        em.w(f"{self.pos_counter} += 1")
+        with em.under(self.parent):
+            em._emit_predicate_keep(self.expr.predicate, item,
+                                    self.pos_counter, "0", item, self.out)
+
+
+class _FusedFilterSink:
+    """Streaming fused step+filter candidate: position counter plus an
+    inline predicate, no candidate list (predicate proven last()-free)."""
+
+    def __init__(self, predicate, pos_counter: str, out, parent):
+        self.predicate = predicate
+        self.pos_counter = pos_counter
+        self.out = out
+        self.parent = parent
+
+    def item(self, em, code):
+        cand = em._as_local(code)
+        em.w(f"{self.pos_counter} += 1")
+        with em.under(self.parent):
+            em._emit_predicate_keep(self.predicate, cand, self.pos_counter,
+                                    "0", cand, self.out)
+
+
+class _PathSink:
+    """PathExpr per-left-item body: node check, poll, focus, right side.
+
+    ``pos_counter`` is None when the right side never observes the
+    outer focus position (a bare step, or a fused step+filter whose
+    predicate sees its own per-candidate focus) — no counter is
+    maintained in that case.  The XPTY0019 node guard is elided when
+    the left producer yields only nodes."""
+
+    def __init__(self, expr: ast.PathExpr, out, pos_counter, parent):
+        self.expr = expr
+        self.out = out
+        self.pos_counter = pos_counter
+        self.parent = parent
+
+    def item(self, em, code):
+        item = em._as_local(code)
+        if not _yields_only_nodes(self.expr.left):
+            with em.block(f"if not isinstance({item}, _Node):"):
+                em.w('raise _TypeError_("path step applied to a non-node", '
+                     'code="XPTY0019")')
+        with em.block("if _tok is not None:"):
+            em.w("_tok.check()")
+        if self.pos_counter is not None:
+            em.w(f"{self.pos_counter} += 1")
+        with em.under(self.parent):
+            em._emit_path_right(self.expr.right, item,
+                                self.pos_counter or "0", self.out)
+
+
+# ---------------------------------------------------------------------------
+# The compiler
+# ---------------------------------------------------------------------------
+
+
+class SourcePlanCompiler:
+    """Compiles a core expression tree to generated Python source.
+
+    Owns a :class:`CodeGenerator` for closure fallbacks and shares its
+    operator counter and PlanNode stack, so the plan tree interleaves
+    fused and closure operators with consistent ids; the root region is
+    hooked through the same guarded profiler check as every closure
+    operator, which keeps EXPLAIN ANALYZE item counts comparable
+    across backends.
+    """
+
+    def __init__(self, static_ctx: StaticContext, instrument: bool = True,
+                 executor=None, catalog=None):
+        self.ctx = static_ctx
+        self.instrument = instrument
+        self.cgen = CodeGenerator(static_ctx, instrument=instrument,
+                                  executor=executor, catalog=catalog,
+                                  batch_size=0)
+        self.env: dict[str, Any] = dict(_BASE_ENV)
+        #: in-scope variables: QName -> (local name, "item" | "seq")
+        self.scope: dict[QName, tuple[str, str]] = {}
+        #: local focus: None (ambient dctx focus) or a (item, position,
+        #: size) triple of identifiers / integer literals
+        self.focus: tuple[str, str, str] | None = None
+        self._functions: list[dict] = []
+        self._cur: dict | None = None
+        self._counter = 0
+        self._early_counter = 0
+        self._const_ids: dict[tuple[str, int], str] = {}
+        #: the emitted module text (set by compile_root)
+        self.generated_source: str | None = None
+        self.filename: str | None = None
+
+    @property
+    def plan_tree(self):
+        return self.cgen.plan_tree
+
+    # -- text emission -----------------------------------------------------
+
+    def fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"_{prefix}{self._counter}"
+
+    def w(self, line: str) -> None:
+        cur = self._cur
+        cur["lines"].append("    " * cur["indent"] + line)
+
+    @contextmanager
+    def block(self, header: str | None = None):
+        if header is not None:
+            self.w(header)
+        cur = self._cur
+        cur["indent"] += 1
+        mark = len(cur["lines"])
+        try:
+            yield
+        finally:
+            if len(cur["lines"]) == mark:
+                self.w("pass")
+            cur["indent"] -= 1
+
+    @contextmanager
+    def function(self, name: str, params: list[str]):
+        rec = {"lines": [f"def {name}({', '.join(params)}):"], "indent": 1}
+        self._functions.append(rec)
+        prev, self._cur = self._cur, rec
+        try:
+            yield
+        finally:
+            self._cur = prev
+
+    @contextmanager
+    def early(self):
+        """An early-exit consumption site: yields its token; sinks raise
+        ``_Early(token)`` and foreign tokens are re-raised onward."""
+        self._early_counter += 1
+        token = self._early_counter
+        with self.block("try:"):
+            yield token
+        ex = f"_ex{token}"
+        with self.block(f"except _Early as {ex}:"):
+            with self.block(f"if {ex}.args[0] != {token}:"):
+                self.w("raise")
+
+    def const(self, value: Any, prefix: str = "k") -> str:
+        key = (prefix, id(value))
+        name = self._const_ids.get(key)
+        if name is None:
+            name = self.fresh(prefix)
+            self._const_ids[key] = name
+            self.env[name] = value
+        return name
+
+    def _as_local(self, code: str) -> str:
+        """Pin a produced expression to a temp (producers call this so
+        sinks may duplicate/discard the code string safely)."""
+        if code.isidentifier():
+            return code
+        tmp = self.fresh("t")
+        self.w(f"{tmp} = {code}")
+        return tmp
+
+    # -- scope / focus -----------------------------------------------------
+
+    @contextmanager
+    def bound(self, var: QName, local: str, kind: str):
+        had = var in self.scope
+        old = self.scope.get(var)
+        self.scope[var] = (local, kind)
+        try:
+            yield
+        finally:
+            if had:
+                self.scope[var] = old
+            else:
+                del self.scope[var]
+
+    @contextmanager
+    def focused(self, item: str, position: str, size: str):
+        old = self.focus
+        self.focus = (item, position, size)
+        try:
+            yield
+        finally:
+            self.focus = old
+
+    # -- plan-tree bookkeeping ---------------------------------------------
+
+    def _pnode(self, expr, tag: str = "fused"):
+        if not self.instrument:
+            return None
+        from repro.observability.explain import PlanNode
+
+        node = PlanNode.for_expr(self.cgen._op_counter, expr)
+        self.cgen._op_counter += 1
+        node.info["codegen"] = tag
+        stack = self.cgen._node_stack
+        if stack:
+            stack[-1].children.append(node)
+        elif self.cgen.plan_tree is None:
+            self.cgen.plan_tree = node
+        return node
+
+    @contextmanager
+    def pnode(self, expr, tag: str = "fused"):
+        node = self._pnode(expr, tag)
+        if node is None:
+            yield None
+            return
+        self.cgen._node_stack.append(node)
+        try:
+            yield node
+        finally:
+            self.cgen._node_stack.pop()
+
+    @contextmanager
+    def under(self, node):
+        """Re-enter a previously created PlanNode (sink bodies run while
+        the producer's subtree is on the stack; this restores nesting)."""
+        if node is None:
+            yield
+            return
+        self.cgen._node_stack.append(node)
+        try:
+            yield
+        finally:
+            self.cgen._node_stack.pop()
+
+    def _here(self):
+        stack = self.cgen._node_stack
+        return stack[-1] if stack else None
+
+    # -- eligibility ---------------------------------------------------------
+
+    def _eligible(self, expr) -> bool:
+        """Can this instance be emitted with identical semantics?
+
+        Mirrors ``CodeGenerator._batch_eligible`` plus the source
+        backend's own constraints; anything else crosses to the closure
+        interpreter via :meth:`_emit_fallback`.
+        """
+        kind = type(expr).__name__
+        if kind in ("SequenceExpr", "Arithmetic"):
+            # with an executor attached the closure compiler may form
+            # parallel groups for these — keep that path
+            return self.cgen.executor is None
+        if kind == "Filter":
+            return not uses_last(expr.predicate)
+        if kind == "PathExpr":
+            right = expr.right
+            if isinstance(right, ast.Step):
+                return True
+            if isinstance(right, ast.Filter) and isinstance(right.base, ast.Step):
+                # fused step+filter: candidates are per-parent, so
+                # position()/last() in the predicate stay local
+                return True
+            return not uses_last(right)
+        if kind == "FunctionCall":
+            if self.cgen.executor is not None:
+                return False  # eager builtins may parallelize their args
+            if expr.name.uri in (XS_NS, XDT_NS):
+                atype = self.ctx.lookup_type(expr.name)
+                return isinstance(atype, T.AtomicType) and len(expr.args) == 1
+            builtin = fnlib.lookup(expr.name, len(expr.args))
+            if builtin is None:
+                return False  # user functions keep the closure convention
+            if builtin.lazy:
+                return len(expr.args) == 1 and \
+                    expr.name.local in ("count", "exists", "empty",
+                                        "not", "boolean")
+            return True
+        return True
+
+    # -- dispatch ------------------------------------------------------------
+
+    def emit(self, expr, sink) -> None:
+        method = getattr(self, f"_e_{type(expr).__name__}", None)
+        if method is None or not self._eligible(expr):
+            self._emit_fallback(expr, sink)
+            return
+        with self.pnode(expr):
+            method(expr, sink)
+
+    def _dispatch(self, expr, sink) -> None:
+        """Dispatch without registering a PlanNode (the root region's
+        node is created by compile_root)."""
+        method = getattr(self, f"_e_{type(expr).__name__}", None)
+        if method is None or not self._eligible(expr):
+            self._emit_fallback(expr, sink)
+        else:
+            method(expr, sink)
+
+    def _emit_fallback(self, expr, sink) -> None:
+        """The source/closure seam: closure-compile ``expr`` and iterate
+        it with the generated scope and focus transferred."""
+        stack = self.cgen._node_stack
+        before = len(stack[-1].children) if stack else 0
+        plan = self.cgen.compile(expr)
+        if self.instrument and stack and len(stack[-1].children) > before:
+            stack[-1].children[-1].info.setdefault("codegen", "closure")
+        plan_const = self.const(plan, "c")
+        pairs = []
+        for var, (local, kind) in self.scope.items():
+            qn = self.const(var, "qn")
+            value = f"({local},)" if kind == "item" else local
+            pairs.append(f"({qn}, {value})")
+        if not pairs:
+            bindings = "()"
+        elif len(pairs) == 1:
+            bindings = f"({pairs[0]},)"
+        else:
+            bindings = "(" + ", ".join(pairs) + ")"
+        focus = "None" if self.focus is None else \
+            f"({self.focus[0]}, {self.focus[1]}, {self.focus[2]})"
+        t = self.fresh("t")
+        with self.block(f"for {t} in _fb({plan_const}, dctx, {bindings}, "
+                        f"{focus}):"):
+            sink.item(self, t)
+
+    # -- sub-regions ---------------------------------------------------------
+
+    def _subregion(self, expr) -> str:
+        """Emit ``expr`` as its own generator function; returns the call
+        expression.  Captured scope locals (and identifier focus parts)
+        pass as parameters under their own names, so the scope map and
+        focus stay valid inside."""
+        name = self.fresh("r")
+        captured: list[str] = []
+        for local, _kind in self.scope.values():
+            if local not in captured:
+                captured.append(local)
+        if self.focus is not None:
+            for part in self.focus:
+                if part.isidentifier() and part not in captured:
+                    captured.append(part)
+        with self.function(name, ["dctx"] + captured):
+            self.w("_tok = dctx._shared.cancellation")
+            self.emit(expr, _YieldSink())
+            self.w("return")
+            self.w("yield None")
+        args = "".join(", " + c for c in captured)
+        return f"{name}(dctx{args})"
+
+    # -- scalar emission helpers ---------------------------------------------
+
+    def _emit_ebv(self, expr) -> str:
+        """Emit the effective boolean value of ``expr`` into a plain
+        Python bool local; statically-boolean shapes skip the generic
+        first/second-item machinery."""
+        if isinstance(expr, ast.AndExpr):
+            with self.pnode(expr):
+                left = self._emit_ebv(expr.left)
+                out = self.fresh("b")
+                self.w(f"{out} = False")
+                with self.block(f"if {left}:"):
+                    right = self._emit_ebv(expr.right)
+                    self.w(f"{out} = {right}")
+            return out
+        if isinstance(expr, ast.OrExpr):
+            with self.pnode(expr):
+                left = self._emit_ebv(expr.left)
+                out = self.fresh("b")
+                self.w(f"{out} = True")
+                with self.block(f"if not {left}:"):
+                    right = self._emit_ebv(expr.right)
+                    self.w(f"{out} = {right}")
+            return out
+        if isinstance(expr, ast.IfExpr):
+            with self.pnode(expr):
+                cond = self._emit_ebv(expr.cond)
+                out = self.fresh("b")
+                with self.block(f"if {cond}:"):
+                    then = self._emit_ebv(expr.then)
+                    self.w(f"{out} = {then}")
+                with self.block("else:"):
+                    orelse = self._emit_ebv(expr.orelse)
+                    self.w(f"{out} = {orelse}")
+            return out
+        if isinstance(expr, ast.Quantified):
+            with self.pnode(expr):
+                return self._emit_quantified_flag(expr)
+        if isinstance(expr, ast.Comparison):
+            with self.pnode(expr):
+                if expr.family == "general":
+                    return self._emit_general(expr)
+                if expr.family == "value":
+                    a = self._emit_atom_opt(expr.left)
+                    b = self._emit_atom_opt(expr.right)
+                    out = self.fresh("b")
+                    self.w(f"{out} = False")
+                    with self.block(f"if {a} is not None and "
+                                    f"{b} is not None:"):
+                        self.w(f"{out} = _value_compare({expr.op!r}, "
+                               f"{a}, {b})")
+                    return out
+                result = self._emit_node_compare(expr)
+                out = self.fresh("b")
+                self.w(f"{out} = bool({result})")  # None (empty) -> False
+                return out
+        if isinstance(expr, ast.FunctionCall) and expr.name.uri == FN_NS \
+                and len(expr.args) == 1 \
+                and expr.name.local in _EBV_FUSED_BUILTINS \
+                and fnlib.lookup(expr.name, 1) is not None:
+            local = expr.name.local
+            with self.pnode(expr):
+                if local == "boolean":
+                    return self._emit_ebv(expr.args[0])
+                if local == "exists":
+                    return self._emit_exists(expr.args[0])
+                if local == "not":
+                    inner = self._emit_ebv(expr.args[0])
+                    out = self.fresh("b")
+                    self.w(f"{out} = not {inner}")
+                    return out
+                flag = self._emit_exists(expr.args[0])
+                out = self.fresh("b")
+                self.w(f"{out} = not {flag}")
+                return out
+        if isinstance(expr, ast.Literal):
+            with self.pnode(expr):
+                out = self.fresh("b")
+                self.w(f"{out} = _ebv_atom({self.const(expr.value)})")
+            return out
+        if _nodes_only_path(expr):
+            # nodes-only sequences: EBV is True exactly when non-empty
+            # (first item decides; FORG0006 cannot arise), so exist —
+            # and dedup/sort is unobservable, so the DDO peels off
+            return self._emit_exists(_peel_ddo(expr))
+
+        result = self.fresh("b")
+        first = self.fresh("v")
+        self.w(f"{result} = False")
+        self.w(f"{first} = _ABSENT")
+        with self.early() as token:
+            self.emit(expr, _EBVSink(result, first, token))
+            with self.block(f"if {first} is not _ABSENT:"):
+                self.w(f"{result} = _ebv_atom({first})")
+        return result
+
+    def _emit_exists(self, expr) -> str:
+        flag = self.fresh("b")
+        self.w(f"{flag} = False")
+        with self.early() as token:
+            self.emit(expr, _ExistsSink(flag, token))
+        return flag
+
+    def _emit_count(self, expr) -> str:
+        counter = self.fresh("n")
+        self.w(f"{counter} = 0")
+        self.emit(expr, _CountSink(counter))
+        return counter
+
+    def _emit_general(self, expr: ast.Comparison) -> str:
+        """General comparison: right buffered first (empty right short-
+        circuits to False without touching left), left lazy with
+        early exit — exactly :func:`general_compare`."""
+        value_op = _GENERAL_TO_VALUE[expr.op]
+        right_list = self.fresh("r")
+        self.w(f"{right_list} = []")
+        self.emit(expr.right, _AtomizeSink(right_list))
+        result = self.fresh("b")
+        self.w(f"{result} = False")
+        with self.block(f"if {right_list}:"):
+            with self.early() as token:
+                self.emit(expr.left,
+                          _GCLeftSink(result, right_list, value_op, token))
+        return result
+
+    def _emit_node_compare(self, expr: ast.Comparison) -> str:
+        """node/order comparison into a local holding True/False/None.
+
+        The left operand drains and validates before the right is
+        evaluated, matching closure argument order."""
+        fn = "_node_compare" if expr.family == "node" else "_order_compare"
+        la = self.fresh("l")
+        self.w(f"{la} = []")
+        self.emit(expr.left, _CollectSink(la))
+        na = self.fresh("nd")
+        self.w(f"{na} = _opt_single_node({la})")
+        lb = self.fresh("l")
+        self.w(f"{lb} = []")
+        self.emit(expr.right, _CollectSink(lb))
+        nb = self.fresh("nd")
+        self.w(f"{nb} = _opt_single_node({lb})")
+        result = self.fresh("cmp")
+        self.w(f"{result} = {fn}({expr.op!r}, {na}, {nb})")
+        return result
+
+    def _emit_atom_opt(self, expr) -> str:
+        """Zero-or-one atomized value (streaming err:XPTY0004 on a
+        second value, like ``_opt_atomic_value``)."""
+        var = self.fresh("v")
+        self.w(f"{var} = None")
+        self.emit(expr, _SingletonAtomSink(var))
+        return var
+
+    def _emit_int_opt(self, expr, what: str) -> str:
+        """Optional integer operand; drains fully before validating,
+        like ``_opt_integer`` (always a local, never a literal)."""
+        lst = self.fresh("q")
+        self.w(f"{lst} = []")
+        self.emit(expr, _AtomizeSink(lst))
+        out = self.fresh("n")
+        self.w(f"{out} = _opt_integer({lst}, {what!r})")
+        return out
+
+    def _emit_quantified_flag(self, expr: ast.Quantified) -> str:
+        is_some = expr.kind == "some"
+        flag = self.fresh("b")
+        self.w(f"{flag} = {not is_some}")
+        parent = self._here()
+        with self.early() as token:
+            self.emit(expr.seq, _QuantSink(expr, flag, token, parent))
+        return flag
+
+    def _context_item(self) -> str:
+        if self.focus is not None:
+            return self.focus[0]
+        ci = self.fresh("ci")
+        self.w(f"{ci} = dctx.context_item()")
+        return ci
+
+    # -- expression emitters --------------------------------------------------
+
+    def _e_Literal(self, expr: ast.Literal, sink) -> None:
+        sink.item(self, self.const(expr.value))
+
+    def _e_EmptySequence(self, expr, sink) -> None:
+        pass
+
+    def _e_VarRef(self, expr: ast.VarRef, sink) -> None:
+        binding = self.scope.get(expr.name)
+        if binding is not None:
+            local, kind = binding
+            if kind == "item":
+                sink.item(self, local)
+            else:
+                t = self.fresh("t")
+                with self.block(f"for {t} in {local}:"):
+                    sink.item(self, t)
+            return
+        qn = self.const(expr.name, "qn")
+        v = self.fresh("v")
+        self.w(f"{v} = dctx.variable({qn})")
+        with self.block(f"if not isinstance({v}, (list, tuple, "
+                        f"_BufferedSequence)):"):
+            self.w(f"{v} = ({v},)")
+        t = self.fresh("t")
+        with self.block(f"for {t} in {v}:"):
+            sink.item(self, t)
+
+    def _e_ContextItem(self, expr, sink) -> None:
+        sink.item(self, self._context_item())
+
+    def _e_SequenceExpr(self, expr: ast.SequenceExpr, sink) -> None:
+        for item in expr.items:
+            self.emit(item, sink)
+
+    def _e_RangeExpr(self, expr: ast.RangeExpr, sink) -> None:
+        low = self._emit_int_opt(expr.low, "range start")
+        high = self._emit_int_opt(expr.high, "range end")
+        with self.block(f"if {low} is not None and {high} is not None:"):
+            i = self.fresh("i")
+            with self.block(f"for {i} in range({low}, {high} + 1):"):
+                t = self.fresh("t")
+                self.w(f"{t} = _integer({i})")
+                sink.item(self, t)
+
+    # -- binding forms ---------------------------------------------------------
+
+    def _e_LetExpr(self, expr: ast.LetExpr, sink) -> None:
+        # lazy binding: the value is a sub-region generator behind a
+        # BufferedSequence — pulled at most once, or never if unused
+        call = self._subregion(expr.value)
+        binding = self.fresh("let")
+        self.w(f"{binding} = _BufferedSequence({call}, cancellation=_tok)")
+        with self.bound(expr.var, binding, "seq"):
+            self.emit(expr.body, sink)
+
+    def _e_ForExpr(self, expr: ast.ForExpr, sink) -> None:
+        pos_counter = None
+        if expr.pos_var is not None:
+            pos_counter = self.fresh("p")
+            self.w(f"{pos_counter} = 0")
+        self.emit(expr.seq, _ForSink(expr, sink, pos_counter, self._here()))
+
+    def _e_Quantified(self, expr: ast.Quantified, sink) -> None:
+        flag = self._emit_quantified_flag(expr)
+        t = self.fresh("t")
+        self.w(f"{t} = _boolean({flag})")
+        sink.item(self, t)
+
+    def _e_IfExpr(self, expr: ast.IfExpr, sink) -> None:
+        cond = self._emit_ebv(expr.cond)
+        with self.block(f"if {cond}:"):
+            self.emit(expr.then, sink)
+        with self.block("else:"):
+            self.emit(expr.orelse, sink)
+
+    # -- logic / comparison / arithmetic --------------------------------------
+
+    def _e_AndExpr(self, expr: ast.AndExpr, sink) -> None:
+        left = self._emit_ebv(expr.left)
+        out = self.fresh("b")
+        self.w(f"{out} = False")
+        with self.block(f"if {left}:"):
+            right = self._emit_ebv(expr.right)
+            self.w(f"{out} = {right}")
+        t = self.fresh("t")
+        self.w(f"{t} = _boolean({out})")
+        sink.item(self, t)
+
+    def _e_OrExpr(self, expr: ast.OrExpr, sink) -> None:
+        left = self._emit_ebv(expr.left)
+        out = self.fresh("b")
+        self.w(f"{out} = True")
+        with self.block(f"if not {left}:"):
+            right = self._emit_ebv(expr.right)
+            self.w(f"{out} = {right}")
+        t = self.fresh("t")
+        self.w(f"{t} = _boolean({out})")
+        sink.item(self, t)
+
+    def _e_Comparison(self, expr: ast.Comparison, sink) -> None:
+        if expr.family == "general":
+            result = self._emit_general(expr)
+            t = self.fresh("t")
+            self.w(f"{t} = _boolean({result})")
+            sink.item(self, t)
+            return
+        if expr.family == "value":
+            a = self._emit_atom_opt(expr.left)
+            b = self._emit_atom_opt(expr.right)
+            with self.block(f"if {a} is not None and {b} is not None:"):
+                t = self.fresh("t")
+                self.w(f"{t} = _boolean(_value_compare({expr.op!r}, "
+                       f"{a}, {b}))")
+                sink.item(self, t)
+            return
+        result = self._emit_node_compare(expr)
+        with self.block(f"if {result} is not None:"):
+            t = self.fresh("t")
+            self.w(f"{t} = _boolean({result})")
+            sink.item(self, t)
+
+    def _e_Arithmetic(self, expr: ast.Arithmetic, sink) -> None:
+        a = self._emit_atom_opt(expr.left)
+        b = self._emit_atom_opt(expr.right)
+        result = self.fresh("t")
+        self.w(f"{result} = _arith({expr.op!r}, {a}, {b})")
+        with self.block(f"if {result} is not None:"):
+            sink.item(self, result)
+
+    def _e_UnaryExpr(self, expr: ast.UnaryExpr, sink) -> None:
+        value = self._emit_atom_opt(expr.operand)
+        fn = "_negate" if expr.op == "-" else "_uplus"
+        result = self.fresh("t")
+        self.w(f"{result} = {fn}({value})")
+        with self.block(f"if {result} is not None:"):
+            sink.item(self, result)
+
+    def _e_SetOp(self, expr: ast.SetOp, sink) -> None:
+        # left is drained and node-validated before right evaluates
+        la = self.fresh("l")
+        self.w(f"{la} = []")
+        self.emit(expr.left, _CollectSink(la))
+        self.w(f"{la} = _all_nodes({la}, {expr.op!r})")
+        lb = self.fresh("l")
+        self.w(f"{lb} = []")
+        self.emit(expr.right, _CollectSink(lb))
+        self.w(f"{lb} = _all_nodes({lb}, {expr.op!r})")
+        t = self.fresh("t")
+        with self.block(f"for {t} in _set_result({expr.op!r}, {la}, {lb}):"):
+            sink.item(self, t)
+
+    # -- paths ------------------------------------------------------------------
+
+    def _e_RootExpr(self, expr, sink) -> None:
+        ci = self._context_item()
+        with self.block(f"if not isinstance({ci}, _Node):"):
+            self.w('raise _TypeError_("\'/\' requires a node context item", '
+                   'code="XPDY0050")')
+        t = self.fresh("t")
+        self.w(f"{t} = {ci}.root()")
+        sink.item(self, t)
+
+    def _e_Step(self, expr: ast.Step, sink) -> None:
+        ci = self._context_item()
+        with self.block(f"if not isinstance({ci}, _Node):"):
+            self.w(f'raise _TypeError_("axis step {expr.axis}:: on a '
+                   f'non-node item", code="XPTY0020")')
+        self._emit_step_walk(expr, ci, sink)
+
+    def _e_PathExpr(self, expr: ast.PathExpr, sink) -> None:
+        right = expr.right
+        if isinstance(right, ast.Step) or \
+                (isinstance(right, ast.Filter) and
+                 isinstance(right.base, ast.Step)):
+            # neither shape reads the outer focus position: the step
+            # walk only needs the context node, and a fused filter's
+            # predicate gets its own per-candidate focus
+            pos_counter = None
+        else:
+            pos_counter = self.fresh("i")
+            self.w(f"{pos_counter} = 0")
+        self.emit(expr.left, _PathSink(expr, sink, pos_counter, self._here()))
+
+    def _emit_path_right(self, right, item: str, pos: str, sink) -> None:
+        """The per-left-item right side of a path (focus = left item)."""
+        if isinstance(right, ast.Step):
+            with self.pnode(right):
+                with self.focused(item, pos, "0"):
+                    self._emit_step_walk(right, item, sink)
+            return
+        if isinstance(right, ast.Filter) and isinstance(right.base, ast.Step):
+            # fused step+filter: the candidate sequence is per-parent,
+            # so position()/last() in the predicate see the item-mode
+            # focus over this parent's candidates
+            with self.pnode(right) as filter_node:
+                step = right.base
+                predicate = right.predicate
+                if not isinstance(predicate, ast.Literal) and \
+                        not uses_last(predicate):
+                    # streaming: no candidate list — walk the step and
+                    # test each candidate in place
+                    cpos = self.fresh("cp")
+                    self.w(f"{cpos} = 0")
+                    with self.pnode(step):
+                        self._emit_step_walk(
+                            step, item,
+                            _FusedFilterSink(predicate, cpos, sink,
+                                             filter_node))
+                    return
+                candidates = self.fresh("c")
+                self.w(f"{candidates} = []")
+                with self.pnode(step):
+                    self._emit_step_walk(step, item, _CollectSink(candidates))
+                if isinstance(predicate, ast.Literal) and \
+                        predicate.value.type.derives_from(T.XS_INTEGER):
+                    index = int(predicate.value.value)
+                    if index >= 1:
+                        with self.block(f"if len({candidates}) >= {index}:"):
+                            t = self.fresh("t")
+                            self.w(f"{t} = {candidates}[{index - 1}]")
+                            sink.item(self, t)
+                    return
+                size = self.fresh("cs")
+                self.w(f"{size} = len({candidates})")
+                cpos = self.fresh("cp")
+                cand = self.fresh("cc")
+                with self.block(f"for {cpos}, {cand} in "
+                                f"enumerate({candidates}, 1):"):
+                    self._emit_predicate_keep(predicate, cand, cpos, size,
+                                              cand, sink)
+            return
+        # generic right side (eligibility proved it never reads last())
+        with self.focused(item, pos, "0"):
+            self.emit(right, sink)
+
+    def _emit_predicate_keep(self, predicate, item: str, pos: str, size: str,
+                             keep: str, sink) -> None:
+        """Emit "does ``item`` at ``pos`` satisfy ``predicate``; if so
+        feed ``keep`` to the sink" with the item-mode decision rules."""
+        if _static_boolean(predicate) or _nodes_only_path(predicate):
+            # boolean singletons never take _filter_keep's numeric
+            # branch, and nodes-only sequences decide on existence —
+            # either way the EBV emission applies (with its early exit)
+            with self.focused(item, pos, size):
+                holds = self._emit_ebv(predicate)
+            with self.block(f"if {holds}:"):
+                sink.item(self, keep)
+            return
+        result = self.fresh("pr")
+        self.w(f"{result} = []")
+        with self.focused(item, pos, size):
+            self.emit(predicate, _CollectSink(result))
+        with self.block(f"if _filter_keep({result}, {pos}):"):
+            sink.item(self, keep)
+
+    def _e_Filter(self, expr: ast.Filter, sink) -> None:
+        predicate = expr.predicate
+        if isinstance(predicate, ast.Literal) and \
+                predicate.value.type.derives_from(T.XS_INTEGER):
+            index = int(predicate.value.value)
+            if index < 1:
+                return  # statically empty; the base is never evaluated
+            counter = self.fresh("n")
+            self.w(f"{counter} = 0")
+            with self.early() as token:
+                self.emit(expr.base, _NthSink(counter, index, sink, token))
+            return
+        pos_counter = self.fresh("i")
+        self.w(f"{pos_counter} = 0")
+        self.emit(expr.base,
+                  _FilterSink(expr, sink, pos_counter, self._here()))
+
+    def _e_DDO(self, expr: ast.DDO, sink) -> None:
+        if isinstance(sink, _CountSink):
+            # count(DDO(...)) observes only the post-dedup cardinality,
+            # so the document-order sort is unobservable: count distinct
+            # nodes by identity (same key _ddo_list dedups on) as they
+            # stream past, keeping the mixed-sequence check and the
+            # ddo_sorts accounting of the materialized path
+            seen = self.fresh("dd")
+            nodes = self.fresh("dn")
+            atoms = self.fresh("da")
+            self.w(f"{seen} = set()")
+            self.w(f"{nodes} = 0")
+            self.w(f"{atoms} = 0")
+            self.emit(expr.operand,
+                      _DistinctCountSink(seen, nodes, atoms))
+            with self.block(f"if {nodes} and {atoms}:"):
+                self.w("raise _TypeError_("
+                       "'path result mixes nodes and atomic values', "
+                       "code='XPTY0018')")
+            with self.block(f"if {nodes}:"):
+                self.w("dctx.count('ddo_sorts')")
+            self.w(f"{sink.counter} += {nodes} + {atoms}")
+            return
+        items = self.fresh("l")
+        self.w(f"{items} = []")
+        self.emit(expr.operand, _CollectSink(items))
+        t = self.fresh("t")
+        with self.block(f"for {t} in _ddo_list({items}, dctx):"):
+            sink.item(self, t)
+
+    def _e_OrderedExpr(self, expr: ast.OrderedExpr, sink) -> None:
+        self.emit(expr.operand, sink)
+
+    # -- axis-step loops --------------------------------------------------------
+
+    def _emit_step_walk(self, step: ast.Step, node: str, sink) -> None:
+        """One axis step over the node in ``node``, streamed to the sink.
+
+        The hot shapes (the same set ``_compile_step_fn`` specializes:
+        child/descendant name tests, ``descendant-or-self::node()``,
+        attribute name tests, ``child::text()``) are inlined as flat
+        loops; anything else calls a generic kernel constant.  Guard
+        conditions and traversal order mirror ``_compile_step_fn``
+        line for line.
+        """
+        axis, test = step.axis, step.test
+        kind, name = test.kind, test.name
+        plain = test.type_name is None and test.pi_target is None
+
+        def name_cond(var: str) -> str:
+            conds = []
+            if name.local != "*":
+                conds.append(f"{var}.name.local == {name.local!r}")
+            if name.uri != "*":
+                conds.append(f"{var}.name.uri == {name.uri!r}")
+            return " and ".join(conds) if conds else "True"
+
+        if plain and kind in ("node", "element") and name is not None \
+                and axis in ("child", "descendant", "descendant-or-self"):
+            if axis == "child":
+                c = self.fresh("n")
+                with self.block(f"for {c} in {node}.children:"):
+                    with self.block(f"if isinstance({c}, _Elem) and "
+                                    f"{name_cond(c)}:"):
+                        sink.item(self, c)
+                return
+            if axis == "descendant-or-self":
+                with self.block(f"if isinstance({node}, _Elem) and "
+                                f"{name_cond(node)}:"):
+                    sink.item(self, node)
+            stack = self.fresh("st")
+            self.w(f"{stack} = list(reversed({node}.children))")
+            n = self.fresh("n")
+            with self.block(f"while {stack}:"):
+                self.w(f"{n} = {stack}.pop()")
+                with self.block(f"if isinstance({n}, _Elem):"):
+                    with self.block(f"if {name_cond(n)}:"):
+                        sink.item(self, n)
+                    ch = self.fresh("ch")
+                    self.w(f"{ch} = {n}._children")
+                    with self.block(f"if {ch}:"):
+                        self.w(f"{stack}.extend(reversed({ch}))")
+            return
+
+        if plain and kind == "node" and name is None:
+            if axis == "child":
+                c = self.fresh("n")
+                with self.block(f"for {c} in {node}.children:"):
+                    sink.item(self, c)
+                return
+            if axis == "self":
+                sink.item(self, node)
+                return
+            if axis == "descendant-or-self":
+                sink.item(self, node)
+                stack = self.fresh("st")
+                self.w(f"{stack} = list(reversed({node}.children))")
+                n = self.fresh("n")
+                with self.block(f"while {stack}:"):
+                    self.w(f"{n} = {stack}.pop()")
+                    sink.item(self, n)
+                    ch = self.fresh("ch")
+                    self.w(f"{ch} = {n}.children")
+                    with self.block(f"if {ch}:"):
+                        self.w(f"{stack}.extend(reversed({ch}))")
+                return
+
+        if plain and axis == "attribute" and kind in ("node", "attribute") \
+                and name is not None:
+            a = self.fresh("n")
+            with self.block(f"for {a} in {node}.attributes:"):
+                with self.block(f"if {name_cond(a)}:"):
+                    sink.item(self, a)
+            return
+
+        if plain and kind == "text" and axis == "child":
+            c = self.fresh("n")
+            with self.block(f"for {c} in {node}.children:"):
+                with self.block(f"if isinstance({c}, _Text):"):
+                    sink.item(self, c)
+            return
+
+        kernel = self.const(_compile_step_fn(axis, test), "s")
+        t = self.fresh("t")
+        with self.block(f"for {t} in {kernel}({node}):"):
+            sink.item(self, t)
+
+    # -- function calls ---------------------------------------------------------
+
+    def _e_FunctionCall(self, expr: ast.FunctionCall, sink) -> None:
+        name = expr.name
+        arity = len(expr.args)
+
+        if name.uri in (XS_NS, XDT_NS):
+            # constructor function: a cast (eligibility checked the type)
+            atype = self.ctx.lookup_type(name)
+            target = self.const(atype, "ty")
+            values = self.fresh("q")
+            self.w(f"{values} = []")
+            self.emit(expr.args[0], _AtomizeSink(values))
+            with self.block(f"if {values}:"):
+                with self.block(f"if len({values}) > 1:"):
+                    self.w('raise _TypeError_("constructor function '
+                           'requires one value")')
+                v0 = self.fresh("v")
+                self.w(f"{v0} = {values}[0]")
+                t = self.fresh("t")
+                self.w(f"{t} = _AtomicValue(_cast_value({v0}.value, "
+                       f"{v0}.type, {target}), {target})")
+                sink.item(self, t)
+            return
+
+        builtin = fnlib.lookup(name, arity)
+        assert builtin is not None  # _eligible guarantees this
+
+        if builtin.lazy:
+            # the fused aggregate tails: count/exists/empty/not/boolean
+            local = name.local
+            arg = expr.args[0]
+            t = self.fresh("t")
+            if local == "count":
+                counter = self._emit_count(arg)
+                self.w(f"{t} = _integer({counter})")
+            elif local == "exists":
+                flag = self._emit_exists(arg)
+                self.w(f"{t} = _boolean({flag})")
+            elif local == "empty":
+                flag = self._emit_exists(arg)
+                self.w(f"{t} = _boolean(not {flag})")
+            elif local == "not":
+                value = self._emit_ebv(arg)
+                self.w(f"{t} = _boolean(not {value})")
+            else:  # boolean
+                value = self._emit_ebv(arg)
+                self.w(f"{t} = _boolean({value})")
+            sink.item(self, t)
+            return
+
+        if not expr.args and name.uri == FN_NS and self.focus is not None:
+            # focus accessors read the emitted focus locals directly
+            if name.local == "position":
+                t = self.fresh("t")
+                self.w(f"{t} = _integer({self.focus[1]})")
+                sink.item(self, t)
+                return
+            if name.local == "last" and self.focus[2] != "0":
+                t = self.fresh("t")
+                self.w(f"{t} = _integer({self.focus[2]})")
+                sink.item(self, t)
+                return
+
+        # eager builtin: arguments materialize in order, then one call
+        arg_lists = []
+        for arg in expr.args:
+            lst = self.fresh("q")
+            self.w(f"{lst} = []")
+            self.emit(arg, _CollectSink(lst))
+            arg_lists.append(lst)
+        impl = self.const(builtin.impl, "f")
+        if builtin.context_sensitive and self.focus is not None:
+            dctx_expr = self.fresh("fd")
+            fi, fp, fs = self.focus
+            self.w(f"{dctx_expr} = dctx.with_focus({fi}, {fp}, {fs})")
+        else:
+            dctx_expr = "dctx"
+        args = "".join(", " + lst for lst in arg_lists)
+        t = self.fresh("t")
+        with self.block(f"for {t} in {impl}({dctx_expr}{args}):"):
+            sink.item(self, t)
+
+    # -- entry point ------------------------------------------------------------
+
+    def compile_root(self, expr) -> Plan:
+        """Compile ``expr`` to a generated-source plan.
+
+        The returned plan observes the item protocol
+        (``plan(dctx) -> Iterator[item]``) and is hooked through the
+        profiler exactly like a closure root operator.
+        """
+        root_node = None
+        if self.instrument:
+            from repro.observability.explain import PlanNode
+
+            root_node = PlanNode.for_expr(self.cgen._op_counter, expr)
+            self.cgen._op_counter += 1
+            root_node.info["codegen"] = "source"
+            self.cgen.plan_tree = root_node
+            self.cgen._node_stack.append(root_node)
+        try:
+            with self.function("_q0", ["dctx"]):
+                self.w("_tok = dctx._shared.cancellation")
+                self._dispatch(expr, _YieldSink())
+                self.w("return")
+                self.w("yield None")
+        finally:
+            if root_node is not None:
+                self.cgen._node_stack.pop()
+        fn = self._finish()
+        if root_node is None:
+            return fn
+        op_id = root_node.id
+
+        def plan(dctx, _fn=fn, _op=op_id):
+            profiler = dctx._shared.profiler
+            if profiler is None:
+                return _fn(dctx)
+            return profiler.run_operator(_op, _fn, dctx)
+
+        return plan
+
+    def _finish(self) -> Callable[[DynamicContext], Iterator[Any]]:
+        lines: list[str] = []
+        for rec in self._functions:
+            lines.extend(rec["lines"])
+            lines.append("")
+        source = "\n".join(lines)
+        self.generated_source = source
+        self.filename = f"<repro-pysource-{next(_source_seq)}>"
+        # linecache registration keeps tracebacks and profilers readable
+        linecache.cache[self.filename] = (
+            len(source), None, source.splitlines(keepends=True), self.filename)
+        code = compile(source, self.filename, "exec")
+        namespace = dict(self.env)
+        exec(code, namespace)
+        return namespace["_q0"]
+
+
+def compile_source_plan(expr, static_ctx: StaticContext | None = None) -> Plan:
+    """Convenience: compile a core expression via the source backend."""
+    return SourcePlanCompiler(static_ctx or StaticContext()).compile_root(expr)

@@ -131,7 +131,8 @@ class CompiledQuery:
 
     def __init__(self, module: ast.Module, core: ast.Expr, optimized: ast.Expr,
                  static_ctx: StaticContext, plan, static_type=None,
-                 plan_tree=None, catalog_bindings=None):
+                 plan_tree=None, catalog_bindings=None,
+                 generated_source=None):
         self.module = module
         #: core expression tree straight out of normalization
         self.core = core
@@ -147,6 +148,9 @@ class CompiledQuery:
         #: catalog documents the query references, bound automatically
         #: at execute unless overridden (name → StoredDocument)
         self.catalog_bindings = catalog_bindings
+        #: the Python text the compile-to-source backend emitted for
+        #: this query (None under the closure/batched backends)
+        self.generated_source = generated_source
 
     #: legacy positional parameter order of :meth:`execute` (pre-1.1),
     #: kept so old positional calls keep working behind a warning
@@ -282,8 +286,21 @@ class Engine:
                  compile_cache=_DEFAULT_CACHE,
                  executor=None,
                  catalog=None,
-                 batch_size: int = 0):
+                 batch_size: int = 0,
+                 codegen: str = "closure"):
         self.optimize = optimize
+        if codegen not in ("closure", "source"):
+            raise ValueError(f"codegen must be 'closure' or 'source', "
+                             f"got {codegen!r}")
+        if codegen == "source" and batch_size:
+            raise ValueError("codegen='source' emits its own fused loops; "
+                             "it cannot be combined with batch_size > 0")
+        #: execution backend: "closure" interprets a tree of generator
+        #: closures (optionally block-at-a-time via ``batch_size``);
+        #: "source" emits specialized Python source per query
+        #: (:mod:`repro.compiler.pysource`) and falls back to closures
+        #: for unsupported operators
+        self.codegen = codegen
         #: block-at-a-time execution: >0 compiles the relational core
         #: (paths, filters, FLWOR loops, aggregates) to operators that
         #: exchange list-backed chunks of about this many items —
@@ -347,7 +364,11 @@ class Engine:
                          else None,
                          self.catalog.fingerprint()
                          if self.catalog is not None else None,
-                         self.batch_size)
+                         self.batch_size,
+                         # the backend shapes the plan (and, for
+                         # "source", the cached generated code object):
+                         # never replay one backend's plan for another
+                         self.codegen)
             cached = self.compile_cache.get(cache_key)
             if cached is not None:
                 return cached
@@ -385,10 +406,20 @@ class Engine:
 
             optimized = plan_access_paths(optimized, static_ctx, self.catalog)
 
-        generator = CodeGenerator(static_ctx, executor=self.executor,
-                                  catalog=self.catalog,
-                                  batch_size=self.batch_size)
-        plan = generator.compile_root(optimized)
+        generated_source = None
+        if self.codegen == "source":
+            from repro.compiler.pysource import SourcePlanCompiler
+
+            generator = SourcePlanCompiler(static_ctx,
+                                           executor=self.executor,
+                                           catalog=self.catalog)
+            plan = generator.compile_root(optimized)
+            generated_source = generator.generated_source
+        else:
+            generator = CodeGenerator(static_ctx, executor=self.executor,
+                                      catalog=self.catalog,
+                                      batch_size=self.batch_size)
+            plan = generator.compile_root(optimized)
         catalog_bindings = None
         if self.catalog is not None:
             used = {e.name.local for e in optimized.walk()
@@ -400,7 +431,8 @@ class Engine:
                                if name in used}
         compiled = CompiledQuery(module, core, optimized, static_ctx, plan,
                                  static_type, plan_tree=generator.plan_tree,
-                                 catalog_bindings=catalog_bindings)
+                                 catalog_bindings=catalog_bindings,
+                                 generated_source=generated_source)
         if cache_key is not None:
             self.compile_cache.put(cache_key, compiled)
         return compiled

@@ -67,6 +67,22 @@ def flatten(batches: Iterable[Batch]) -> Iterator[Any]:
         yield from batch
 
 
+def ensure_replayable(value: Any, cancellation=None) -> Any:
+    """Make a sequence value safe to hand to multiple consumers.
+
+    Lists, tuples, and :class:`BufferedSequence` values replay as-is; a
+    one-shot iterator is wrapped in a ``BufferedSequence`` so whichever
+    side of an execution-backend seam pulls first, the other side sees
+    the same items again.  Used by the compile-to-source backend when
+    transferring variable bindings into a closure-interpreter fallback.
+    """
+    from repro.runtime.iterators import BufferedSequence
+
+    if isinstance(value, (list, tuple, BufferedSequence)):
+        return value
+    return BufferedSequence(iter(value), cancellation=cancellation)
+
+
 def rechunk(batches: Iterable[Batch],
             size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
     """Re-block a batch stream toward the target size.

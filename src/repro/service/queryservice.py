@@ -112,13 +112,15 @@ class QueryService:
                  jobs: Optional[int] = None,
                  default_timeout: Optional[float] = None,
                  retries: int = 2, retry_base_delay: float = 0.05,
-                 batch_size: int = 0):
+                 batch_size: int = 0, codegen: str = "closure"):
         if engine is None:
             # batch_size > 0 compiles block-at-a-time plans; deadline
             # tokens are then polled once per block, so a timed-out
-            # request is interrupted within one chunk of work
+            # request is interrupted within one chunk of work.
+            # codegen="source" compiles to specialized Python instead
+            # (polls once per bound item) and excludes batch_size > 0.
             engine = Engine(executor=default_executor(jobs),
-                            batch_size=batch_size)
+                            batch_size=batch_size, codegen=codegen)
         self.engine = engine
         self.max_workers = max_workers
         self.max_queue = max_queue

@@ -3,11 +3,18 @@ examples, a small XMark instance, and engine helpers."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import Engine, execute_query
 from repro.workloads import generate_xmark
 from repro.xdm.build import parse_document
+
+#: the CI matrix's --codegen leg: REPRO_TEST_CODEGEN=source reruns the
+#: engine/run/values fixtures (and every test built on them) with the
+#: compile-to-source backend instead of closure interpretation
+_CODEGEN = os.environ.get("REPRO_TEST_CODEGEN", "closure")
 
 BIB_XML = """<bib>
   <book year="1967">
@@ -49,14 +56,22 @@ def xmark_small() -> str:
 
 @pytest.fixture()
 def engine() -> Engine:
-    return Engine()
+    return Engine(codegen=_CODEGEN)
 
 
 @pytest.fixture()
 def run():
     """Run a query and return its Result."""
-    def _run(query: str, **kwargs):
-        return execute_query(query, **kwargs)
+    if _CODEGEN == "closure":
+        def _run(query: str, **kwargs):
+            return execute_query(query, **kwargs)
+    else:
+        def _run(query: str, **kwargs):
+            optimize = kwargs.pop("optimize", True)
+            eng = Engine(optimize=optimize, codegen=_CODEGEN)
+            compiled = eng.compile(
+                query, variables=tuple(kwargs.get("variables") or ()))
+            return compiled.execute(**kwargs)
     return _run
 
 

@@ -70,6 +70,19 @@ ERROR_QUERIES = [
     "//book/(1 div 0)",
 ]
 
+#: the XMark scan/aggregate shapes (shared with the compile-to-source
+#: differential suite in test_codegen_source.py)
+XMARK_QUERIES = [
+    "count(/site/regions//item)",
+    "/site/regions//item/name",
+    "//item[@id]/name",
+    "for $i in /site//item return $i/location",
+    "count(//description)",
+    "sum(for $p in //initial return xs:decimal($p))",
+    "//item[2]",
+    "/site/people/person[address/country = 'United States']/name",
+]
+
 
 def outcome(engine: Engine, query: str, xml_text: str):
     """Full-drain result image: serialized text, or (error type, code)."""
@@ -116,16 +129,7 @@ class TestDifferential:
         assert result[0] == "err"
         assert result[2] == "FORG0001"
 
-    @pytest.mark.parametrize("query", [
-        "count(/site/regions//item)",
-        "/site/regions//item/name",
-        "//item[@id]/name",
-        "for $i in /site//item return $i/location",
-        "count(//description)",
-        "sum(for $p in //initial return xs:decimal($p))",
-        "//item[2]",
-        "/site/people/person[address/country = 'United States']/name",
-    ])
+    @pytest.mark.parametrize("query", XMARK_QUERIES)
     def test_xmark_queries(self, query, xmark_small):
         assert_equivalent(query, xmark_small)
 

@@ -1,0 +1,403 @@
+"""Compile-to-source backend: differential equivalence + unit tests.
+
+The contract under test: ``Engine(codegen="source")`` may only change
+*how* a query executes — byte-identical serialized results, identical
+order, identical error codes, and identical root-operator profiler
+item counts versus the closure interpreter at every batch size
+(0/1/7/256).  The corpus is the union of the batching suite's
+bib/XMark/seeded-random queries, the W3C XMP use cases, and the
+property suite's random query generator.
+
+A marker-gated perf smoke (``-m perfsmoke``) additionally asserts the
+source backend beats closure-batched mode on the E15 scan shape and
+that emitting + ``compile()``-ing the generated source stays under
+50 ms per query.
+"""
+
+from __future__ import annotations
+
+import linecache
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import parse_document
+from repro.engine import Engine
+from repro.errors import QueryCancelled
+from repro.observability import Profiler
+from repro.runtime.memo import LRUCache
+from repro.workloads.synthetic import random_tree
+
+from tests.test_batching import (
+    BIB_QUERIES,
+    ERROR_QUERIES,
+    XMARK_QUERIES,
+    outcome,
+)
+from tests.test_property_differential import QUERY, _outcome
+from tests.test_w3c_use_cases import BIB, REVIEWS
+
+#: closure-side batch sizes the source backend is compared against
+BATCH_SIZES = (0, 1, 7, 256)
+
+#: the twelve W3C XMP use-case queries (same text as the conformance
+#: suite in test_w3c_use_cases.py), run against doc('bib.xml') and
+#: doc('reviews.xml')
+W3C_XMP_QUERIES = [
+    """<bib>{
+        for $b in doc("bib.xml")/bib/book
+        where $b/publisher = "Addison-Wesley" and $b/@year > 1991
+        return <book year="{$b/@year}">{$b/title}</book>
+    }</bib>""",
+    """<results>{
+        for $b in doc("bib.xml")/bib/book, $t in $b/title, $a in $b/author
+        return <result>{$t}{$a}</result>
+    }</results>""",
+    """<results>{
+        for $b in doc("bib.xml")/bib/book
+        return <result>{$b/title}{$b/author}</result>
+    }</results>""",
+    """<results>{
+        for $last in distinct-values(doc("bib.xml")//author/last)
+        order by $last
+        return
+          <result><author>{ $last }</author>
+          { for $b in doc("bib.xml")/bib/book
+            where $b/author/last = $last
+            return $b/title }
+          </result>
+    }</results>""",
+    """<books-with-prices>{
+        for $b in doc("bib.xml")//book, $a in doc("reviews.xml")//entry
+        where $b/title = $a/title
+        return <book-with-prices>{$b/title}
+            <price-review>{$a/price/text()}</price-review>
+            <price-bib>{$b/price/text()}</price-bib>
+        </book-with-prices>
+    }</books-with-prices>""",
+    """<bib>{
+        for $b in doc("bib.xml")//book
+        where count($b/author) > 0
+        return <book>{$b/title}
+          { for $a in $b/author[1 to 2] return $a }
+          { if (count($b/author) > 2) then <et-al/> else () }
+        </book>
+    }</bib>""",
+    """<bib>{
+        for $b in doc("bib.xml")//book
+        where $b/publisher = "Addison-Wesley" and $b/@year > 1991
+        order by xs:string($b/title)
+        return <book>{$b/@year}{$b/title}</book>
+    }</bib>""",
+    """for $b in doc("bib.xml")//book
+       where some $a in $b/author satisfies $a/last = "Suciu"
+       return <book>{$b/title}</book>""",
+    """<results>{
+        for $t in doc("bib.xml")//book/title
+        where contains($t/text(), "Web")
+        return $t
+    }</results>""",
+    """<results>{
+        for $t in distinct-values(doc("bib.xml")//book/title/text())
+        let $bp := for $b in doc("bib.xml")//book[title = $t]
+                   return xs:decimal($b/price)
+        let $rp := for $e in doc("reviews.xml")//entry[title = $t]
+                   return xs:decimal($e/price)
+        order by $t
+        return <minprice title="{$t}">{min(($bp, $rp))}</minprice>
+    }</results>""",
+    """<bib>{
+        for $b in doc("bib.xml")//book[editor]
+        return <book>{$b/title}{$b/editor/affiliation}</book>
+    }</bib>""",
+    """count(
+        for $b1 in doc("bib.xml")//book, $b2 in doc("bib.xml")//book
+        where $b1/author/last = $b2/author/last
+          and $b1/title < $b2/title
+        return 1)""",
+]
+
+
+def source_engine(**kwargs) -> Engine:
+    return Engine(codegen="source", **kwargs)
+
+
+def assert_source_equivalent(query: str, xml_text: str):
+    """The source backend must match the closure backend at every
+    batch size — results, order, and error codes alike."""
+    generated = outcome(source_engine(), query, xml_text)
+    for size in BATCH_SIZES:
+        reference = outcome(Engine(batch_size=size), query, xml_text)
+        assert generated == reference, (
+            f"source backend diverged from batch_size={size} "
+            f"for {query!r}:\n  closure: {reference}\n  source : {generated}")
+
+
+def outcome_docs(engine: Engine, query: str):
+    """Outcome image for the W3C queries (documents, no context item)."""
+    documents = {"bib.xml": BIB, "reviews.xml": REVIEWS}
+    try:
+        result = engine.compile(query).execute(documents=documents)
+        return ("ok", result.serialize())
+    except Exception as exc:  # noqa: BLE001 - compared structurally below
+        return ("err", type(exc).__name__, getattr(exc, "code", None))
+
+
+# ---------------------------------------------------------------------------
+# Differential equivalence over the full corpus
+# ---------------------------------------------------------------------------
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("query", BIB_QUERIES)
+    def test_bib_queries(self, query, bib_xml):
+        assert_source_equivalent(query, bib_xml)
+
+    @pytest.mark.parametrize("query", ERROR_QUERIES)
+    def test_error_codes_identical(self, query, bib_xml):
+        reference = outcome(Engine(), query, bib_xml)
+        assert reference[0] == "err"
+        assert outcome(source_engine(), query, bib_xml) == reference
+
+    @pytest.mark.parametrize("query", XMARK_QUERIES)
+    def test_xmark_queries(self, query, xmark_small):
+        assert_source_equivalent(query, xmark_small)
+
+    def test_seeded_random_corpus(self):
+        for seed in (3, 17, 91):
+            xml_text = random_tree(400, seed=seed)
+            for query in ["//a/b", "count(//c)", "//a[b]/c",
+                          "//b[1]", "for $x in //d return $x/a"]:
+                assert_source_equivalent(query, xml_text)
+
+    @pytest.mark.parametrize("query", W3C_XMP_QUERIES)
+    def test_w3c_xmp_suite(self, query):
+        reference = outcome_docs(Engine(), query)
+        generated = outcome_docs(source_engine(), query)
+        assert generated == reference
+        assert reference[0] == "ok"  # the conformance corpus must pass
+
+    @given(query=QUERY, n=st.integers(min_value=5, max_value=40),
+           seed=st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_property_differential(self, query, n, seed):
+        doc = parse_document(random_tree(n, tags=("a", "b", "c"), seed=seed))
+        assert _outcome(_source_prop, query, doc) \
+            == _outcome(_closure_prop, query, doc), query
+
+    @pytest.mark.parametrize("query", [
+        "count(//book)",
+        "//book/title",
+        "//book[price > 20]/title",
+        "for $b in //book return $b/author/last",
+    ])
+    def test_profiler_item_counts_match(self, query, bib_xml):
+        counts = {}
+        for tag, engine in (("closure", Engine()),
+                            ("source", source_engine())):
+            profiler = Profiler()
+            compiled = engine.compile(query)
+            compiled.execute(context_item=bib_xml,
+                             profiler=profiler).items()
+            counts[tag] = profiler.operators[compiled.plan_tree.id].items
+        assert counts["source"] == counts["closure"]
+
+
+#: module-level engines so hypothesis examples share the compile caches
+_closure_prop = Engine(static_typing=False)
+_source_prop = Engine(static_typing=False, codegen="source")
+
+
+# ---------------------------------------------------------------------------
+# Compile-cache identity (satellite: the backend keys the cache)
+# ---------------------------------------------------------------------------
+
+
+class TestCompileCache:
+    def test_backend_keys_the_compile_cache(self, bib_xml):
+        """Switching ``codegen=`` on engines sharing one cache must
+        never replay the other backend's plan (same shape as the PR 4
+        catalog-fingerprint regression)."""
+        shared = LRUCache(16)
+        closure = Engine(compile_cache=shared)
+        source = Engine(compile_cache=shared, codegen="source")
+        query = "count(//book)"
+        a = closure.compile(query)
+        b = source.compile(query)
+        assert a is not b
+        assert a.generated_source is None
+        assert b.generated_source is not None
+        # both entries live side by side: recompiles hit, not clobber
+        assert closure.compile(query) is a
+        assert source.compile(query) is b
+
+    def test_source_cache_hit_returns_same_plan(self, bib_xml):
+        engine = source_engine()
+        first = engine.compile("//book/title")
+        second = engine.compile("//book/title")
+        assert first is second
+        assert first.execute(context_item=bib_xml).serialize() \
+            == Engine().compile("//book/title") \
+                       .execute(context_item=bib_xml).serialize()
+
+    def test_codegen_argument_validated(self):
+        with pytest.raises(ValueError):
+            Engine(codegen="jit")
+        with pytest.raises(ValueError):
+            Engine(codegen="source", batch_size=256)
+
+
+# ---------------------------------------------------------------------------
+# The source/closure seam (satellite: replay + error propagation)
+# ---------------------------------------------------------------------------
+
+
+class TestFallbackSeam:
+    def test_fallback_counter_counts_seams(self, bib_xml):
+        engine = source_engine()
+        result = engine.compile(
+            "(1 instance of xs:integer, count(//book))").execute(
+            context_item=bib_xml)
+        assert result.values() == [True, 3]
+        assert result.stats["codegen.fallback_closure"] == 1
+
+    def test_fused_plan_has_no_seams(self, bib_xml):
+        engine = source_engine()
+        result = engine.compile("count(//book[price > 20])").execute(
+            context_item=bib_xml)
+        result.items()
+        assert "codegen.fallback_closure" not in result.stats
+
+    def test_let_binding_replays_across_seam(self, bib_xml):
+        """A let-bound sequence consumed on both sides of the seam is
+        pulled once and replayed — the BufferedSequence contract."""
+        engine = source_engine()
+        query = ("let $t := //book/title "
+                 "return (count($t), $t instance of element()+, count($t))")
+        result = engine.compile(query).execute(context_item=bib_xml)
+        assert result.values() == [3, True, 3]
+        assert result.stats["codegen.fallback_closure"] >= 1
+        # the shared binding was evaluated once: one DDO sort, not two
+        assert result.stats.get("ddo_sorts", 0) <= 2
+
+    def test_forg0001_propagates_across_seam(self, bib_xml):
+        """A cast error raised while the *closure* side drains a
+        binding produced by generated code keeps its code — and both
+        backends agree (the mid-block propagation contract)."""
+        query = ("let $v := for $i in ('1', '2', 'x', '4') "
+                 "         return xs:integer($i) "
+                 "return ($v instance of xs:integer+, count($v))")
+        reference = outcome(Engine(), query, bib_xml)
+        generated = outcome(source_engine(), query, bib_xml)
+        assert generated == reference
+        assert generated[0] == "err"
+        assert generated[2] == "FORG0001"
+
+    def test_seam_sees_generated_focus(self, bib_xml):
+        # a fallback under a path step must inherit the per-item focus
+        query = "//book/(string(title), 1 instance of xs:integer)"
+        assert_source_equivalent(query, bib_xml)
+
+
+# ---------------------------------------------------------------------------
+# Observability: tags, generated source, cancellation
+# ---------------------------------------------------------------------------
+
+
+class TestObservability:
+    def test_plan_tree_tagged(self, bib_xml):
+        engine = source_engine()
+        compiled = engine.compile(
+            "(1 instance of xs:integer, count(//book))")
+        tags = {node.info.get("codegen")
+                for node in compiled.plan_tree.walk()
+                if "codegen" in node.info}
+        assert compiled.plan_tree.info["codegen"] == "source"
+        assert "fused" in tags
+        assert "closure" in tags
+
+    def test_generated_source_is_python(self, bib_xml):
+        compiled = source_engine().compile("count(//book)")
+        assert "def _q0(dctx):" in compiled.generated_source
+        compile(compiled.generated_source, "<check>", "exec")  # parses
+
+    def test_closure_backend_has_no_generated_source(self):
+        assert Engine().compile("1 + 1").generated_source is None
+
+    def test_generated_source_registered_with_linecache(self):
+        from repro.compiler.pysource import SourcePlanCompiler
+        from repro.compiler.normalize import normalize_module
+        from repro.xquery.parser import parse_query
+
+        core, static_ctx = normalize_module(parse_query("1 + 1"))
+        compiler = SourcePlanCompiler(static_ctx)
+        compiler.compile_root(core)
+        assert compiler.filename in linecache.cache
+        cached = "".join(linecache.cache[compiler.filename][2])
+        assert "def _q0" in cached
+
+    def test_explain_analyze_runs_on_source_backend(self, bib_xml):
+        engine = source_engine()
+        explained = engine.explain("count(//book)", context_item=bib_xml,
+                                   analyze=True)
+        assert "codegen=source" in str(explained)
+
+    def test_deadline_interrupts_generated_loop(self):
+        engine = source_engine()
+        compiled = engine.compile(
+            "count(for $i in 1 to 100000000 return $i * 2)")
+        t0 = time.perf_counter()
+        with pytest.raises(QueryCancelled):
+            compiled.execute(deadline=0.05).items()
+        assert time.perf_counter() - t0 < 5.0
+
+
+# ---------------------------------------------------------------------------
+# Perf smoke (excluded by default; run with -m perfsmoke)
+# ---------------------------------------------------------------------------
+
+
+def _best_of(fn, repeat=3) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.mark.perfsmoke
+def test_source_scan_beats_closure_batched():
+    """Perf smoke: the E15 scan shape must run ≥1.5x faster under the
+    source backend than under closure-batched mode."""
+    from repro.workloads import generate_xmark
+
+    doc = parse_document(generate_xmark(scale=0.3, seed=7))
+    query = "/site/regions//item[@id]/name"
+    batched = Engine(batch_size=256).compile(query)
+    source = source_engine().compile(query)
+    t_batch = _best_of(lambda: batched.execute(context_item=doc).items())
+    t_source = _best_of(lambda: source.execute(context_item=doc).items())
+    assert t_source * 1.5 <= t_batch, (
+        f"source scan not >=1.5x over batched: {t_source * 1000:.1f} ms "
+        f"vs batched {t_batch * 1000:.1f} ms")
+
+
+@pytest.mark.perfsmoke
+def test_generated_source_compiles_under_50ms():
+    """Perf smoke: emit + compile() of the generated source must stay
+    under 50 ms per query (it happens once per compile-cache miss)."""
+    queries = [
+        "count(//description)",
+        "/site/regions//item[@id]/name",
+        "for $b in //book where $b/price > 30 return $b/title",
+        "sum(for $p in //initial return xs:decimal($p))",
+    ]
+    for query in queries:
+        best = _best_of(
+            lambda: Engine(codegen="source", compile_cache=None)
+            .compile(query))
+        assert best < 0.050, (
+            f"source compile too slow for {query!r}: {best * 1000:.1f} ms")

@@ -71,6 +71,9 @@ class TestExplain:
         assert "calls=" not in text  # no metrics without analyze
 
     def test_analyze_counts_path_steps(self, engine, bib_xml):
+        if engine.codegen == "source":
+            pytest.skip("fused regions report counters at the region root; "
+                        "per-step operators exist only on the closure backend")
         explained = engine.explain("/bib/book/title", context_item=bib_xml,
                                    analyze=True)
         assert explained.analyzed
