@@ -24,6 +24,7 @@ explicit ``variables={"books": ...}``.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Iterator, Optional
 
 from repro.storage.indexes import ElementIndex, ValueIndex
@@ -32,6 +33,13 @@ from repro.storage.stores import BaseStore, TextStore, TokenStore, TreeStore
 from repro.xdm.nodes import DocumentNode, Node
 
 _STORE_KINDS = {"tree": TreeStore, "tokens": TokenStore, "text": TextStore}
+
+#: process-wide monotonic ingest generation.  Each ``DocumentCatalog.add``
+#: stamps the handle with the next value, so two bindings of the same
+#: name are never fingerprint-equal — unlike ``id(store)``, generations
+#: are not reused after garbage collection and do change when the *same*
+#: store object is re-registered (its contents may have mutated).
+_GENERATION = itertools.count(1)
 
 
 class StoredDocument:
@@ -43,13 +51,14 @@ class StoredDocument:
     per execution).
     """
 
-    __slots__ = ("name", "store", "indexed", "_doc",
+    __slots__ = ("name", "store", "indexed", "generation", "_doc",
                  "_element_index", "_value_index")
 
     def __init__(self, name: str, store: BaseStore, indexed: bool):
         self.name = name
         self.store = store
         self.indexed = indexed
+        self.generation = next(_GENERATION)
         self._doc: Optional[DocumentNode] = None
         self._element_index: Optional[ElementIndex] = None
         self._value_index: Optional[ValueIndex] = None
@@ -92,8 +101,12 @@ class StoredDocument:
 
     def fingerprint(self) -> tuple:
         """Identity of this binding for the compile cache: a plan built
-        against these indexes must not be reused for a different store."""
-        return (self.name, self.store.kind, self.indexed, id(self.store))
+        against these indexes and statistics must not be reused across
+        re-ingests.  The ingest generation (not ``id(store)``) makes the
+        fingerprint collision-free: object ids are recycled after GC and
+        stay equal when the same store object is re-added with mutated
+        contents."""
+        return (self.name, self.store.kind, self.indexed, self.generation)
 
     def __repr__(self) -> str:
         flags = "indexed" if self.indexed else "unindexed"
@@ -148,8 +161,14 @@ class DocumentCatalog:
             backing = store_cls(xml_text=source)
         stored = StoredDocument(name, backing, bool(index))
         previous = self._docs.get(name)
-        if previous is not None and previous._doc is not None:
-            self._by_node.pop(id(previous._doc), None)
+        if previous is not None:
+            if previous._doc is not None:
+                self._by_node.pop(id(previous._doc), None)
+            # re-ingest under an existing name: any cached statistics on
+            # the incoming store may describe stale contents (a TextStore
+            # whose .text was mutated re-parses on document(), so its
+            # cached stats would silently diverge from what queries see)
+            backing.invalidate_stats()
         self._docs[name] = stored
         if stored._doc is not None:
             self._by_node[id(stored._doc)] = stored

@@ -73,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "specialized Python function per query with "
                              "whole-FLWOR fusion (with --explain, also "
                              "prints the generated source)")
+    parser.add_argument("--twig-strategy",
+                        choices=("auto", "holistic", "binary", "navigation",
+                                 "mixed"),
+                        default=None,
+                        help="physical plan for twig patterns the planner "
+                             "decomposes: 'auto' (default) picks per pattern "
+                             "from ingest statistics; the rest force one "
+                             "algorithm for override/debug (results are "
+                             "identical either way)")
     parser.add_argument("--timeout", type=float, default=None, metavar="SECS",
                         help="abort evaluation after SECS seconds "
                              "(exit code 124, like timeout(1))")
@@ -167,7 +176,8 @@ def main(argv: list[str] | None = None) -> int:
                     else _COMPILE_CACHE,
                     executor=executor,
                     batch_size=args.batch_size,
-                    codegen=args.codegen)
+                    codegen=args.codegen,
+                    twig_strategy=args.twig_strategy)
     try:
         compiled = engine.compile(query_text, variables=tuple(variables))
     except Exception as exc:

@@ -100,7 +100,7 @@ def _node_properties(expr: ast.Expr, static_ctx) -> dict:
                 "doc_ordered": True, "distinct": True, "disjoint": True,
                 "singleton": True}
 
-    if isinstance(expr, ast.AccessPath):
+    if isinstance(expr, (ast.AccessPath, ast.TwigJoin)):
         # planner-introduced: emits distinct elements of one document
         # in document order, like the DDO(PathExpr) it replaced
         return {"creates_nodes": False, "can_raise": True,

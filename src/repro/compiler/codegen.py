@@ -976,6 +976,54 @@ class CodeGenerator:
                 yield node
         return plan
 
+    def _c_TwigJoin(self, expr: ast.TwigJoin) -> Plan:
+        from repro.joins.patterns import TwigPattern, evaluate_pattern
+
+        fallback_plan = self.compile(expr.fallback)
+        catalog = self.catalog
+        var, spec, chosen = expr.var, expr.spec, expr.chosen
+        holistic_branches = expr.holistic_branches
+
+        def plan(dctx):
+            stored = None
+            doc = None
+            if catalog is not None:
+                value = dctx.variable(var)
+                items = list(value) if isinstance(
+                    value, (list, tuple, BufferedSequence)) else [value]
+                if len(items) == 1:
+                    doc = items[0]
+                    stored = catalog.stored_for(doc)
+            if stored is None or not stored.indexed:
+                # the runtime binding is not the indexed document this
+                # plan was costed for — degrade to navigation
+                dctx.count("twig.fallback_navigation")
+                yield from fallback_plan(dctx)
+                return
+            dctx.count(f"twig.{chosen}")
+            token = dctx._shared.cancellation
+            pattern = TwigPattern.from_spec(spec)
+            counters: dict[str, int] = {}
+            postings = evaluate_pattern(
+                stored.element_index, pattern, algorithm=chosen,
+                cancellation=token, counters=counters,
+                holistic_branches=holistic_branches)
+            dctx.count("twig.elements_scanned",
+                       counters.get("elements_scanned", 0))
+            for key, value in counters.items():
+                if key.startswith("edge."):
+                    # actual-vs-estimated surface: twig.edge.<p>><c>.
+                    # actual_pairs lines up with the compile-time
+                    # twig.edge.<p>><c>.est_pairs annotation
+                    dctx.count("twig." + key.replace(".pairs",
+                                                     ".actual_pairs"), value)
+            dctx.count("twig.actual_rows", len(postings))
+            for posting in postings:
+                if token is not None:
+                    token.check()
+                yield posting.node
+        return plan
+
     # -- constructors -----------------------------------------------------------
 
     def _c_ElementCtor(self, expr: ast.ElementCtor) -> Plan:

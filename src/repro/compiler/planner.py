@@ -43,12 +43,50 @@ passes through the *original* predicate before being emitted — the
 compiled access path is result-identical to navigation by
 construction, and falls back to it at runtime when the bound value is
 not the indexed document the plan was costed for.
+
+Pattern-level twig planning
+---------------------------
+
+Chains whose steps carry *structural* predicates (pure path existence,
+``$doc//book[.//year]/title``) decompose into twig patterns
+(:mod:`repro.joins.patterns`) instead.  :func:`choose_twig_strategy`
+prices the four physical twig plans from the same ingest statistics,
+now extended with exact per-edge pair counts:
+
+- **holistic** (TwigStack): every posting list scanned once —
+  ``Σ count(n)`` — times a small coordination factor for the
+  per-advance ``getNext`` machinery E6 measured;
+- **binary**: one stack-tree join per edge in evaluation order; the
+  alist re-scans the junction's surviving bindings and intermediate
+  row materialization is charged as a blow-up penalty (the failure
+  mode E6 showed on skewed twigs);
+- **mixed**: side branches reduced to semi-join filters (binary
+  bottom-up, or holistic for branches where a TwigStack sub-pass is
+  cheaper), then a binary cascade down the filtered output chain;
+- **navigation**: the walking baseline, ``total_nodes`` plus the
+  per-candidate subtree visits the pair counts bound.
+
+Per-edge selectivity comes from ``DocumentStats.edge_pairs`` /
+``edge_parents`` — *exact* single-edge join cardinalities, so a zero
+estimate proves the result empty and ``est_rows`` is only 0 for
+provably-empty patterns.  On near-ties (within :data:`_TWIG_TIE`) the
+cheaper-constant plan wins: binary > mixed > holistic > navigation.
+All four plans are result-identical over posting lists by
+construction; the runtime re-verifies the binding is the indexed
+document the plan was costed for (same fallback seam as AccessPath).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.joins.patterns import (
+    ALGORITHM_ALIASES,
+    TwigNode,
+    TwigPattern,
+    _root_to_output,
+)
 from repro.xquery import ast
 from repro.xsd import types as T
 
@@ -57,10 +95,28 @@ _VERIFY_FACTOR = 2
 #: an index path must beat navigation by this margin to be worth the
 #: runtime binding check and posting-list machinery
 _MARGIN = 0.75
+#: holistic coordination overhead per scanned element: TwigStack pays a
+#: recursive getNext per advance, so its scan estimate is inflated a
+#: little — enough for cheaper-machinery plans to win genuine ties
+#: without ever overrunning the 1.25x scan-cost acceptance margin
+_TWIG_HOL_FACTOR = 1.15
+#: near-tie window: an earlier-preference strategy is chosen when its
+#: estimated cost is within this factor of the cheapest estimate
+_TWIG_TIE = 1.05
+#: λ — cost charged per estimated intermediate row the binary plan
+#: materializes (rows carried into subsequent joins)
+_TWIG_BLOWUP = 1.0
+#: tie-break preference on near-equal estimates (cheapest machinery
+#: first; navigation last — it never touches the posting lists)
+_TWIG_PREFERENCE = ("binary", "mixed", "twigstack", "navigation")
 
 
-def plan_access_paths(expr: ast.Expr, static_ctx, catalog) -> ast.Expr:
-    """Rewrite eligible chains in ``expr`` into AccessPath operators."""
+def plan_access_paths(expr: ast.Expr, static_ctx, catalog,
+                      twig_strategy: str = "auto") -> ast.Expr:
+    """Rewrite eligible chains in ``expr`` into AccessPath or TwigJoin
+    operators.  ``twig_strategy`` forces the physical twig plan
+    (``"auto"`` | ``"holistic"`` | ``"binary"`` | ``"navigation"`` |
+    ``"mixed"``); ``"auto"`` asks :func:`choose_twig_strategy`."""
     if catalog is None or len(catalog) == 0:
         return expr
     if static_ctx is not None and getattr(static_ctx, "default_element_ns", ""):
@@ -69,7 +125,9 @@ def plan_access_paths(expr: ast.Expr, static_ctx, catalog) -> ast.Expr:
         return expr
 
     def visit(node: ast.Expr) -> ast.Expr:
-        replaced = _try_rewrite(node, catalog)
+        replaced = _try_rewrite_twig(node, catalog, twig_strategy)
+        if replaced is None:
+            replaced = _try_rewrite(node, catalog)
         if replaced is not None:
             return replaced
         return node.with_children(visit)
@@ -239,3 +297,380 @@ def _match_predicate(pred: ast.Expr):
         if lhs.axis == "attribute" and test.kind == "attribute":
             return ("attribute", test.name.local, rhs, pred)
     return None
+
+
+# ---------------------------------------------------------------------------
+# Pattern-level twig planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TwigChoice:
+    """The cost model's verdict for one twig pattern.
+
+    ``algorithm`` is the internal plan name (``twigstack`` | ``binary``
+    | ``navigation`` | ``mixed``); ``est_rows`` the estimated output
+    cardinality (0 only when the result is provably empty — every
+    single-edge estimate is exact); ``edge_ests`` the per-edge
+    estimated join pairs as ``(parent, kind, child, est_pairs)``;
+    ``costs`` the per-strategy scan-cost estimates the choice compared;
+    ``holistic_branches`` the side branches a mixed plan filters
+    holistically.
+    """
+
+    algorithm: str
+    est_rows: int
+    edge_ests: tuple[tuple[str, str, str, int], ...]
+    costs: dict[str, float] = field(compare=False)
+    holistic_branches: tuple[str, ...] = ()
+
+
+def choose_twig_strategy(stats, pattern: TwigPattern,
+                         force: Optional[str] = None) -> TwigChoice:
+    """Price the four physical twig plans against ``stats`` and pick.
+
+    ``force`` pins the returned algorithm (internal name) while still
+    computing estimates — the engine's ``twig_strategy`` override uses
+    it so EXPLAIN keeps showing the model's numbers.
+    """
+    nodes = list(pattern.nodes())
+    edges = pattern.edges()
+    counts = {n.name: stats.count(n.name) for n in nodes}
+    raw_pairs: dict[tuple[str, str], int] = {}
+    provably_empty = any(c == 0 for c in counts.values())
+    for parent, kind, child in edges:
+        pairs = stats.edge_pairs(parent, child, kind)
+        raw_pairs[(parent, child)] = pairs
+        if pairs == 0:
+            provably_empty = True
+
+    # -- survival fractions (independence assumption across edges) -----
+    down: dict[str, float] = {}
+
+    def visit_down(node: TwigNode) -> None:
+        frac = 1.0
+        cnt = counts[node.name]
+        for edge in node.children:
+            visit_down(edge.child)
+            if cnt == 0:
+                frac = 0.0
+                continue
+            p_has = stats.edge_parents(node.name, edge.child.name,
+                                       edge.kind) / cnt
+            frac *= min(1.0, p_has * down[edge.child.name])
+        down[node.name] = frac
+
+    visit_down(pattern.root)
+
+    chain = _root_to_output(pattern)
+    chain_next = {chain[i][0].name: chain[i + 1][0].name
+                  for i in range(len(chain) - 1)}
+    # per chain node: survival from side branches only (the chain edge
+    # itself is priced by the cascade, not the node filter)
+    down_side: dict[str, float] = {}
+    for qnode, _kind in chain:
+        nxt = chain_next.get(qnode.name)
+        frac = 1.0
+        cnt = counts[qnode.name]
+        for edge in qnode.children:
+            if edge.child.name == nxt:
+                continue
+            if cnt == 0:
+                frac = 0.0
+                continue
+            p_has = stats.edge_parents(qnode.name, edge.child.name,
+                                       edge.kind) / cnt
+            frac *= min(1.0, p_has * down[edge.child.name])
+        down_side[qnode.name] = frac
+
+    # ancestor-chain survival of the output node
+    anc = 1.0
+    for i in range(1, len(chain)):
+        pq = chain[i - 1][0]
+        cq = chain[i][0]
+        cc = counts[cq.name]
+        p_above = min(1.0, raw_pairs[(pq.name, cq.name)] / cc) if cc else 0.0
+        anc = min(1.0, p_above * anc * down_side[pq.name])
+
+    out_name = pattern.output.name
+    if provably_empty:
+        est_rows = 0
+    else:
+        est_rows = max(1, round(counts[out_name] * down[out_name] * anc))
+
+    edge_ests = tuple((parent, kind, child, raw_pairs[(parent, child)])
+                      for parent, kind, child in edges)
+
+    # -- per-strategy scan-cost estimates ------------------------------
+    total_list = sum(counts.values())
+    costs: dict[str, float] = {}
+    costs["twigstack"] = _TWIG_HOL_FACTOR * max(1, total_list)
+    costs["navigation"] = float(
+        max(1, stats.total_nodes) + 2 * sum(raw_pairs.values()))
+
+    # binary: stack-tree join per edge in the plan's evaluation order
+    bin_scan = 0.0
+    intermediates: list[float] = []
+    est_distinct = {pattern.root.name: float(counts[pattern.root.name])}
+
+    def visit_bin(node: TwigNode) -> None:
+        nonlocal bin_scan
+        for edge in node.children:
+            cnt = counts[node.name]
+            alist = est_distinct[node.name]
+            frac = alist / cnt if cnt else 0.0
+            pairs_est = raw_pairs[(node.name, edge.child.name)] * frac
+            bin_scan += alist + counts[edge.child.name]
+            intermediates.append(pairs_est)
+            est_distinct[edge.child.name] = min(
+                float(counts[edge.child.name]), pairs_est)
+            visit_bin(edge.child)
+
+    visit_bin(pattern.root)
+    # rows materialized after the final join are the output, not a
+    # blow-up — only rows carried into subsequent joins are charged
+    blowup = sum(intermediates[:-1]) if len(intermediates) > 1 else 0.0
+    costs["binary"] = max(1.0, bin_scan + _TWIG_BLOWUP * blowup)
+
+    # mixed: per-branch min(binary semi-join, holistic sub-pass), then
+    # the binary cascade over the filtered chain lists
+    mix_cost = 0.0
+    holistic_branches: list[str] = []
+    filt: list[float] = []
+    for qnode, _kind in chain:
+        nxt = chain_next.get(qnode.name)
+        for edge in qnode.children:
+            if edge.child.name == nxt:
+                continue
+            branch_edges = _subtree_edges(edge.child)
+            semi = counts[qnode.name] + counts[edge.child.name] + sum(
+                counts[p] + counts[c] for p, _k, c in branch_edges)
+            hol = _TWIG_HOL_FACTOR * (
+                counts[qnode.name] + counts[edge.child.name] + sum(
+                    counts[c] for _p, _k, c in branch_edges))
+            if hol < semi:
+                holistic_branches.append(edge.child.name)
+                mix_cost += hol
+            else:
+                mix_cost += semi
+        filt.append(counts[qnode.name] * down_side[qnode.name])
+    surv = filt[0]
+    for i in range(1, len(chain)):
+        pq = chain[i - 1][0]
+        mix_cost += surv + filt[i]
+        cnt = counts[pq.name]
+        frac = surv / cnt if cnt else 0.0
+        surv = min(filt[i], raw_pairs[(pq.name, chain[i][0].name)] * frac)
+    costs["mixed"] = max(1.0, mix_cost)
+
+    if force is not None:
+        chosen = force
+    else:
+        best = min(costs.values())
+        chosen = next(name for name in _TWIG_PREFERENCE
+                      if costs[name] <= _TWIG_TIE * best)
+    return TwigChoice(chosen, est_rows, edge_ests, costs,
+                      tuple(holistic_branches) if chosen == "mixed" else ())
+
+
+def _subtree_edges(node: TwigNode) -> list[tuple[str, str, str]]:
+    out: list[tuple[str, str, str]] = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        for edge in current.children:
+            out.append((current.name, edge.kind, edge.child.name))
+            stack.append(edge.child)
+    return out
+
+
+def _try_rewrite_twig(expr: ast.Expr, catalog,
+                      twig_strategy: str) -> Optional[ast.TwigJoin]:
+    decomposed = _decompose_twig(expr)
+    if decomposed is None:
+        return None
+    var, steps = decomposed
+
+    if var.name.uri:
+        return None
+    stored = catalog.get(var.name.local)
+    if stored is None or not stored.indexed:
+        return None
+    stats = stored.stats
+    if stats.has_namespaces:
+        return None
+
+    kind0, name0, _preds0 = steps[0]
+    if kind0 == "child":
+        # the chain starts child-of-document-node: only the unique root
+        # element qualifies, and the pattern root (which matches every
+        # element of that name) is equivalent only when the name occurs
+        # exactly once
+        if stats.root_name != name0 or stats.count(name0) != 1:
+            return None
+
+    # all pattern node names must be distinct (bindings key by name)
+    names: list[str] = []
+    for _kind, name, preds in steps:
+        names.append(name)
+        for chain in preds:
+            names.extend(n for _k, n in chain)
+    if len(names) != len(set(names)):
+        return None
+
+    def attach_preds(node: TwigNode, preds) -> None:
+        for chain in preds:
+            current = node
+            for kind, name in chain:
+                current = current.add(TwigNode(name), kind)
+
+    root = TwigNode(name0)
+    attach_preds(root, steps[0][2])
+    current = root
+    for kind, name, preds in steps[1:]:
+        current = current.add(TwigNode(name), kind)
+        attach_preds(current, preds)
+    current.is_output = True
+    pattern = TwigPattern(root)
+
+    try:
+        internal = ALGORITHM_ALIASES[twig_strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown twig_strategy {twig_strategy!r}; expected one of "
+            f"{sorted(ALGORITHM_ALIASES)}") from None
+    choice = choose_twig_strategy(
+        stats, pattern, force=None if internal == "auto" else internal)
+
+    node = ast.TwigJoin(var.name, pattern.to_spec(), choice.algorithm,
+                        choice.est_rows, choice.edge_ests,
+                        choice.holistic_branches, expr, pos=expr.pos)
+    annotations = {
+        "creates_nodes": False,
+        "can_raise": True,       # unbound variable, cancellation
+        "uses_focus": False,
+        "doc_ordered": True,
+        "distinct": True,
+        "disjoint": False,
+        "twig.chosen": choice.algorithm,
+        "twig.est_rows": choice.est_rows,
+    }
+    for parent, _kind, child, est in choice.edge_ests:
+        annotations[f"twig.edge.{parent}>{child}.est_pairs"] = est
+    node.annotations.update(annotations)
+    return node
+
+
+def _decompose_twig(expr: ast.Expr):
+    """Match ``DDO(PathExpr(... VarRef ...))`` chains whose steps carry
+    structural (pure path-existence) predicates.
+
+    Returns ``(var, steps)`` where each step is ``(edge, name, preds)``
+    and ``preds`` is a list of predicate chains, each a root-relative
+    ``(edge, name)`` list; None when ineligible or when no structural
+    predicate is present (plain chains stay with the single-path
+    AccessPath planner).
+    """
+    if not isinstance(expr, ast.DDO):
+        return None
+    node = expr.operand
+    rights: list[ast.Expr] = []
+    while True:
+        if isinstance(node, ast.DDO):
+            node = node.operand
+        elif isinstance(node, ast.PathExpr):
+            rights.append(node.right)
+            node = node.left
+        else:
+            break
+    if not isinstance(node, ast.VarRef) or not rights:
+        return None
+    var = node
+    rights.reverse()
+
+    steps: list[tuple[str, str, list]] = []
+    pending_descendant = False
+    has_pred = False
+    last_index = len(rights) - 1
+    for i, right in enumerate(rights):
+        preds: list[list[tuple[str, str]]] = []
+        while isinstance(right, ast.Filter):
+            chain = _match_structural_pred(right.predicate)
+            if chain is None:
+                return None
+            preds.append(chain)
+            right = right.base
+        if preds:
+            has_pred = True
+        if not isinstance(right, ast.Step):
+            return None
+        if _is_dos_node(right):
+            if preds or pending_descendant or i == last_index:
+                return None
+            pending_descendant = True
+            continue
+        name = _simple_element_name(right)
+        if name is None:
+            return None
+        if pending_descendant:
+            if right.axis != "child":
+                return None
+            steps.append(("descendant", name, preds))
+            pending_descendant = False
+        else:
+            steps.append((right.axis, name, preds))
+    if pending_descendant or not steps or not has_pred:
+        return None
+    return var, steps
+
+
+def _match_structural_pred(pred: ast.Expr) -> Optional[list[tuple[str, str]]]:
+    """Match a pure structural predicate: a relative path of simple
+    child/descendant element steps (``[year]``, ``[.//keyword]``,
+    ``[author/last]``).  Returns the ``(edge, name)`` chain or None.
+
+    Such predicates are existential over node sequences, so their
+    effective boolean value is exactly twig-edge containment — never
+    the numeric positional-filter form.
+    """
+    node = pred
+    rights: list[ast.Expr] = []
+    while True:
+        if isinstance(node, ast.DDO):
+            node = node.operand
+        elif isinstance(node, ast.PathExpr):
+            rights.append(node.right)
+            node = node.left
+        else:
+            break
+    if isinstance(node, ast.Step):
+        rights.append(node)
+    elif not isinstance(node, ast.ContextItem):
+        return None
+    rights.reverse()
+    if not rights:
+        return None
+
+    chain: list[tuple[str, str]] = []
+    pending_descendant = False
+    for i, right in enumerate(rights):
+        if not isinstance(right, ast.Step):
+            return None
+        if _is_dos_node(right):
+            if pending_descendant or i == len(rights) - 1:
+                return None
+            pending_descendant = True
+            continue
+        name = _simple_element_name(right)
+        if name is None:
+            return None
+        if pending_descendant:
+            if right.axis != "child":
+                return None
+            chain.append(("descendant", name))
+            pending_descendant = False
+        else:
+            chain.append((right.axis, name))
+    if pending_descendant or not chain:
+        return None
+    return chain

@@ -287,11 +287,29 @@ class Engine:
                  executor=None,
                  catalog=None,
                  batch_size: int = 0,
-                 codegen: str = "closure"):
+                 codegen: str = "closure",
+                 twig_strategy: Optional[str] = None):
         self.optimize = optimize
         if codegen not in ("closure", "source"):
             raise ValueError(f"codegen must be 'closure' or 'source', "
                              f"got {codegen!r}")
+        if twig_strategy is None:
+            # the CI matrix forces strategies via REPRO_TEST_TWIG so
+            # every physical twig plan stays green on every leg
+            import os
+
+            twig_strategy = os.environ.get("REPRO_TEST_TWIG", "auto")
+        from repro.joins.patterns import ALGORITHM_ALIASES
+
+        if twig_strategy not in ALGORITHM_ALIASES:
+            raise ValueError(
+                f"twig_strategy must be one of "
+                f"{sorted(ALGORITHM_ALIASES)}, got {twig_strategy!r}")
+        #: physical plan for twig patterns the planner decomposes:
+        #: "auto" (the pattern-level cost model picks), or a forced
+        #: "holistic" | "binary" | "navigation" | "mixed" for
+        #: override/debug and the differential test matrix
+        self.twig_strategy = twig_strategy
         if codegen == "source" and batch_size:
             raise ValueError("codegen='source' emits its own fused loops; "
                              "it cannot be combined with batch_size > 0")
@@ -368,7 +386,10 @@ class Engine:
                          # the backend shapes the plan (and, for
                          # "source", the cached generated code object):
                          # never replay one backend's plan for another
-                         self.codegen)
+                         self.codegen,
+                         # a forced twig strategy bakes into TwigJoin
+                         # operators at plan time
+                         self.twig_strategy)
             cached = self.compile_cache.get(cache_key)
             if cached is not None:
                 return cached
@@ -404,7 +425,8 @@ class Engine:
         if self.catalog is not None and self.optimize:
             from repro.compiler.planner import plan_access_paths
 
-            optimized = plan_access_paths(optimized, static_ctx, self.catalog)
+            optimized = plan_access_paths(optimized, static_ctx, self.catalog,
+                                          twig_strategy=self.twig_strategy)
 
         generated_source = None
         if self.codegen == "source":
@@ -425,7 +447,8 @@ class Engine:
             used = {e.name.local for e in optimized.walk()
                     if isinstance(e, ast.VarRef) and not e.name.uri}
             used.update(e.var.local for e in optimized.walk()
-                        if isinstance(e, ast.AccessPath) and not e.var.uri)
+                        if isinstance(e, (ast.AccessPath, ast.TwigJoin))
+                        and not e.var.uri)
             catalog_bindings = {name: self.catalog[name]
                                for name in self.catalog.names()
                                if name in used}

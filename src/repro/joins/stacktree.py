@@ -73,15 +73,20 @@ def stack_tree_desc(alist: list[Posting], dlist: list[Posting],
 
 def stack_tree_anc_desc(alist: list[Posting], dlist: list[Posting],
                         parent_child: bool = False,
-                        distinct_descendants: bool = True) -> list[Posting]:
+                        distinct_descendants: bool = True,
+                        counters: Optional[dict[str, int]] = None,
+                        cancellation=None) -> list[Posting]:
     """The projection used by path evaluation: descendants of any ancestor.
 
     Returns distinct descendants in document order (each descendant is
-    reported once even with many containing ancestors).
+    reported once even with many containing ancestors).  ``counters``
+    and ``cancellation`` pass through to the underlying merge.
     """
     out: list[Posting] = []
     last_pre = -1
-    for _a, d in stack_tree_desc(alist, dlist, parent_child):
+    for _a, d in stack_tree_desc(alist, dlist, parent_child,
+                                 counters=counters,
+                                 cancellation=cancellation):
         if distinct_descendants:
             if d.pre != last_pre:
                 out.append(d)
@@ -92,14 +97,19 @@ def stack_tree_anc_desc(alist: list[Posting], dlist: list[Posting],
 
 
 def stack_tree_ancestors(alist: list[Posting], dlist: list[Posting],
-                         parent_child: bool = False) -> list[Posting]:
+                         parent_child: bool = False,
+                         counters: Optional[dict[str, int]] = None,
+                         cancellation=None) -> list[Posting]:
     """Distinct ancestors that contain at least one descendant.
 
-    (Answers ``//a[.//b]`` — the semi-join projection.)
+    (Answers ``//a[.//b]`` — the semi-join projection.)  ``counters``
+    and ``cancellation`` pass through to the underlying merge.
     """
     seen: set[int] = set()
     out: list[Posting] = []
-    for a, _d in stack_tree_desc(alist, dlist, parent_child):
+    for a, _d in stack_tree_desc(alist, dlist, parent_child,
+                                 counters=counters,
+                                 cancellation=cancellation):
         if a.pre not in seen:
             seen.add(a.pre)
             out.append(a)

@@ -1,10 +1,26 @@
 """Per-document statistics collected at store-ingest time.
 
-One walk over the tree yields everything the access-path planner needs
-to estimate costs without touching the document again: element and
-attribute cardinalities, distinct-value counts for indexable names,
-fan-out, and two safety bits (``has_namespaces``, per-name leaf purity)
-that gate index eligibility.
+One walk over the tree yields everything the access-path and twig-join
+planners need to estimate costs without touching the document again:
+element and attribute cardinalities, distinct-value counts for
+indexable names, fan-out, two safety bits (``has_namespaces``, per-name
+leaf purity) that gate index eligibility, and the *pair statistics*
+the pattern-level join cost model prices structural edges with:
+
+- ``child_pairs[(p, c)]`` — exact count of direct parent–child element
+  pairs with tags ``p`` above ``c`` (the output of a parent–child
+  structural join on the full posting lists);
+- ``desc_pairs[(a, d)]`` — exact count of ancestor–descendant element
+  pairs (the output of an unconstrained A-D structural join; with
+  self-nesting tags this exceeds the element counts);
+- ``parents_with_child[(p, c)]`` / ``parents_with_desc[(a, d)]`` —
+  distinct parents (ancestors) with at least one matching child
+  (descendant): the semi-join cardinalities that per-edge selectivity
+  is derived from.
+
+All four are exact, not sampled, so a planner estimate of a single
+edge is the true join cardinality; only multi-edge correlations are
+approximated (independence assumption).
 """
 
 from __future__ import annotations
@@ -23,6 +39,8 @@ class DocumentStats:
     max_depth: int = 0
     max_fanout: int = 0
     has_namespaces: bool = False
+    #: tag of the document's root element ("" before collection)
+    root_name: str = ""
     # tag name (or "@attr") → number of occurrences
     element_counts: dict[str, int] = field(default_factory=dict)
     # name → number of occurrences carrying an indexable value
@@ -33,6 +51,12 @@ class DocumentStats:
     # element names where *every* occurrence is text-only or empty —
     # only these are safe targets for value-index point lookups
     leaf_only_names: frozenset[str] = frozenset()
+    # (parent tag, child tag) → direct pair count / distinct parents
+    child_pairs: dict[tuple[str, str], int] = field(default_factory=dict)
+    parents_with_child: dict[tuple[str, str], int] = field(default_factory=dict)
+    # (ancestor tag, descendant tag) → A-D pair count / distinct ancestors
+    desc_pairs: dict[tuple[str, str], int] = field(default_factory=dict)
+    parents_with_desc: dict[tuple[str, str], int] = field(default_factory=dict)
 
     def count(self, name: str) -> int:
         """Occurrences of a tag (or ``@attr``) name; 0 when absent."""
@@ -52,6 +76,25 @@ class DocumentStats:
         (attributes, keyed ``@name``, are always leaves)."""
         return name.startswith("@") or name in self.leaf_only_names
 
+    # -- edge statistics (the twig cost model's inputs) --------------------
+
+    def edge_pairs(self, parent: str, child: str, kind: str) -> int:
+        """Exact join cardinality of one structural edge.
+
+        ``kind`` is ``"child"`` or ``"descendant"`` — the number of
+        (parent, child) element pairs a structural join over the full
+        posting lists of the two tags would produce.
+        """
+        table = self.child_pairs if kind == "child" else self.desc_pairs
+        return table.get((parent, child), 0)
+
+    def edge_parents(self, parent: str, child: str, kind: str) -> int:
+        """Distinct parents (ancestors) with ≥ 1 matching child
+        (descendant) — the semi-join cardinality of one edge."""
+        table = self.parents_with_child if kind == "child" \
+            else self.parents_with_desc
+        return table.get((parent, child), 0)
+
     def to_dict(self) -> dict:
         return {
             "total_nodes": self.total_nodes,
@@ -59,36 +102,95 @@ class DocumentStats:
             "max_depth": self.max_depth,
             "max_fanout": self.max_fanout,
             "has_namespaces": self.has_namespaces,
+            "root_name": self.root_name,
             "element_counts": dict(self.element_counts),
             "value_counts": dict(self.value_counts),
             "distinct_values": dict(self.distinct_values),
             "leaf_only_names": sorted(self.leaf_only_names),
+            "child_pairs": {f"{p}/{c}": n
+                            for (p, c), n in sorted(self.child_pairs.items())},
+            "desc_pairs": {f"{a}//{d}": n
+                           for (a, d), n in sorted(self.desc_pairs.items())},
+            "parents_with_child": {
+                f"{p}/{c}": n
+                for (p, c), n in sorted(self.parents_with_child.items())},
+            "parents_with_desc": {
+                f"{a}//{d}": n
+                for (a, d), n in sorted(self.parents_with_desc.items())},
         }
 
 
 def collect_stats(doc: DocumentNode) -> DocumentStats:
-    """Collect :class:`DocumentStats` in a single pre-order walk."""
+    """Collect :class:`DocumentStats` in a single pre-order walk.
+
+    The walk pushes explicit *exit* frames so ancestor context (tag
+    multiset on the current path, descendant tag sets per open element)
+    can be maintained incrementally: pair statistics cost
+    O(nodes × distinct tags on / below the path), which stays linear-ish
+    for real documents (XMark has ~80 tags, depth ~12).
+    """
     stats = DocumentStats()
     counts = stats.element_counts
     value_counts = stats.value_counts
+    child_pairs = stats.child_pairs
+    desc_pairs = stats.desc_pairs
+    parents_with_child = stats.parents_with_child
+    parents_with_desc = stats.parents_with_desc
     distinct: dict[str, set[str]] = {}
     non_leaf: set[str] = set()
     seen_names: set[str] = set()
+    #: tag → number of open ancestors with that tag
+    anc_counts: dict[str, int] = {}
+    #: per open element: its tag, the set of descendant tags seen below
+    #: it so far, and its direct-child tags (distinct-parent counters)
+    open_tags: list[str] = []
+    desc_seen: list[set[str]] = []
+    child_seen: list[set[str]] = []
 
-    # (node, depth) stack; DocumentNode is depth 0
-    stack: list[tuple[object, int]] = [(doc, 0)]
+    _ENTER, _EXIT = 0, 1
+    # (op, node, depth | name) stack; DocumentNode is depth 0
+    stack: list[tuple[int, object, object]] = [(_ENTER, doc, 0)]
     while stack:
-        node, depth = stack.pop()
+        op, node, extra = stack.pop()
+        if op == _EXIT:
+            name = extra
+            anc_counts[name] -= 1
+            open_tags.pop()
+            below = desc_seen.pop()
+            direct = child_seen.pop()
+            for tag in below:
+                parents_with_desc[(name, tag)] = \
+                    parents_with_desc.get((name, tag), 0) + 1
+            for tag in direct:
+                parents_with_child[(name, tag)] = \
+                    parents_with_child.get((name, tag), 0) + 1
+            if desc_seen:
+                desc_seen[-1].update(below)
+                desc_seen[-1].add(name)
+            continue
+        depth = extra
         stats.total_nodes += 1
         if depth > stats.max_depth:
             stats.max_depth = depth
         if isinstance(node, ElementNode):
             stats.total_elements += 1
             name = node.name.local
+            if not stats.root_name:
+                stats.root_name = name
             if node.name.uri:
                 stats.has_namespaces = True
             seen_names.add(name)
             counts[name] = counts.get(name, 0) + 1
+            # pair statistics against every open ancestor / the parent
+            for anc, n_open in anc_counts.items():
+                if n_open:
+                    desc_pairs[(anc, name)] = \
+                        desc_pairs.get((anc, name), 0) + n_open
+            if open_tags:
+                parent_tag = open_tags[-1]
+                child_pairs[(parent_tag, name)] = \
+                    child_pairs.get((parent_tag, name), 0) + 1
+                child_seen[-1].add(name)
             children = node.children
             if len(children) > stats.max_fanout:
                 stats.max_fanout = len(children)
@@ -105,13 +207,19 @@ def collect_stats(doc: DocumentNode) -> DocumentStats:
                 counts[akey] = counts.get(akey, 0) + 1
                 value_counts[akey] = value_counts.get(akey, 0) + 1
                 distinct.setdefault(akey, set()).add(attr.value)
+            # open this element: exit frame first (LIFO), then children
+            anc_counts[name] = anc_counts.get(name, 0) + 1
+            open_tags.append(name)
+            desc_seen.append(set())
+            child_seen.append(set())
+            stack.append((_EXIT, None, name))
             for child in reversed(children):
-                stack.append((child, depth + 1))
+                stack.append((_ENTER, child, depth + 1))
         else:
             children = getattr(node, "children", None)
             if children:
                 for child in reversed(children):
-                    stack.append((child, depth + 1))
+                    stack.append((_ENTER, child, depth + 1))
 
     stats.distinct_values = {name: len(vals) for name, vals in distinct.items()}
     stats.leaf_only_names = frozenset(seen_names - non_leaf)

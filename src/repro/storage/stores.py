@@ -69,6 +69,14 @@ class BaseStore:
             self._stats = cached
         return cached
 
+    def invalidate_stats(self) -> None:
+        """Drop the cached statistics so the next :meth:`stats` call
+        re-walks the document.  Catalogs call this when a store is
+        re-registered under an existing name — a mutated backing (e.g.
+        a :class:`TextStore` whose ``text`` was replaced) must never
+        serve stale cardinalities to the planner."""
+        self._stats = None
+
     kind: str = "base"
 
 

@@ -753,6 +753,60 @@ class AccessPath(Expr):
         return f"AccessPath(${self.var}{path}{note} via {self.chosen})"
 
 
+class TwigJoin(Expr):
+    """A pattern-level structural-join plan chosen by the twig planner.
+
+    Replaces an eligible ``DDO(PathExpr(...))`` chain with structural
+    predicates, rooted at a catalog-bound variable.  ``spec`` is the
+    immutable twig-pattern form (nested ``(name, is_output,
+    ((kind, child_spec), ...))`` tuples — see
+    :meth:`repro.joins.patterns.TwigPattern.to_spec`); the runtime
+    rebuilds the pattern and evaluates it over the stored document's
+    element index with the ``chosen`` algorithm (``twigstack`` |
+    ``binary`` | ``navigation`` | ``mixed``).
+
+    ``est_rows`` is the cost model's output-cardinality estimate and
+    ``edge_ests`` its per-edge pair estimates as ``(parent, kind,
+    child, est_pairs)`` tuples; both surface through EXPLAIN as
+    ``twig.*`` annotations.  ``holistic_branches`` names the side
+    branches a mixed plan filters holistically.  ``fallback`` keeps the
+    original expression, compiled alongside, so evaluation degrades to
+    navigation whenever the runtime binding is not the indexed document
+    the plan was costed for — the same re-verification seam as
+    :class:`AccessPath`.
+    """
+
+    __slots__ = ("var", "spec", "chosen", "est_rows", "edge_ests",
+                 "holistic_branches", "fallback")
+    _fields = ("fallback",)
+
+    def __init__(self, var: QName, spec: tuple, chosen: str, est_rows: int,
+                 edge_ests: tuple, holistic_branches: tuple,
+                 fallback: Expr, pos=(0, 0)):
+        super().__init__(pos)
+        self.var = var
+        self.spec = spec
+        self.chosen = chosen
+        self.est_rows = est_rows
+        self.edge_ests = edge_ests
+        self.holistic_branches = holistic_branches
+        self.fallback = fallback
+
+    def __repr__(self) -> str:
+        def fmt(part: tuple) -> str:
+            name, is_output, children = part
+            label = name + ("*" if is_output else "")
+            if not children:
+                return label
+            parts = [("//" if kind == "descendant" else "/") + fmt(child)
+                     for kind, child in children]
+            if len(parts) == 1:
+                return label + parts[0]
+            return label + "[" + "][".join(parts) + "]"
+        return (f"TwigJoin(${self.var} {fmt(self.spec)} via {self.chosen}"
+                f" ~{self.est_rows} rows)")
+
+
 # ---------------------------------------------------------------------------
 # Constructors
 # ---------------------------------------------------------------------------

@@ -104,6 +104,10 @@ class Unparser:
         # its fallback is the original expression it replaced
         return self.expr(e.fallback)
 
+    def _u_TwigJoin(self, e: ast.TwigJoin) -> str:
+        # likewise: a twig-join plan unparses as the chain it replaced
+        return self.expr(e.fallback)
+
     def _u_ContextItem(self, e) -> str:
         return "."
 

@@ -113,6 +113,69 @@ class TestStoredDocument:
         assert stored.stats.is_leaf_only("price")
 
 
+class TestReingestStaleness:
+    """Re-ingesting under an existing name must never leave the planner
+    holding statistics (or cached plans) for the old contents."""
+
+    def test_reingest_invalidates_cached_store_stats(self):
+        store = TreeStore(xml_text=XML)
+        cat = repro.catalog()
+        cat.add("shop", store)
+        first = store.stats()
+        assert store.stats() is first  # cached between calls
+        cat.add("shop", store)  # same object, re-registered
+        assert store.stats() is not first  # cache dropped on re-ingest
+
+    def test_mutated_text_store_reingest_sees_new_stats(self):
+        store = TextStore(xml_text="<r><x/></r>")
+        cat = repro.catalog()
+        cat.add("doc", store, index=False)
+        assert cat["doc"].stats.count("x") == 1
+        # mutate the backing text in place, then re-register: the old
+        # cached stats described one <x>, the document now has three
+        store.text = "<r><x/><x/><x/></r>"
+        cat.add("doc", store, index=False)
+        assert cat["doc"].stats.count("x") == 3
+
+    def test_same_store_reingest_changes_fingerprint(self):
+        # id(store) is identical across both adds — only the ingest
+        # generation distinguishes them for the compile cache
+        store = TreeStore(xml_text=XML)
+        cat = repro.catalog()
+        first = cat.add("shop", store)
+        fp1 = cat.fingerprint()
+        second = cat.add("shop", store)
+        assert first.generation != second.generation
+        assert cat.fingerprint() != fp1
+
+    def test_reingest_recompiles_with_fresh_estimates(self):
+        # the twig planner reads ingest statistics at compile time; a
+        # re-ingest must recompile (not reuse the cached plan) and the
+        # new plan's estimates must describe the new document
+        from repro.xquery import ast
+
+        few = "<shop>" + "<item><price>1</price></item>" + "</shop>"
+        many = "<shop>" + "<item><price>1</price></item>" * 12 + "</shop>"
+
+        def est(compiled):
+            for node in compiled.optimized.walk():
+                if isinstance(node, ast.TwigJoin):
+                    return node.est_rows
+            raise AssertionError("no TwigJoin planned")
+
+        cat = repro.catalog()
+        cat.add("doc", few)
+        engine = Engine(catalog=cat)
+        query = "$doc//item[price]"
+        first = engine.compile(query)
+        assert est(first) == 1
+        cat.add("doc", many)
+        second = engine.compile(query)
+        assert second is not first
+        assert est(second) == 12
+        assert len(second.execute().values()) == 12
+
+
 class TestEngineIntegration:
     def test_auto_binding_by_name(self):
         cat = repro.catalog()

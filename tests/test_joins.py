@@ -13,7 +13,9 @@ from repro.joins import (
     stack_tree_desc,
     twig_stack,
 )
+from repro.errors import QueryCancelled
 from repro.joins.stacktree import stack_tree_ancestors
+from repro.runtime.cancellation import POLL_INTERVAL, CancellationToken
 from repro.storage import ElementIndex
 from repro.workloads.synthetic import nested_sections, random_tree
 from repro.xdm.build import parse_document
@@ -155,6 +157,140 @@ class TestAlgorithmsAgree:
         results = [[p.pre for p in evaluate_pattern(idx, pattern, alg)]
                    for alg in ALGORITHMS]
         assert results[0] == results[1] == results[2]
+
+
+class TestEdgeCases:
+    """Degenerate inputs: empty streams, single-node documents, and
+    patterns deeper than the document itself."""
+
+    ALL = ("twigstack", "binary", "navigation", "mixed")
+
+    def _all_agree_empty(self, index, pattern):
+        for alg in self.ALL:
+            assert evaluate_pattern(index, pattern, alg) == [], alg
+
+    def test_empty_posting_lists_all_algorithms(self, nested_index):
+        self._all_agree_empty(nested_index,
+                              TwigPattern.chain("zzz", ("b", "descendant")))
+        self._all_agree_empty(nested_index,
+                              TwigPattern.chain("a", ("zzz", "descendant")))
+        # a branch with empty postings kills the whole twig
+        root = TwigNode("a")
+        root.add(TwigNode("zzz"), "descendant")
+        out = root.add(TwigNode("b"), "descendant")
+        out.is_output = True
+        self._all_agree_empty(nested_index, TwigPattern(root))
+
+    def test_empty_inputs_report_zero_scans(self):
+        idx = ElementIndex(parse_document("<a/>"))
+        counters: dict[str, int] = {}
+        assert list(stack_tree_desc(idx.postings("a"), idx.postings("zzz"),
+                                    counters=counters)) == []
+        assert counters["elements_scanned"] == 1  # the lone <a> posting
+
+    def test_single_node_document(self):
+        idx = ElementIndex(parse_document("<a/>"))
+        root = TwigNode("a")
+        root.is_output = True
+        pattern = TwigPattern(root)
+        for alg in self.ALL:
+            assert [p.node.name.local
+                    for p in evaluate_pattern(idx, pattern, alg)] == ["a"]
+        self._all_agree_empty(idx, TwigPattern.chain("a", ("b", "descendant")))
+
+    def test_pattern_deeper_than_document(self):
+        idx = ElementIndex(parse_document("<a><b/></a>"))
+        deep = TwigPattern.chain("a", ("b", "child"), ("c", "child"),
+                                 ("d", "child"))
+        self._all_agree_empty(idx, deep)
+        # all tags exist, but the chain needs one more level than the
+        # document has: every algorithm must agree on the empty answer
+        shallow = ElementIndex(parse_document("<a><b><c/></b></a>"))
+        over = TwigPattern.chain("a", ("b", "child"), ("c", "child"),
+                                 ("d", "child"))
+        self._all_agree_empty(shallow, over)
+        # the prefix that does fit still matches everywhere
+        fits = TwigPattern.chain("a", ("b", "child"), ("c", "child"))
+        results = [[p.pre for p in evaluate_pattern(shallow, fits, alg)]
+                   for alg in self.ALL]
+        assert results.count(results[0]) == len(results)
+        assert len(results[0]) == 1
+
+
+class _CountingToken(CancellationToken):
+    """Cancels itself after ``cancel_after`` successful checks — pins
+    exactly where the POLL_MASK-gated loops observe cancellation."""
+
+    def __init__(self, cancel_after: int):
+        super().__init__()
+        self.checks = 0
+        self._cancel_after = cancel_after
+
+    def check(self) -> None:
+        self.checks += 1
+        if self.checks > self._cancel_after:
+            self.cancel("test quota")
+        super().check()
+
+
+class TestCancellationBoundaries:
+    """The join scans poll once per POLL_INTERVAL items; a cancellation
+    must be observed at the next mask boundary, not mid-block."""
+
+    @pytest.fixture(scope="class")
+    def flat_index(self):
+        return ElementIndex(parse_document(
+            "<a>" + "<b/>" * (3 * POLL_INTERVAL) + "</a>"))
+
+    def test_stack_tree_cancels_at_poll_boundary(self, flat_index):
+        token = _CountingToken(cancel_after=1)
+        it = stack_tree_desc(flat_index.postings("a"),
+                             flat_index.postings("b"),
+                             cancellation=token)
+        consumed = []
+        with pytest.raises(QueryCancelled):
+            for pair in it:
+                consumed.append(pair)
+        # the first poll (item 0) passed; the second (item 256) raised
+        assert token.checks == 2
+        assert len(consumed) == POLL_INTERVAL
+
+    def test_stack_tree_completes_with_expected_poll_count(self, flat_index):
+        token = _CountingToken(cancel_after=10 ** 9)
+        pairs = list(stack_tree_desc(flat_index.postings("a"),
+                                     flat_index.postings("b"),
+                                     cancellation=token))
+        assert len(pairs) == 3 * POLL_INTERVAL
+        assert token.checks == 3  # descendants 0, 256, 512
+
+    def test_twig_stack_cancels_mid_scan(self, flat_index):
+        pattern = TwigPattern.chain("a", ("b", "descendant"))
+        token = _CountingToken(cancel_after=1)
+        with pytest.raises(QueryCancelled):
+            twig_stack(flat_index, pattern, cancellation=token)
+        assert token.checks == 2  # advances 0 and 256
+
+    def test_pre_cancelled_token_stops_before_any_work(self, flat_index):
+        token = CancellationToken()
+        token.cancel("already dead")
+        with pytest.raises(QueryCancelled):
+            twig_stack(flat_index,
+                       TwigPattern.chain("a", ("b", "descendant")),
+                       cancellation=token)
+        it = stack_tree_desc(flat_index.postings("a"),
+                             flat_index.postings("b"), cancellation=token)
+        with pytest.raises(QueryCancelled):
+            next(it)
+
+    @pytest.mark.parametrize("algorithm",
+                             ("twigstack", "binary", "navigation", "mixed"))
+    def test_every_algorithm_honors_cancellation(self, flat_index, algorithm):
+        token = CancellationToken()
+        token.cancel("stop")
+        pattern = TwigPattern.chain("a", ("b", "descendant"))
+        with pytest.raises(QueryCancelled):
+            evaluate_pattern(flat_index, pattern, algorithm,
+                             cancellation=token)
 
 
 class TestTwigStackInternals:
