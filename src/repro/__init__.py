@@ -26,7 +26,7 @@ execution with deadlines, admission control, and parallel-group plans,
 see :class:`repro.service.QueryService`.
 """
 
-from repro.api import catalog, compile, execute, explain
+from repro.api import catalog, compile, configure, execute, explain
 from repro.catalog import DocumentCatalog, StoredDocument
 from repro.engine import CompiledQuery, Engine, Result, execute_query, xml
 from repro.errors import (
@@ -35,18 +35,21 @@ from repro.errors import (
     ServiceError,
     ServiceOverloaded,
 )
+from repro.options import ExecutionOptions
 from repro.runtime.cancellation import CancellationToken
 from repro.xdm.build import parse_document
 
-__version__ = "1.3.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # the unified public API
     "compile",
     "execute",
     "explain",
+    "configure",
     "xml",
     "catalog",
+    "ExecutionOptions",
     "DocumentCatalog",
     "StoredDocument",
     # engine objects

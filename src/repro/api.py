@@ -26,6 +26,7 @@ from typing import Any, Iterable, Optional
 
 from repro.catalog import DocumentCatalog
 from repro.engine import CompiledQuery, Engine, Result
+from repro.options import ExecutionOptions
 from repro.runtime.cancellation import CancellationToken
 
 #: the lazily-created process-wide engine behind the module-level API
@@ -37,6 +38,25 @@ def default_engine() -> Engine:
     global _default_engine
     if _default_engine is None:
         _default_engine = Engine()
+    return _default_engine
+
+
+def configure(options: ExecutionOptions) -> Engine:
+    """Rebuild the process-wide default engine with ``options``.
+
+    One call configures every subsequent :func:`compile` /
+    :func:`execute` / :func:`explain`::
+
+        repro.configure(repro.ExecutionOptions(codegen="source"))
+
+    Returns the new default engine (its compile cache starts empty —
+    cached plans from the previous configuration are dropped).
+    """
+    global _default_engine
+    if not isinstance(options, ExecutionOptions):
+        raise TypeError(f"configure() takes a repro.ExecutionOptions, "
+                        f"got {type(options).__name__}")
+    _default_engine = Engine(options=options)
     return _default_engine
 
 

@@ -4,9 +4,11 @@
     python -m repro -q query.xq --var max=30 -i bib.xml
     echo '<a><b/></a>' | python -m repro 'count(//b)'
     python -m repro --explain '/bib/book/title' -i bib.xml
+    python -m repro serve --port 8820 --processes 4
 
 Documents for ``fn:doc`` resolve against the filesystem relative to the
-working directory.
+working directory.  ``serve`` starts the multi-tenant HTTP service
+(:mod:`repro.server`).
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import sys
 from pathlib import Path
 
 from repro.engine import Engine
+from repro.options import ExecutionOptions
 from repro.runtime.memo import LRUCache
 
 #: process-wide compile cache shared by every ``main()`` call: drivers
@@ -92,6 +95,95 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The argparse definition for ``python -m repro serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve XQuery over HTTP: per-tenant catalogs, "
+                    "registered parameterized queries, result caching, "
+                    "and /metrics (see repro.server).")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8820,
+                        help="TCP port (0 lets the OS pick; the bound "
+                             "port is printed on startup)")
+    parser.add_argument("--processes", type=int, default=0, metavar="N",
+                        help="N > 0 pre-forks N persistent worker "
+                             "processes; 0 (default) runs queries on an "
+                             "in-process thread pool")
+    parser.add_argument("--max-workers", type=int, default=None, metavar="N",
+                        help="concurrent queries admitted (in-process "
+                             "mode; default 4)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="parallel workers *within* one query "
+                             "(default 1: sequential plans)")
+    parser.add_argument("--codegen", choices=("closure", "source"),
+                        default=None, help="execution backend")
+    parser.add_argument("--batch-size", type=int, default=None, metavar="N",
+                        help="block-at-a-time execution with ~N-item chunks")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                        help="default per-request deadline")
+    parser.add_argument("--result-cache", type=int, default=None, metavar="N",
+                        help="result-cache entries (0 disables)")
+    parser.add_argument("--config", type=Path, default=None, metavar="FILE",
+                        help="JSON ServerConfig file; command-line flags "
+                             "override its fields")
+    return parser
+
+
+def serve_main(argv: list[str]) -> int:
+    """``repro serve ...``: run the HTTP server until interrupted."""
+    import asyncio
+    import json
+
+    from repro.server import ServerConfig, XQueryServer
+
+    args = build_serve_parser().parse_args(argv)
+    if args.config is not None:
+        try:
+            config = ServerConfig.from_dict(
+                json.loads(args.config.read_text()))
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"config error: {exc}", file=sys.stderr)
+            return 1
+    else:
+        config = ServerConfig()
+    changes: dict = {"host": args.host, "port": args.port,
+                     "processes": args.processes}
+    if args.result_cache is not None:
+        changes["result_cache_size"] = args.result_cache
+    option_changes: dict = {}
+    for flag, name in (("max_workers", "max_workers"), ("jobs", "jobs"),
+                       ("codegen", "codegen"), ("batch_size", "batch_size"),
+                       ("timeout", "default_timeout")):
+        value = getattr(args, flag)
+        if value is not None:
+            option_changes[name] = value
+    if option_changes:
+        changes["options"] = config.options.replace(**option_changes)
+    try:
+        config = config.replace(**changes)
+        server = XQueryServer(config)
+    except (ValueError, TypeError) as exc:
+        print(f"config error: {exc}", file=sys.stderr)
+        return 1
+
+    async def _run() -> None:
+        await server.start()
+        mode = (f"{config.processes} pre-forked workers"
+                if config.processes else "in-process pool")
+        print(f"repro server on http://{config.host}:{server.port} "
+              f"({mode})", file=sys.stderr)
+        await server._server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
 def _stdin_has_data() -> bool:
     """True when piped stdin already has readable data (never blocks).
 
@@ -136,6 +228,10 @@ def _parse_var(text: str):
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -170,14 +266,15 @@ def main(argv: list[str] | None = None) -> int:
 
         executor = default_executor(args.jobs)
 
-    engine = Engine(optimize=not args.no_optimize,
-                    static_typing=not args.no_static_typing,
+    options = ExecutionOptions(optimize=not args.no_optimize,
+                               static_typing=not args.no_static_typing,
+                               batch_size=args.batch_size,
+                               codegen=args.codegen,
+                               twig_strategy=args.twig_strategy)
+    engine = Engine(options=options,
                     compile_cache=None if args.no_compile_cache
                     else _COMPILE_CACHE,
-                    executor=executor,
-                    batch_size=args.batch_size,
-                    codegen=args.codegen,
-                    twig_strategy=args.twig_strategy)
+                    executor=executor)
     try:
         compiled = engine.compile(query_text, variables=tuple(variables))
     except Exception as exc:

@@ -195,6 +195,12 @@ def _node_properties(expr: ast.Expr, static_ctx) -> dict:
                     "can_raise": True,
                     "uses_focus": uses_focus or builtin.context_sensitive,
                     "doc_ordered": False, "distinct": False, "disjoint": False}
+        if expr.name.uri in (_XS_NS, _XDT_NS):
+            # constructor function: a cast producing an atomic value —
+            # it can raise (FORG0001) but never creates nodes
+            return {"creates_nodes": creates, "can_raise": True,
+                    "uses_focus": uses_focus,
+                    "doc_ordered": False, "distinct": False, "disjoint": False}
         # unknown/user function: conservative on everything
         return {"creates_nodes": True, "can_raise": True, "uses_focus": uses_focus,
                 "doc_ordered": False, "distinct": False, "disjoint": False}

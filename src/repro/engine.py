@@ -17,6 +17,7 @@ from repro.compiler.codegen import CodeGenerator
 from repro.compiler.context import StaticContext
 from repro.compiler.normalize import normalize_module
 from repro.errors import QueryCancelled
+from repro.options import UNSET, ExecutionOptions
 from repro.qname import QName
 from repro.runtime.cancellation import CancellationToken
 from repro.runtime.dynamic import DynamicContext
@@ -277,62 +278,70 @@ _DEFAULT_CACHE = object()
 
 
 class Engine:
-    """Compiles queries; holds cross-query configuration (schemas, ...)."""
+    """Compiles queries; holds cross-query configuration (schemas, ...).
 
-    def __init__(self, optimize: bool = True,
-                 static_typing: bool = True,
+    Execution knobs live on one frozen :class:`repro.ExecutionOptions`
+    object — ``Engine(options=ExecutionOptions(codegen="source"))``.
+    The pre-1.5 keyword arguments (``optimize=``, ``static_typing=``,
+    ``compile_cache_size=``, ``batch_size=``, ``codegen=``,
+    ``twig_strategy=``) still work behind a ``DeprecationWarning`` and
+    map onto the same options object.  Object wiring (``base_context``,
+    ``executor``, ``catalog``, a shared ``compile_cache``) stays
+    first-class: those carry identity, not configuration.
+    """
+
+    def __init__(self, optimize=UNSET,
+                 static_typing=UNSET,
                  base_context: StaticContext | None = None,
-                 compile_cache_size: int = 64,
+                 compile_cache_size=UNSET,
                  compile_cache=_DEFAULT_CACHE,
                  executor=None,
                  catalog=None,
-                 batch_size: int = 0,
-                 codegen: str = "closure",
-                 twig_strategy: Optional[str] = None):
-        self.optimize = optimize
-        if codegen not in ("closure", "source"):
-            raise ValueError(f"codegen must be 'closure' or 'source', "
-                             f"got {codegen!r}")
-        if twig_strategy is None:
-            # the CI matrix forces strategies via REPRO_TEST_TWIG so
-            # every physical twig plan stays green on every leg
-            import os
-
-            twig_strategy = os.environ.get("REPRO_TEST_TWIG", "auto")
-        from repro.joins.patterns import ALGORITHM_ALIASES
-
-        if twig_strategy not in ALGORITHM_ALIASES:
-            raise ValueError(
-                f"twig_strategy must be one of "
-                f"{sorted(ALGORITHM_ALIASES)}, got {twig_strategy!r}")
+                 batch_size=UNSET,
+                 codegen=UNSET,
+                 twig_strategy=UNSET,
+                 options: Optional[ExecutionOptions] = None):
+        options = ExecutionOptions.from_legacy(
+            "Engine", options,
+            optimize=optimize, static_typing=static_typing,
+            compile_cache_size=compile_cache_size, batch_size=batch_size,
+            codegen=codegen, twig_strategy=twig_strategy)
+        #: the frozen :class:`repro.ExecutionOptions` this engine runs
+        #: under; the knob attributes below are read-only mirrors
+        self.options = options
+        self.optimize = options.optimize
         #: physical plan for twig patterns the planner decomposes:
         #: "auto" (the pattern-level cost model picks), or a forced
         #: "holistic" | "binary" | "navigation" | "mixed" for
         #: override/debug and the differential test matrix
-        self.twig_strategy = twig_strategy
-        if codegen == "source" and batch_size:
-            raise ValueError("codegen='source' emits its own fused loops; "
-                             "it cannot be combined with batch_size > 0")
+        self.twig_strategy = options.twig_strategy
         #: execution backend: "closure" interprets a tree of generator
         #: closures (optionally block-at-a-time via ``batch_size``);
         #: "source" emits specialized Python source per query
         #: (:mod:`repro.compiler.pysource`) and falls back to closures
         #: for unsupported operators
-        self.codegen = codegen
+        self.codegen = options.codegen
         #: block-at-a-time execution: >0 compiles the relational core
         #: (paths, filters, FLWOR loops, aggregates) to operators that
         #: exchange list-backed chunks of about this many items —
         #: typically 256 (``repro.runtime.batching.DEFAULT_BATCH_SIZE``).
         #: 0 (the default) keeps the fully lazy item-at-a-time pipeline.
-        self.batch_size = batch_size
+        self.batch_size = options.batch_size
         #: document catalog (:func:`repro.catalog`): its documents bind
         #: automatically by name, and the access-path planner may
         #: compile eligible steps onto its indexes
         self.catalog = catalog
         #: the "static typing feature" (optional in XQuery): infer the
         #: result type and reject statically-impossible queries
-        self.static_typing = static_typing
+        self.static_typing = options.static_typing
         self.base_context = base_context
+        if executor is None and options.jobs != 1:
+            # options.jobs is declarative parallelism: N > 1 builds an
+            # N-worker group executor, None the platform default, 0/1
+            # none at all (``repro.service.executors.default_executor``)
+            from repro.service.executors import default_executor
+
+            executor = default_executor(options.jobs)
         #: group executor (``repro.service.executors``): when set, the
         #: code generator fans analysis-proven-independent subexpression
         #: groups out through it (``ParallelSeq`` operators)
@@ -340,13 +349,13 @@ class Engine:
         from repro.runtime.memo import LRUCache
 
         #: compiled queries are pure — cache them keyed by (source
-        #: text, declared variables, engine flags, static-context
+        #: text, declared variables, options fingerprint, static-context
         #: fingerprint).  Pass ``compile_cache=None`` to disable, or an
         #: :class:`LRUCache` to share one cache across engines (keys
         #: carry every compile-relevant input, so sharing is safe).
         if compile_cache is _DEFAULT_CACHE:
-            self.compile_cache = LRUCache(compile_cache_size) \
-                if compile_cache_size else None
+            self.compile_cache = LRUCache(options.compile_cache_size) \
+                if options.compile_cache_size else None
         else:
             self.compile_cache = compile_cache
 
@@ -375,21 +384,16 @@ class Engine:
             # executor shapes the emitted plan, so it keys too; the
             # catalog fingerprint keys store/index identity so a plan
             # compiled against an index is never reused for a
-            # different (e.g. unindexed) binding of the same name
+            # different (e.g. unindexed) binding of the same name;
+            # every value knob (backend, batch size, twig strategy, …)
+            # keys through the one options fingerprint, so each surface
+            # that compiles queries keys its cache identically
             cache_key = (query_text, tuple(sorted(extra, key=str)),
-                         self.optimize, self.static_typing, base_fp,
+                         self.options.fingerprint(), base_fp,
                          id(self.executor) if self.executor is not None
                          else None,
                          self.catalog.fingerprint()
-                         if self.catalog is not None else None,
-                         self.batch_size,
-                         # the backend shapes the plan (and, for
-                         # "source", the cached generated code object):
-                         # never replay one backend's plan for another
-                         self.codegen,
-                         # a forced twig strategy bakes into TwigJoin
-                         # operators at plan time
-                         self.twig_strategy)
+                         if self.catalog is not None else None)
             cached = self.compile_cache.get(cache_key)
             if cached is not None:
                 return cached
@@ -612,7 +616,7 @@ def execute_query(query_text: str, context_item: Any = None,
     :func:`repro.execute`, which shares the default engine's compile
     cache.
     """
-    engine = Engine(optimize=optimize)
+    engine = Engine(options=ExecutionOptions(optimize=optimize))
     compiled = engine.compile(query_text,
                               variables=tuple(variables or ()))
     return compiled.execute(context_item=context_item, variables=variables,

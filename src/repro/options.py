@@ -1,0 +1,199 @@
+"""`ExecutionOptions`: every execution knob, in one frozen object.
+
+Before 1.5 the execution knobs (``batch_size``, ``codegen``,
+``twig_strategy``, ``jobs``, ``default_timeout``, the compile-cache
+size, the service pool bounds) were duplicated — with drifting
+defaults — across ``Engine.__init__``, ``QueryService.__init__``, the
+module-level ``repro.compile/execute/explain`` helpers, and the CLI
+flag surface.  :class:`ExecutionOptions` is the single source of
+truth::
+
+    opts = repro.ExecutionOptions(codegen="source", jobs=4)
+    engine = repro.Engine(options=opts)
+    svc = QueryService(options=opts.replace(max_workers=8))
+
+The object is frozen (hashable, safe to share), serializes losslessly
+through :meth:`to_dict`/:meth:`from_dict` (the server's per-tenant
+configuration is exactly this serialization), and derives the
+options-dependent part of the compiled-query cache key in one place
+via :meth:`fingerprint` — so every surface that compiles queries keys
+its cache identically by construction.
+
+The legacy keyword arguments (``Engine(batch_size=...)``,
+``QueryService(jobs=...)``) still work behind a ``DeprecationWarning``
+— see the README 1.5 migration table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: execution backends the engine knows how to drive
+CODEGEN_BACKENDS = ("closure", "source")
+
+#: sentinel for "this keyword was not passed" in the legacy shims
+UNSET = object()
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Every tunable of query compilation and execution, frozen.
+
+    Engine-level knobs (shape the compiled plan — all of these are in
+    :meth:`fingerprint`):
+
+    - ``optimize`` — run the rewrite engine and the cost-based planner;
+    - ``static_typing`` — infer result types / reject impossible queries;
+    - ``batch_size`` — block-at-a-time execution (0 = fully lazy
+      item-at-a-time; 256 is the usual opt-in);
+    - ``codegen`` — ``"closure"`` interprets the operator tree,
+      ``"source"`` emits one specialized Python function per query;
+    - ``twig_strategy`` — physical plan for decomposed twig patterns
+      (``None`` resolves to ``$REPRO_TEST_TWIG`` or ``"auto"`` at
+      construction);
+    - ``jobs`` — parallel-group workers for analysis-proven-independent
+      subexpressions: ``1`` compiles sequential plans, ``N > 1`` builds
+      an N-worker group executor, ``None`` means the platform default
+      (CPU count — the historical :class:`QueryService` behaviour).
+
+    Caching:
+
+    - ``compile_cache_size`` — LRU entries for compiled queries
+      (0 disables caching).
+
+    Service-level knobs (ignored by a bare :class:`~repro.engine.
+    Engine`; honoured by :class:`~repro.service.QueryService` and the
+    HTTP server):
+
+    - ``max_workers`` / ``max_queue`` — the admission bound: at most
+      ``max_workers`` queries execute while ``max_queue`` wait (note
+      the distinction from ``jobs``, which parallelizes *within* one
+      query);
+    - ``default_timeout`` — deadline (seconds) for requests that don't
+      pass their own;
+    - ``retries`` / ``retry_base_delay`` — the transient-failure retry
+      policy applied to document loaders.
+    """
+
+    # -- engine: plan-shaping ---------------------------------------------
+    optimize: bool = True
+    static_typing: bool = True
+    batch_size: int = 0
+    codegen: str = "closure"
+    twig_strategy: Optional[str] = None
+    jobs: Optional[int] = 1
+    # -- caching -----------------------------------------------------------
+    compile_cache_size: int = 64
+    # -- service -----------------------------------------------------------
+    max_workers: int = 4
+    max_queue: int = 8
+    default_timeout: Optional[float] = None
+    retries: int = 2
+    retry_base_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.codegen not in CODEGEN_BACKENDS:
+            raise ValueError(f"codegen must be one of {CODEGEN_BACKENDS}, "
+                             f"got {self.codegen!r}")
+        if self.batch_size < 0:
+            raise ValueError("batch_size must be >= 0")
+        if self.codegen == "source" and self.batch_size:
+            raise ValueError("codegen='source' emits its own fused loops; "
+                             "it cannot be combined with batch_size > 0")
+        if self.twig_strategy is None:
+            # the CI matrix forces strategies via REPRO_TEST_TWIG so
+            # every physical twig plan stays green on every leg
+            object.__setattr__(
+                self, "twig_strategy",
+                os.environ.get("REPRO_TEST_TWIG", "auto"))
+        from repro.joins.patterns import ALGORITHM_ALIASES
+
+        if self.twig_strategy not in ALGORITHM_ALIASES:
+            raise ValueError(
+                f"twig_strategy must be one of "
+                f"{sorted(ALGORITHM_ALIASES)}, got {self.twig_strategy!r}")
+        if self.jobs is not None and self.jobs < 0:
+            raise ValueError("jobs must be None (platform default) or >= 0")
+        if self.compile_cache_size < 0:
+            raise ValueError("compile_cache_size must be >= 0")
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.default_timeout is not None and self.default_timeout <= 0:
+            raise ValueError("default_timeout must be positive (or None)")
+
+    # -- derivation --------------------------------------------------------
+
+    def fingerprint(self) -> tuple:
+        """The options-dependent part of the compiled-query cache key.
+
+        Exactly the knobs that shape a compiled plan; object-identity
+        inputs (executor, base context, catalog) are keyed separately
+        by the engine.  Deriving this in one place is what keeps the
+        Engine / QueryService / CLI / server compile caches coherent.
+        """
+        return ("opts", self.optimize, self.static_typing, self.batch_size,
+                self.codegen, self.twig_strategy)
+
+    def replace(self, **changes: Any) -> "ExecutionOptions":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialization (the server's tenant-config wire format) -----------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dict that round-trips through :meth:`from_dict`."""
+        return {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExecutionOptions":
+        """Rebuild from :meth:`to_dict` output (unknown keys rejected)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ExecutionOptions keys: "
+                             f"{sorted(unknown)} (known: {sorted(known)})")
+        return cls(**data)
+
+    @classmethod
+    def from_legacy(cls, where: str, base: Optional["ExecutionOptions"],
+                    defaults: Optional["ExecutionOptions"] = None,
+                    **legacy: Any) -> "ExecutionOptions":
+        """The deprecation shim behind the pre-1.5 keyword arguments.
+
+        ``legacy`` maps knob name → value-or-:data:`UNSET`; any knob
+        actually passed emits one ``DeprecationWarning`` naming the
+        replacement, then overrides ``defaults`` (a caller's historical
+        baseline — :class:`~repro.service.QueryService` keeps its
+        pre-1.5 ``jobs=None`` platform default this way).  Passing both
+        ``options=`` and legacy keywords is an error, not a merge.
+        """
+        import warnings
+
+        passed = {name: value for name, value in legacy.items()
+                  if value is not UNSET}
+        if not passed:
+            if base is not None:
+                return base
+            return defaults if defaults is not None else cls()
+        if base is not None:
+            raise TypeError(
+                f"{where}: pass execution knobs either via "
+                f"options=ExecutionOptions(...) or as legacy keywords, "
+                f"not both ({', '.join(sorted(passed))} given)")
+        names = ", ".join(sorted(passed))
+        warnings.warn(
+            f"{where}({names}=...) keyword arguments are deprecated; "
+            f"pass repro.ExecutionOptions({names}=...) as options= "
+            f"(see the README 1.5 migration table)",
+            DeprecationWarning, stacklevel=3)
+        if defaults is not None:
+            return dataclasses.replace(defaults, **passed)
+        return cls(**passed)

@@ -1,0 +1,42 @@
+"""``repro.server`` — the XQuery engine as a multi-tenant HTTP service.
+
+The paper frames XML query processing as infrastructure for *services*
+— queries arriving over the wire, compiled once, executed many times
+over independently-owned documents.  This package is that serving
+layer over the existing engine:
+
+- per-tenant :class:`~repro.catalog.DocumentCatalog`\\ s with one shared
+  compile cache (tenant fingerprints keep plans apart);
+- registered, parameterized queries (compile at registration, bind
+  ``$var`` values per request);
+- a result cache keyed by (query, options, catalog generation,
+  bindings) and invalidated on re-ingest;
+- two execution modes: the :class:`~repro.service.QueryService` thread
+  pool in-process, or a persistent pre-forked
+  :class:`~repro.service.ForkWorkerPool`;
+- always-on serving metrics (p50/p99 latency, cache hit rates,
+  admission rejections) at ``/metrics``.
+
+Start one programmatically::
+
+    from repro.server import ServerConfig, start_in_thread
+
+    handle = start_in_thread(ServerConfig(port=0))
+    ...  # http://127.0.0.1:{handle.port}
+    handle.close()
+
+or from the CLI: ``repro serve --port 8820 --processes 4``.
+"""
+
+from repro.server.config import ServerConfig
+from repro.server.http import ServerHandle, XQueryServer, start_in_thread
+from repro.server.tenants import ApiError, AppCore
+
+__all__ = [
+    "ServerConfig",
+    "XQueryServer",
+    "ServerHandle",
+    "start_in_thread",
+    "AppCore",
+    "ApiError",
+]

@@ -1,0 +1,141 @@
+"""The server result cache: memoized responses, invalidated on ingest.
+
+:class:`repro.runtime.memo.ResultCache` memoizes by *object identity*
+(same compiled query, same document node) — right for an embedding
+process, useless across HTTP requests where every input arrives as
+data.  :class:`ServerResultCache` is the inter-process level the memo
+module's docstring calls "semantic caching": the key is built from
+values —
+
+    (tenant, query text, options fingerprint, catalog fingerprint,
+     canonical variables JSON, response form)
+
+so two requests for the same registered query with the same bindings
+against the same ingest generation hit, and a re-ingest misses
+naturally (the catalog fingerprint moved).  On top of the natural miss,
+:meth:`invalidate_tenant` actively drops a tenant's entries when it
+re-ingests, so stale responses don't squat in the LRU window.
+
+Only *cacheable* queries are stored: a query that constructs nodes
+(fresh identities per run) or calls a non-deterministic function must
+re-execute every time — the same purity test the parallelizer applies
+(:func:`repro.compiler.parallel.is_parallel_safe`'s helper), evaluated
+once per compiled query.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Optional
+
+from repro.qname import XDT_NS, XS_NS
+from repro.runtime import functions as fnlib
+from repro.runtime.memo import LRUCache
+from repro.xquery import ast
+
+
+#: AST nodes that construct fresh nodes — checked structurally, not
+#: via the ``creates_nodes`` annotation: access-path planning rebuilds
+#: parts of the tree without re-running analysis, so annotations may be
+#: absent on ancestors of a replaced subtree
+_CONSTRUCTORS = (ast.ElementCtor, ast.AttributeCtor, ast.TextCtor,
+                 ast.CommentCtor, ast.PICtor, ast.DocumentCtor)
+
+
+def cacheable(compiled) -> bool:
+    """May responses for this compiled query be reused verbatim?
+
+    False when the optimized tree constructs nodes or calls a function
+    the library doesn't prove deterministic (unknown functions are
+    conservatively non-deterministic).
+    """
+    for node in compiled.optimized.walk():
+        if isinstance(node, _CONSTRUCTORS) \
+                or node.annotations.get("creates_nodes", False):
+            return False
+        if isinstance(node, ast.FunctionCall):
+            if node.name.uri in (XS_NS, XDT_NS):
+                continue  # constructor functions are casts: deterministic
+            builtin = fnlib.lookup(node.name, len(node.args))
+            if builtin is None or not builtin.deterministic:
+                return False
+    return True
+
+
+def canonical_variables(variables: Optional[dict]) -> str:
+    """A deterministic text form of the request's variable bindings.
+
+    Sorted keys, no whitespace — two JSON bodies that bind the same
+    values key the same cache entry regardless of field order.
+    """
+    if not variables:
+        return ""
+    return json.dumps(variables, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+class ServerResultCache:
+    """A bounded LRU of serialized responses, partitioned by tenant."""
+
+    def __init__(self, capacity: int = 128):
+        self._cache = LRUCache(capacity) if capacity else None
+        self._lock = threading.Lock()
+        #: per-tenant epoch: bumping it orphans every key the tenant
+        #: had, which the LRU then ages out — O(1) invalidation without
+        #: scanning the cache
+        self._epochs: dict[str, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self._cache is not None
+
+    @property
+    def hits(self) -> int:
+        return self._cache.hits if self._cache is not None else 0
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses if self._cache is not None else 0
+
+    def _epoch(self, tenant: str) -> int:
+        return self._epochs.get(tenant, 0)
+
+    def key(self, tenant: str, query_text: str, options_fp: tuple,
+            catalog_fp: tuple, variables: Optional[dict],
+            form: str) -> Optional[tuple]:
+        if self._cache is None:
+            return None
+        try:
+            canon = canonical_variables(variables)
+        except (TypeError, ValueError):
+            return None  # unserializable bindings: just don't cache
+        with self._lock:
+            epoch = self._epoch(tenant)
+        return (tenant, epoch, query_text, options_fp, catalog_fp,
+                canon, form)
+
+    def get(self, key: Optional[tuple]) -> Any:
+        if self._cache is None or key is None:
+            return None
+        with self._lock:
+            return self._cache.get(key)
+
+    def put(self, key: Optional[tuple], value: Any) -> None:
+        if self._cache is None or key is None:
+            return
+        with self._lock:
+            self._cache.put(key, value)
+
+    def invalidate_tenant(self, tenant: str) -> None:
+        """Drop every cached response for ``tenant`` (epoch bump)."""
+        with self._lock:
+            self._epochs[tenant] = self._epochs.get(tenant, 0) + 1
+
+    def stats(self) -> dict[str, int]:
+        if self._cache is None:
+            return {"enabled": 0, "hits": 0, "misses": 0, "entries": 0}
+        with self._lock:
+            return {"enabled": 1, "hits": self._cache.hits,
+                    "misses": self._cache.misses,
+                    "entries": len(self._cache)}

@@ -1,0 +1,89 @@
+"""Server metrics: counters plus windowed latency percentiles.
+
+The profiler (:mod:`repro.observability`) answers "where did *this
+query* spend its time"; this module answers the serving questions —
+request rates, p50/p99 latency, queue depth, cache hit rates, admission
+rejections.  Everything is cheap enough to run always-on: counters are
+dict increments under one lock, and percentiles come from a bounded
+ring of recent samples (an exact quantile over the window, not a
+sketch — the window is small by design).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+
+def percentile(samples: list[float], q: float) -> Optional[float]:
+    """Exact ``q``-quantile (0..1) of ``samples`` (nearest-rank)."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class LatencyWindow:
+    """A bounded ring of recent request latencies (seconds)."""
+
+    def __init__(self, window: int = 2048):
+        self._samples: deque[float] = deque(maxlen=max(1, window))
+        self._count = 0
+        self._total = 0.0
+
+    def record(self, elapsed: float) -> None:
+        self._samples.append(elapsed)
+        self._count += 1
+        self._total += elapsed
+
+    def snapshot(self) -> dict:
+        samples = list(self._samples)
+        return {
+            "count": self._count,
+            "mean_ms": round(self._total / self._count * 1000, 3)
+            if self._count else None,
+            "p50_ms": _ms(percentile(samples, 0.50)),
+            "p90_ms": _ms(percentile(samples, 0.90)),
+            "p99_ms": _ms(percentile(samples, 0.99)),
+        }
+
+
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else round(seconds * 1000, 3)
+
+
+class ServerMetrics:
+    """All serving counters behind one lock, snapshotted by /metrics."""
+
+    def __init__(self, window: int = 2048):
+        self._lock = threading.Lock()
+        self._window = window
+        self._latency: dict[str, LatencyWindow] = {}
+        self._counters: dict[str, int] = {}
+        self._status: dict[int, int] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, endpoint: str, elapsed: float, status: int) -> None:
+        """Record one finished request: latency sample + status tally."""
+        with self._lock:
+            window = self._latency.get(endpoint)
+            if window is None:
+                window = self._latency[endpoint] = LatencyWindow(self._window)
+            window.record(elapsed)
+            self._status[status] = self._status.get(status, 0) + 1
+            self._counters["requests"] = self._counters.get("requests", 0) + 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "status": {str(k): v
+                           for k, v in sorted(self._status.items())},
+                "latency": {name: window.snapshot()
+                            for name, window in sorted(self._latency.items())},
+            }

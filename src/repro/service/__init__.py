@@ -2,6 +2,9 @@
 
 - :class:`QueryService` — run queries on a bounded pool with deadlines,
   retry, and load shedding;
+- :class:`ForkWorkerPool` — persistent pre-forked workers with warm
+  per-process state, crash respawn, and a replay log (the server's
+  multi-process mode);
 - :mod:`repro.service.executors` — the group executors behind the
   compiler's ``ParallelSeq`` operator (threads for overlap, fork for
   multi-core speedup).
@@ -14,6 +17,7 @@ from repro.service.executors import (
     default_executor,
 )
 from repro.service.queryservice import QueryService, RetryingDocumentLoader
+from repro.service.workers import ForkWorkerPool, WorkerCrashed
 
 __all__ = [
     "QueryService",
@@ -21,5 +25,7 @@ __all__ = [
     "SequentialExecutor",
     "ThreadGroupExecutor",
     "ForkGroupExecutor",
+    "ForkWorkerPool",
+    "WorkerCrashed",
     "default_executor",
 ]

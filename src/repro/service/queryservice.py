@@ -7,7 +7,8 @@ deadline enforced by a cooperative
 document-loader failures retry with exponential backoff, and admission
 control sheds load *before* it queues unboundedly::
 
-    with QueryService(max_workers=4, max_queue=8, jobs=4) as svc:
+    opts = repro.ExecutionOptions(max_workers=4, max_queue=8, jobs=4)
+    with QueryService(options=opts) as svc:
         future = svc.submit("count($d//item)", variables={"d": repro.xml(text)},
                             timeout=2.0)
         result = future.result()          # a repro.engine.Result, drained
@@ -41,11 +42,16 @@ from typing import Any, Optional
 
 from repro.engine import Engine, Result
 from repro.errors import QueryCancelled, ServiceOverloaded
+from repro.options import UNSET, ExecutionOptions
 from repro.runtime.cancellation import CancellationToken
-from repro.service.executors import default_executor
 
 #: exception families the retrying loader treats as transient
 _TRANSIENT = (OSError, TimeoutError)
+
+#: longest single sleep inside a retry backoff: a ``cancel()`` from
+#: another thread is observed within this slice, not after the full
+#: (up to ``max_delay``) backoff
+_BACKOFF_SLICE = 0.02
 
 
 class RetryingDocumentLoader:
@@ -81,11 +87,24 @@ class RetryingDocumentLoader:
                 if attempt >= self.retries:
                     raise
                 delay = min(self.base_delay * (2 ** attempt), self.max_delay)
-                if self.token is not None:
+                if self.token is None:
+                    time.sleep(delay)
+                else:
                     remaining = self.token.remaining()
                     if remaining is not None:
                         delay = min(delay, remaining)
-                time.sleep(delay)
+                    # sleep in short slices, re-checking the token after
+                    # each: a cancel() (or deadline) landing mid-backoff
+                    # must interrupt the sleep, not be discovered only
+                    # after the full backoff has elapsed
+                    end = time.monotonic() + delay
+                    while True:
+                        self.token.check()
+                        left = end - time.monotonic()
+                        if left <= 0:
+                            break
+                        time.sleep(min(left, _BACKOFF_SLICE))
+                    self.token.check()
                 attempt += 1
                 self.stats["service.loader_retries"] = \
                     self.stats.get("service.loader_retries", 0) + 1
@@ -94,40 +113,69 @@ class RetryingDocumentLoader:
 class QueryService:
     """Run queries concurrently with deadlines and admission control.
 
-    - ``engine``: an :class:`~repro.engine.Engine` to compile with; by
-      default the service builds one wired to a group executor
-      (``jobs`` workers — see :func:`repro.service.executors.
-      default_executor`), so independent subexpression groups evaluate
-      in parallel *within* each query too;
-    - ``max_workers`` / ``max_queue``: the admission bound — at most
-      ``max_workers`` queries execute while ``max_queue`` wait;
-    - ``default_timeout``: deadline (seconds) for requests that don't
-      pass their own;
-    - ``retries`` / ``retry_base_delay``: the transient-failure policy
-      applied to every request's ``document_loader``.
+    Configuration is one frozen :class:`repro.ExecutionOptions`::
+
+        QueryService(options=ExecutionOptions(max_workers=8, jobs=2))
+
+    where the two pool-sizing knobs are deliberately distinct (they
+    overlapped confusingly pre-1.5):
+
+    - ``options.max_workers`` / ``options.max_queue`` — the admission
+      bound *across* queries: at most ``max_workers`` queries execute
+      while ``max_queue`` wait;
+    - ``options.jobs`` — parallelism *within* one query: the group
+      executor workers that independent subexpression groups fan out
+      to (``None`` = platform default, the historical behaviour of a
+      service built without explicit options);
+    - ``options.default_timeout`` — deadline (seconds) for requests
+      that don't pass their own;
+    - ``options.retries`` / ``options.retry_base_delay`` — the
+      transient-failure policy applied to every request's
+      ``document_loader``.
+
+    ``engine`` overrides the service-built engine (e.g. one carrying a
+    catalog); the pre-1.5 keyword arguments (``max_workers=``,
+    ``jobs=``, …) still work behind a ``DeprecationWarning``.
     """
 
     def __init__(self, engine: Optional[Engine] = None,
-                 max_workers: int = 4, max_queue: int = 8,
-                 jobs: Optional[int] = None,
-                 default_timeout: Optional[float] = None,
-                 retries: int = 2, retry_base_delay: float = 0.05,
-                 batch_size: int = 0, codegen: str = "closure"):
+                 options: Optional[ExecutionOptions] = None,
+                 max_workers=UNSET, max_queue=UNSET,
+                 jobs=UNSET,
+                 default_timeout=UNSET,
+                 retries=UNSET, retry_base_delay=UNSET,
+                 batch_size=UNSET, codegen=UNSET):
+        if options is not None and not isinstance(options, ExecutionOptions):
+            raise TypeError(
+                f"options must be a repro.ExecutionOptions, got "
+                f"{type(options).__name__} (the pre-1.5 positional "
+                f"max_workers= must now be passed by keyword)")
+        # the historical default: a service without explicit options
+        # parallelizes within queries at the platform's width
+        options = ExecutionOptions.from_legacy(
+            "QueryService", options, ExecutionOptions(jobs=None),
+            max_workers=max_workers, max_queue=max_queue, jobs=jobs,
+            default_timeout=default_timeout, retries=retries,
+            retry_base_delay=retry_base_delay, batch_size=batch_size,
+            codegen=codegen)
+        #: the frozen :class:`repro.ExecutionOptions` this service runs
+        #: under; the attributes below are read-only mirrors
+        self.options = options
         if engine is None:
             # batch_size > 0 compiles block-at-a-time plans; deadline
             # tokens are then polled once per block, so a timed-out
             # request is interrupted within one chunk of work.
             # codegen="source" compiles to specialized Python instead
             # (polls once per bound item) and excludes batch_size > 0.
-            engine = Engine(executor=default_executor(jobs),
-                            batch_size=batch_size, codegen=codegen)
+            # The engine resolves options.jobs to a group executor.
+            engine = Engine(options=options)
         self.engine = engine
-        self.max_workers = max_workers
-        self.max_queue = max_queue
-        self.default_timeout = default_timeout
-        self.retries = retries
-        self.retry_base_delay = retry_base_delay
-        self._pool = ThreadPoolExecutor(max_workers=max_workers,
+        self.max_workers = options.max_workers
+        self.max_queue = options.max_queue
+        self.default_timeout = options.default_timeout
+        self.retries = options.retries
+        self.retry_base_delay = options.retry_base_delay
+        self._pool = ThreadPoolExecutor(max_workers=self.max_workers,
                                         thread_name_prefix="repro-svc")
         self._lock = threading.Lock()
         self._in_flight = 0
@@ -145,7 +193,8 @@ class QueryService:
                document_loader=None,
                profiler=None,
                timeout: Optional[float] = None,
-               cancellation: Optional[CancellationToken] = None) -> Future:
+               cancellation: Optional[CancellationToken] = None,
+               engine: Optional[Engine] = None) -> Future:
         """Admit a query; returns a Future resolving to a drained
         :class:`~repro.engine.Result`.
 
@@ -155,6 +204,11 @@ class QueryService:
         :class:`~repro.errors.QueryTimeout` (with partial stats) on a
         blown deadline, :class:`~repro.errors.QueryCancelled` when the
         caller cancelled the token.
+
+        ``engine`` compiles this one request on a different engine than
+        the service default — the multi-tenant server passes each
+        tenant's catalog-wired engine here while one service enforces
+        the admission bound across all tenants.
         """
         if self._closed:
             raise RuntimeError("QueryService is shut down")
@@ -175,8 +229,9 @@ class QueryService:
 
         try:
             return self._pool.submit(
-                self._run, query_text, context_item, variables, documents,
-                collections, document_loader, profiler, token)
+                self._run, engine or self.engine, query_text, context_item,
+                variables, documents, collections, document_loader, profiler,
+                token)
         except BaseException:
             with self._lock:
                 self._in_flight -= 1
@@ -188,7 +243,7 @@ class QueryService:
 
     # -- the worker --------------------------------------------------------
 
-    def _run(self, query_text, context_item, variables, documents,
+    def _run(self, engine, query_text, context_item, variables, documents,
              collections, document_loader, profiler,
              token: CancellationToken) -> Result:
         try:
@@ -197,7 +252,7 @@ class QueryService:
                 loader = RetryingDocumentLoader(
                     loader, retries=self.retries,
                     base_delay=self.retry_base_delay, token=token)
-            compiled = self.engine.compile(
+            compiled = engine.compile(
                 query_text, variables=tuple(variables or ()))
             result = compiled.execute(
                 context_item=context_item, variables=variables,

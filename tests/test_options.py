@@ -1,0 +1,174 @@
+"""ExecutionOptions: the one frozen configuration object (1.5).
+
+Covers the satellite guarantees: round-trips through every surface
+(Engine, QueryService, repro.configure, serialization), the compile
+cache keyed by the options fingerprint, and the legacy keyword shims
+warning but behaving identically.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro
+from repro import Engine, ExecutionOptions
+from repro.options import UNSET
+from repro.runtime.memo import LRUCache
+from repro.service import QueryService
+
+
+class TestConstructionAndValidation:
+    def test_defaults(self):
+        opts = ExecutionOptions()
+        assert opts.optimize is True
+        assert opts.static_typing is True
+        assert opts.batch_size == 0
+        assert opts.codegen == "closure"
+        assert opts.jobs == 1
+        assert opts.max_workers == 4
+
+    def test_frozen(self):
+        opts = ExecutionOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            opts.optimize = False
+
+    def test_bad_codegen_rejected(self):
+        with pytest.raises(ValueError, match="codegen"):
+            ExecutionOptions(codegen="llvm")
+
+    def test_bad_twig_strategy_rejected(self):
+        with pytest.raises(ValueError, match="twig_strategy"):
+            ExecutionOptions(twig_strategy="quantum")
+
+    def test_source_codegen_excludes_batching(self):
+        with pytest.raises(ValueError):
+            ExecutionOptions(codegen="source", batch_size=256)
+
+    def test_replace(self):
+        base = ExecutionOptions()
+        derived = base.replace(codegen="source")
+        assert derived.codegen == "source"
+        assert base.codegen == "closure"
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        opts = ExecutionOptions(optimize=False, batch_size=64, jobs=2,
+                                max_workers=8, default_timeout=1.5)
+        assert ExecutionOptions.from_dict(opts.to_dict()) == opts
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises((TypeError, ValueError)):
+            ExecutionOptions.from_dict({"optimizer": True})
+
+    def test_fingerprint_covers_compile_knobs(self):
+        a = ExecutionOptions()
+        assert a.fingerprint() == ExecutionOptions().fingerprint()
+        for change in ({"optimize": False}, {"static_typing": False},
+                       {"batch_size": 32}, {"codegen": "source"},
+                       {"twig_strategy": "binary"}):
+            assert a.replace(**change).fingerprint() != a.fingerprint()
+
+    def test_fingerprint_ignores_service_knobs(self):
+        a = ExecutionOptions()
+        b = a.replace(max_workers=16, max_queue=99, retries=7,
+                      default_timeout=3.0, jobs=4)
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestEngineIntegration:
+    def test_engine_accepts_options(self):
+        engine = Engine(options=ExecutionOptions(optimize=False))
+        assert engine.optimize is False
+        assert engine.options.optimize is False
+
+    def test_engine_options_and_legacy_kwargs_conflict(self):
+        with pytest.raises(TypeError):
+            Engine(options=ExecutionOptions(), optimize=False)
+
+    def test_legacy_kwargs_warn_but_work(self):
+        with pytest.warns(DeprecationWarning, match="migration"):
+            engine = Engine(optimize=False)
+        assert engine.optimize is False
+
+    def test_options_path_is_silent(self, recwarn):
+        Engine(options=ExecutionOptions(codegen="source"))
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_options_key_the_shared_compile_cache(self):
+        shared = LRUCache(16)
+        fast = Engine(options=ExecutionOptions(), compile_cache=shared)
+        slow = Engine(options=ExecutionOptions(optimize=False),
+                      compile_cache=shared)
+        a = fast.compile("1 + 1")
+        b = slow.compile("1 + 1")
+        assert a is not b
+        assert fast.compile("1 + 1") is a
+        assert slow.compile("1 + 1") is b
+
+    def test_jobs_builds_executor(self):
+        engine = Engine(options=ExecutionOptions(jobs=2))
+        try:
+            assert engine.executor is not None
+        finally:
+            engine.executor.shutdown()
+
+    def test_jobs_one_stays_sequential(self):
+        assert Engine(options=ExecutionOptions(jobs=1)).executor is None
+
+
+class TestServiceIntegration:
+    def test_service_accepts_options(self):
+        opts = ExecutionOptions(max_workers=2, max_queue=3, jobs=1,
+                                default_timeout=5.0)
+        with QueryService(options=opts) as svc:
+            assert svc.max_workers == 2
+            assert svc.max_queue == 3
+            assert svc.default_timeout == 5.0
+            assert svc.engine.options is opts
+            assert svc.execute("1 + 1").values() == [2]
+
+    def test_service_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning):
+            svc = QueryService(max_workers=2)
+        with svc:
+            assert svc.max_workers == 2
+
+    def test_service_rejects_positional_options(self):
+        with pytest.raises(TypeError):
+            QueryService(None, 4)
+
+    def test_jobs_and_max_workers_are_distinct(self):
+        # pre-1.5 these two knobs overlapped; now max_workers bounds
+        # admission across queries while jobs parallelizes within one
+        opts = ExecutionOptions(max_workers=3, jobs=1)
+        with QueryService(options=opts) as svc:
+            assert svc.max_workers == 3
+            assert svc.engine.executor is None
+
+
+class TestConfigure:
+    def test_configure_rebuilds_default_engine(self):
+        original = repro.api.default_engine()
+        try:
+            engine = repro.configure(ExecutionOptions(optimize=False))
+            assert repro.api.default_engine() is engine
+            assert repro.execute("1 + 1").values() == [2]
+        finally:
+            repro.api._default_engine = original
+
+    def test_configure_rejects_non_options(self):
+        with pytest.raises(TypeError):
+            repro.configure({"optimize": False})
+
+
+class TestUnsetSentinel:
+    def test_from_legacy_nothing_passed_returns_defaults(self):
+        opts = ExecutionOptions.from_legacy("T", None, optimize=UNSET)
+        assert opts == ExecutionOptions()
+
+    def test_from_legacy_defaults_apply(self):
+        base = ExecutionOptions(jobs=None)
+        opts = ExecutionOptions.from_legacy("T", None, base, optimize=UNSET)
+        assert opts.jobs is None

@@ -1,0 +1,385 @@
+"""The HTTP server: tenants, registered queries, caching, metrics.
+
+Each test talks real HTTP to a server on a background thread
+(``port=0`` → OS-assigned), covering both execution modes and the
+serving guarantees: result-cache hits and their invalidation on
+re-ingest, tenant plan isolation over the shared compile cache, the
+error-code → status mapping, and the /metrics shape.
+"""
+
+import json
+import http.client
+import os
+import threading
+
+import pytest
+
+from repro import ExecutionOptions
+from repro.server import AppCore, ServerConfig, start_in_thread
+
+BOOKS = ("<bib><book year='1967'><title>T1</title><price>55</price></book>"
+         "<book year='1990'><title>T2</title><price>30</price></book></bib>")
+
+#: deliberately O(n^2): slow enough (~1s) to blow a tiny deadline /
+#: hold a worker while admission tests pile on, fast enough to finish
+SLOW = ("count(for $a in 1 to 350, $b in 1 to 350 "
+        "return $a * $b)")
+
+
+class Client:
+    """A tiny keep-alive JSON/HTTP client for the test server."""
+
+    def __init__(self, port):
+        self.conn = http.client.HTTPConnection("127.0.0.1", port,
+                                               timeout=30)
+
+    def request(self, method, path, body=None):
+        data = body if isinstance(body, (bytes, str, type(None))) \
+            else json.dumps(body)
+        self.conn.request(method, path, body=data)
+        resp = self.conn.getresponse()
+        raw = resp.read()
+        headers = dict(resp.getheaders())
+        if headers.get("Content-Type", "").startswith("application/json"):
+            return resp.status, json.loads(raw), headers
+        return resp.status, raw.decode(), headers
+
+    def close(self):
+        self.conn.close()
+
+
+@pytest.fixture(scope="module")
+def server():
+    handle = start_in_thread(ServerConfig(port=0))
+    yield handle
+    handle.close()
+
+
+@pytest.fixture()
+def client(server):
+    c = Client(server.port)
+    yield c
+    c.close()
+
+
+def _setup_tenant(client, tenant, doc=BOOKS):
+    status, body, _ = client.request(
+        "PUT", f"/tenants/{tenant}/documents/books", doc)
+    assert status == 200, body
+    return body
+
+
+class TestLifecycle:
+    def test_health(self, client):
+        status, body, _ = client.request("GET", "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["mode"] == "inprocess"
+
+    def test_ingest_register_execute(self, client):
+        _setup_tenant(client, "t_basic")
+        status, body, _ = client.request(
+            "PUT", "/tenants/t_basic/queries/cheap",
+            {"query": "count($books//book[price < $limit])",
+             "variables": ["limit"]})
+        assert status == 200
+        assert body["registered"]["cacheable"] is True
+        status, body, _ = client.request(
+            "POST", "/tenants/t_basic/queries/cheap",
+            {"variables": {"limit": 50}})
+        assert status == 200
+        assert body["items"] == [1]
+        status, body, _ = client.request(
+            "POST", "/tenants/t_basic/queries/cheap",
+            {"variables": {"limit": 100}})
+        assert body["items"] == [2]
+
+    def test_tenant_listing(self, client):
+        _setup_tenant(client, "t_list")
+        status, body, _ = client.request("GET", "/tenants/t_list")
+        assert status == 200
+        assert body["documents"][0]["name"] == "books"
+
+    def test_adhoc_execute_json_and_xml(self, client):
+        _setup_tenant(client, "t_forms")
+        status, body, _ = client.request(
+            "POST", "/tenants/t_forms/execute",
+            {"query": "$books//book[1]/title"})
+        assert status == 200
+        assert body["items"] == [{"node": "<title>T1</title>"}]
+        status, body, headers = client.request(
+            "POST", "/tenants/t_forms/execute",
+            {"query": "$books//book[1]/title", "form": "xml"})
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/xml")
+        assert body == "<title>T1</title>"
+
+    def test_document_variable_binding(self, client):
+        _setup_tenant(client, "t_var")
+        status, body, _ = client.request(
+            "POST", "/tenants/t_var/execute",
+            {"query": "count($extra//item)",
+             "variables": {"extra": {"xml": "<r><item/><item/></r>"}}})
+        assert status == 200
+        assert body["items"] == [2]
+
+    def test_explain_analyze(self, client):
+        _setup_tenant(client, "t_explain")
+        status, body, _ = client.request(
+            "POST", "/tenants/t_explain/explain",
+            {"query": "count($books//book)"})
+        assert status == 200
+        assert body["analyze"] is True
+        assert "plan" in body and "operators" in body
+
+
+class TestResultCache:
+    def test_hit_and_header(self, client):
+        _setup_tenant(client, "t_cache")
+        req = {"query": "count($books//book)", "variables": {}}
+        status, body, headers = client.request(
+            "POST", "/tenants/t_cache/execute", req)
+        assert status == 200
+        assert body["cached"] is False
+        assert headers["X-Repro-Cache"] == "miss"
+        status, body, headers = client.request(
+            "POST", "/tenants/t_cache/execute", req)
+        assert body["cached"] is True
+        assert headers["X-Repro-Cache"] == "hit"
+
+    def test_reingest_invalidates(self, client):
+        _setup_tenant(client, "t_inval")
+        req = {"query": "count($books//book)"}
+        _, first, _ = client.request("POST", "/tenants/t_inval/execute", req)
+        assert first["items"] == [2]
+        _, again, _ = client.request("POST", "/tenants/t_inval/execute", req)
+        assert again["cached"] is True
+        _setup_tenant(client, "t_inval",
+                      "<bib><book><title>only</title></book></bib>")
+        _, after, _ = client.request("POST", "/tenants/t_inval/execute", req)
+        assert after["cached"] is False
+        assert after["items"] == [1]
+
+    def test_cache_opt_out(self, client):
+        _setup_tenant(client, "t_nocache")
+        req = {"query": "count($books//book)", "cache": False}
+        client.request("POST", "/tenants/t_nocache/execute", req)
+        _, body, _ = client.request("POST", "/tenants/t_nocache/execute", req)
+        assert body["cached"] is False
+
+    def test_node_constructors_not_cached(self, client):
+        _setup_tenant(client, "t_ctor")
+        req = {"query": "<wrap>{count($books//book)}</wrap>"}
+        client.request("POST", "/tenants/t_ctor/execute", req)
+        _, body, _ = client.request("POST", "/tenants/t_ctor/execute", req)
+        assert body["cached"] is False
+
+    def test_constructor_function_casts_are_cacheable(self, client):
+        # xs:decimal(...) is a cast, not a node constructor or an
+        # unknown function — it must not defeat the result cache
+        _setup_tenant(client, "t_cast")
+        req = {"query": "count($books//book[xs:decimal(price) le 30])"}
+        _, body, _ = client.request("POST", "/tenants/t_cast/execute", req)
+        assert body["cached"] is False
+        _, body, _ = client.request("POST", "/tenants/t_cast/execute", req)
+        assert body["cached"] is True
+
+    def test_variable_order_insensitive(self, client):
+        _setup_tenant(client, "t_canon")
+        q = "count($books//book[price < $a + $b])"
+        _, _, _ = client.request(
+            "POST", "/tenants/t_canon/execute",
+            {"query": q, "variables": {"a": 10, "b": 30}})
+        _, body, _ = client.request(
+            "POST", "/tenants/t_canon/execute",
+            {"query": q, "variables": {"b": 30, "a": 10}})
+        assert body["cached"] is True
+
+
+class TestTenantIsolation:
+    def test_same_names_different_content_no_plan_sharing(self):
+        # the satellite guarantee: one shared compile cache, and still
+        # two tenants binding different content under the same document
+        # name can never exchange plans or results
+        core = AppCore(ExecutionOptions(), result_cache_size=8)
+        core.ingest("alpha", "books",
+                    "<bib><book><price>1</price></book></bib>")
+        core.ingest("beta", "books",
+                    "<bib><book><price>1</price></book>"
+                    "<book><price>2</price></book></bib>")
+        query = "count($books//book)"
+        ra = core.execute_inline("alpha", query)
+        rb = core.execute_inline("beta", query)
+        assert ra["payload"]["items"] == [1]
+        assert rb["payload"]["items"] == [2]
+        alpha = core.tenants.get("alpha")
+        beta = core.tenants.get("beta")
+        assert alpha.engine.compile_cache is beta.engine.compile_cache
+        assert alpha.engine.compile(query) is not beta.engine.compile(query)
+
+    def test_result_cache_partitioned_by_tenant(self):
+        core = AppCore(ExecutionOptions(), result_cache_size=8)
+        core.ingest("one", "d", "<r><x/></r>")
+        core.ingest("two", "d", "<r><x/><x/></r>")
+        query = "count($d//x)"
+        assert core.execute_inline("one", query)["payload"]["items"] == [1]
+        assert core.execute_inline("two", query)["payload"]["items"] == [2]
+        hit = core.execute_inline("one", query)
+        assert hit["cached"] is True
+        assert hit["payload"]["items"] == [1]
+
+
+class TestErrorMapping:
+    def test_syntax_error_400(self, client):
+        _setup_tenant(client, "t_err")
+        status, body, _ = client.request(
+            "POST", "/tenants/t_err/execute", {"query": "for $x in"})
+        assert status == 400
+        assert body["error"]["code"].startswith("XPST")
+
+    def test_dynamic_error_422(self, client):
+        _setup_tenant(client, "t_err2")
+        status, body, _ = client.request(
+            "POST", "/tenants/t_err2/execute", {"query": "1 div 0"})
+        assert status == 422
+        assert body["error"]["code"] == "FOAR0001"
+
+    def test_unknown_tenant_404(self, client):
+        status, body, _ = client.request(
+            "POST", "/tenants/ghost/execute", {"query": "1"})
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_unknown_registered_query_404(self, client):
+        _setup_tenant(client, "t_err3")
+        status, _, _ = client.request(
+            "POST", "/tenants/t_err3/queries/missing", {})
+        assert status == 404
+
+    def test_bad_json_400(self, client):
+        _setup_tenant(client, "t_err4")
+        status, body, _ = client.request(
+            "POST", "/tenants/t_err4/execute", "{not json")
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_bad_registration_rejected_at_register_time(self, client):
+        status, body, _ = client.request(
+            "PUT", "/tenants/t_err5/queries/broken",
+            {"query": "((("})
+        assert status == 400
+        assert body["error"]["code"].startswith("XPST")
+
+    def test_timeout_504(self, client):
+        _setup_tenant(client, "t_slow")
+        status, body, _ = client.request(
+            "POST", "/tenants/t_slow/execute",
+            {"query": SLOW, "timeout": 0.05})
+        assert status == 504
+        assert body["error"]["code"] == "SVC0003"
+
+    def test_no_route_404(self, client):
+        status, _, _ = client.request("GET", "/nope")
+        assert status == 404
+
+
+class TestOverload:
+    def test_admission_rejects_503(self):
+        config = ServerConfig(
+            port=0, options=ExecutionOptions(max_workers=1, max_queue=0))
+        handle = start_in_thread(config)
+        try:
+            clients = [Client(handle.port) for _ in range(4)]
+            _setup_tenant(clients[0], "t_load")
+            statuses = []
+            lock = threading.Lock()
+
+            def fire(c):
+                status, _, _ = c.request(
+                    "POST", "/tenants/t_load/execute",
+                    {"query": SLOW, "cache": False})
+                with lock:
+                    statuses.append(status)
+
+            threads = [threading.Thread(target=fire, args=(c,))
+                       for c in clients]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert 503 in statuses, statuses
+            assert 200 in statuses, statuses
+        finally:
+            for c in clients:
+                c.close()
+            handle.close()
+
+
+class TestMetrics:
+    def test_shape_and_counters(self, client):
+        _setup_tenant(client, "t_metrics")
+        req = {"query": "count($books//book)"}
+        client.request("POST", "/tenants/t_metrics/execute", req)
+        client.request("POST", "/tenants/t_metrics/execute", req)
+        status, body, _ = client.request("GET", "/metrics")
+        assert status == 200
+        assert body["server"]["counters"]["requests"] >= 3
+        latency = body["server"]["latency"]["execute"]
+        assert latency["p50_ms"] is not None
+        assert latency["p99_ms"] >= latency["p50_ms"]
+        assert body["service"]["completed"] >= 1
+        caches = body["caches"]
+        assert caches["result_cache"]["hits"] >= 1
+        assert caches["compile_cache"]["misses"] >= 1
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"),
+                    reason="pre-forked mode needs os.fork")
+class TestPreforkedMode:
+    @pytest.fixture(scope="class")
+    def prefork(self):
+        handle = start_in_thread(ServerConfig(port=0, processes=2))
+        yield handle
+        handle.close()
+
+    def test_end_to_end(self, prefork):
+        client = Client(prefork.port)
+        try:
+            status, body, _ = client.request("GET", "/health")
+            assert body["mode"] == "prefork"
+            _setup_tenant(client, "t_fork")
+            status, body, _ = client.request(
+                "PUT", "/tenants/t_fork/queries/titles",
+                {"query": "$books//book/title", "variables": []})
+            assert status == 200
+            status, body, _ = client.request(
+                "POST", "/tenants/t_fork/queries/titles", {})
+            assert status == 200
+            assert body["count"] == 2
+            # the parent-side cache spans children
+            status, body, _ = client.request(
+                "POST", "/tenants/t_fork/queries/titles", {})
+            assert body["cached"] is True
+            # re-ingest broadcasts and invalidates everywhere
+            _setup_tenant(client, "t_fork",
+                          "<bib><book><title>N</title></book></bib>")
+            status, body, _ = client.request(
+                "POST", "/tenants/t_fork/queries/titles", {})
+            assert body["cached"] is False
+            assert body["items"] == [{"node": "<title>N</title>"}]
+            status, body, _ = client.request("GET", "/metrics")
+            assert body["pool"]["workers"] == 2
+            assert body["pool"]["replay_log"] >= 2
+        finally:
+            client.close()
+
+    def test_errors_cross_the_pipe(self, prefork):
+        client = Client(prefork.port)
+        try:
+            _setup_tenant(client, "t_forkerr")
+            status, body, _ = client.request(
+                "POST", "/tenants/t_forkerr/execute", {"query": "1 div 0"})
+            assert status == 422
+            assert body["error"]["code"] == "FOAR0001"
+        finally:
+            client.close()

@@ -282,6 +282,45 @@ class TestRetryingLoader:
             assert result.values() == [1]
             assert result.stats["service.loader_retries"] == 1
 
+    def test_cancel_mid_backoff_interrupts_sleep(self):
+        # regression: pre-1.5 the loader slept the whole backoff before
+        # noticing a cancel() that landed mid-sleep; the sliced sleep
+        # must surface QueryCancelled within a slice, not after the
+        # full delay
+        token = CancellationToken()
+
+        def always_transient(uri):
+            raise OSError("transient")
+
+        loader = RetryingDocumentLoader(always_transient, retries=1,
+                                        base_delay=5.0, token=token)
+        timer = threading.Timer(0.05, token.cancel, args=("client gone",))
+        timer.start()
+        started = time.monotonic()
+        try:
+            with pytest.raises(QueryCancelled):
+                loader("u")
+        finally:
+            timer.cancel()
+        elapsed = time.monotonic() - started
+        assert elapsed < 1.0, (
+            f"cancel took {elapsed:.2f}s to interrupt a 5s backoff")
+
+    def test_deadline_caps_backoff_sleep(self):
+        # a near-expired deadline must cap the backoff: the loader may
+        # not sleep past the token's remaining time
+        token = CancellationToken.with_timeout(0.08)
+
+        def always_transient(uri):
+            raise OSError("transient")
+
+        loader = RetryingDocumentLoader(always_transient, retries=3,
+                                        base_delay=10.0, token=token)
+        started = time.monotonic()
+        with pytest.raises((QueryCancelled, OSError)):
+            loader("u")
+        assert time.monotonic() - started < 1.0
+
     def test_query_errors_not_retried(self):
         calls = {"n": 0}
 
