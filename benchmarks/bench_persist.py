@@ -1,0 +1,128 @@
+"""E18: the persistent document store — cold open vs warm re-ingest.
+
+The 1.6 claims behind ``repro.catalog(path=...)``
+(:mod:`repro.storage.persist`), measured on an XMark instance:
+
+1. **warm open vs re-ingest** — opening a committed collection reads
+   the manifest and decodes the statistics section (everything the
+   planner needs to cost a query), while re-ingesting parses the XML
+   and walks the tree for statistics; the warm open must be >= 5x
+   faster (the perfsmoke gate in ``tests/test_persist.py`` holds the
+   same bar in CI);
+2. **lazy materialization** — the first query pays the token-decode +
+   ordinal-rebind cost once; repeat queries run at in-memory speed;
+3. **commit cost** — what one durable ``add`` costs at
+   ``durability="sync"`` vs ``"none"`` vs a plain in-memory add, and
+   the segment's on-disk size vs the source XML;
+4. **identical results** — the reopened catalog answers the XMark
+   probe byte-identically to the in-memory one.
+
+Run:  PYTHONPATH=src python benchmarks/bench_persist.py
+      [--scale 0.4] [--repeat 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import Engine
+from repro.catalog import DocumentCatalog
+from repro.workloads import generate_xmark
+
+PROBE = "count($auction//item[.//keyword])"
+
+
+def best_of(repeat: int, fn):
+    """Best-of-N wall time plus the last return value."""
+    best, value = float("inf"), None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--scale", type=float, default=0.4,
+                        help="XMark scale factor (default 0.4)")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="best-of-N repetitions (default 5)")
+    args = parser.parse_args()
+
+    xml = generate_xmark(scale=args.scale, seed=7)
+    print(f"XMark scale {args.scale}: {len(xml) / 1e6:.1f} MB of XML\n")
+
+    root = Path(tempfile.mkdtemp(prefix="bench-persist-"))
+    try:
+        # -- 3: commit cost -------------------------------------------------
+        t_mem, mem = best_of(args.repeat, lambda: _ingest(None, xml))
+        t_sync, _ = best_of(args.repeat,
+                            lambda: _ingest(root / "sync", xml, "sync"))
+        t_none, _ = best_of(args.repeat,
+                            lambda: _ingest(root / "none", xml, "none"))
+        seg = next((root / "sync").glob("auction-*.seg"))
+        print(f"ingest (in-memory):          {t_mem * 1000:8.1f} ms")
+        print(f"ingest + commit sync:        {t_sync * 1000:8.1f} ms")
+        print(f"ingest + commit none:        {t_none * 1000:8.1f} ms")
+        print(f"segment size: {seg.stat().st_size / 1e6:.1f} MB "
+              f"({seg.stat().st_size / len(xml.encode()):.2f}x the XML)\n")
+
+        # -- 1: warm open vs re-ingest -------------------------------------
+        # re-ingest = parse + stats walk; warm = manifest + stats decode.
+        # Both end planner-ready for the same document.
+        t_reingest, _ = best_of(
+            args.repeat,
+            lambda: DocumentCatalog().add("auction", xml).stats)
+        t_warm, _ = best_of(args.repeat, lambda: _warm_open(root / "sync"))
+        speedup = t_reingest / t_warm
+        print(f"re-ingest to planner-ready:  {t_reingest * 1000:8.1f} ms")
+        print(f"warm open to planner-ready:  {t_warm * 1000:8.1f} ms "
+              f"({speedup:.0f}x faster)\n")
+
+        # -- 2: lazy materialization + 4: identical results -----------------
+        expected = Engine(catalog=mem).compile(PROBE).execute().serialize()
+        reopened = DocumentCatalog(root / "sync")
+        engine = Engine(catalog=reopened)
+        started = time.perf_counter()
+        first = engine.compile(PROBE).execute().serialize()
+        t_first = time.perf_counter() - started
+        t_repeat, again = best_of(
+            args.repeat,
+            lambda: engine.compile(PROBE).execute().serialize())
+        identical = first == expected == again
+        print(f"first query (materializes):  {t_first * 1000:8.1f} ms")
+        print(f"repeat query (resident):     {t_repeat * 1000:8.1f} ms")
+        print(f"results identical to in-memory: {identical}\n")
+
+        ok = speedup >= 5.0 and identical
+        print(f"E18 {'PASS' if ok else 'FAIL'}: warm open {speedup:.0f}x "
+              f"faster than re-ingest (bar >= 5x), "
+              f"byte-identical results: {identical}")
+        return 0 if ok else 1
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _ingest(path, xml, durability="sync"):
+    if path is not None:
+        shutil.rmtree(path, ignore_errors=True)
+        cat = DocumentCatalog(path, durability=durability)
+    else:
+        cat = DocumentCatalog()
+    cat.add("auction", xml)
+    return cat
+
+
+def _warm_open(path):
+    cat = DocumentCatalog(path)
+    return cat["auction"].stats  # planner-ready: stats decoded, tree lazy
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -577,9 +577,58 @@ def e15_codegen() -> None:
            "vs closure", "vs batched"], rows)
 
 
+def e18_persist() -> None:
+    """Persistent store: commit cost, warm open vs re-ingest, first bind."""
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro import Engine
+    from repro.catalog import DocumentCatalog
+    from repro.workloads import generate_xmark
+
+    xml = generate_xmark(scale=2.0 if not QUICK else 0.3, seed=7)
+    root = Path(tempfile.mkdtemp(prefix="report-e18-"))
+    try:
+        def commit(durability):
+            shutil.rmtree(root / "c", ignore_errors=True)
+            DocumentCatalog(root / "c",
+                            durability=durability).add("auction", xml)
+
+        mem = timed(lambda: DocumentCatalog().add("auction", xml))
+        sync = timed(lambda: commit("sync"))
+        none = timed(lambda: commit("none"))
+        reingest = timed(lambda: DocumentCatalog().add("auction", xml).stats)
+        warm = timed(lambda: DocumentCatalog(root / "c")["auction"].stats)
+
+        reopened = DocumentCatalog(root / "c")
+        engine = Engine(catalog=reopened)
+        probe = "count($auction//item[.//keyword])"
+        t0 = time.perf_counter()
+        engine.compile(probe).execute().items()
+        first = (time.perf_counter() - t0) * 1000
+        resident = timed(lambda: engine.compile(probe).execute().items())
+
+        rows = [
+            ["ingest, in-memory", fmt(mem), ""],
+            ["ingest + commit (sync)", fmt(sync), f"{sync / mem:5.2f}x"],
+            ["ingest + commit (none)", fmt(none), f"{none / mem:5.2f}x"],
+            ["re-ingest to planner-ready", fmt(reingest), ""],
+            ["warm open to planner-ready", fmt(warm),
+             f"{reingest / warm:5.0f}x faster"],
+            ["first query (materializes)", fmt(first), ""],
+            ["repeat query (resident)", fmt(resident), ""],
+        ]
+        table(f"E18 persistent store over XMark ({len(xml) // 1024} KB)",
+              ["phase", "time", "ratio"], rows)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 EXPERIMENTS = [e0_parse, e1_streaming, e2_lazy, e3_pooling, e4_nodeids, e5_ddo,
                e6_joins, e7_rewrites, e8_storage, e9_broker, e10_xslt,
-               e11_observability, e13_access_paths, e14_batching, e15_codegen]
+               e11_observability, e13_access_paths, e14_batching, e15_codegen,
+               e18_persist]
 
 
 def main() -> None:

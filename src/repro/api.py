@@ -60,20 +60,37 @@ def configure(options: ExecutionOptions) -> Engine:
     return _default_engine
 
 
-def catalog() -> DocumentCatalog:
-    """A fresh :class:`~repro.catalog.DocumentCatalog`.
+def catalog(path=None, *, durability: str = "sync") -> DocumentCatalog:
+    """A :class:`~repro.catalog.DocumentCatalog` — in memory, or disk-backed.
 
-    Add documents, then hand the catalog to an engine::
+    With no arguments (the default), everything lives in RAM and dies
+    with the process::
 
         cat = repro.catalog()
         cat.add("books", xml_text)                 # tree store, indexed
         engine = repro.Engine(catalog=cat)
         engine.compile("$books//book[price = '55']").execute()
 
+    With ``path`` the catalog opens (or creates) a persistent
+    collection directory: every ``add`` commits the document's token
+    array, labels, indexes, and statistics to disk, and a fresh
+    process reopening the same path serves identical results without
+    re-parsing any XML::
+
+        cat = repro.catalog("collections/bib")     # durable
+        cat.add("books", xml_text)                 # committed + fsync'd
+        # ... later, any process:
+        cat = repro.catalog("collections/bib")     # warm open, lazy load
+
+    ``durability`` sets the default commit level for ``add``/``remove``
+    on a disk catalog: ``"sync"`` (fsync everything) or ``"none"``
+    (atomic rename only — faster, crash may lose the latest commit but
+    never corrupts the collection).
+
     Catalog documents bind automatically by name; indexed ones make
     eligible path steps run on posting lists instead of navigation.
     """
-    return DocumentCatalog()
+    return DocumentCatalog(path, durability=durability)
 
 
 def compile(query_text: str,  # noqa: A001 - deliberate builtin shadow at module scope

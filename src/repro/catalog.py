@@ -20,11 +20,26 @@ is: ``variables=``, ``documents=``, and the context item.
 Catalog documents are bound automatically when executing queries
 compiled by a catalog-carrying engine: ``$books`` above needs no
 explicit ``variables={"books": ...}``.
+
+**Disk mode (1.6).**  ``repro.catalog(path=...)`` opens or creates a
+*persistent* catalog: every ``add`` also commits the document — token
+array, labels, posting lists, statistics — to a segment file under
+``path`` (:mod:`repro.storage.persist`), and a fresh process reopening
+the same path sees every document without re-parsing any XML.
+Reopened documents are :class:`PersistedDocument` handles: statistics
+decode from disk for the planner immediately, trees and indexes
+materialize lazily (mmap-backed) on first bind.  ``add`` accepts
+``durability="sync"`` (fsync'd commit, the default) or ``"none"``
+(atomic rename only).  Ingest generations come from the manifest's
+durable counter, so compile-cache and server result-cache fingerprints
+stay collision-free across restarts.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
+from pathlib import Path
 from typing import Any, Iterator, Optional
 
 from repro.storage.indexes import ElementIndex, ValueIndex
@@ -34,11 +49,13 @@ from repro.xdm.nodes import DocumentNode, Node
 
 _STORE_KINDS = {"tree": TreeStore, "tokens": TokenStore, "text": TextStore}
 
-#: process-wide monotonic ingest generation.  Each ``DocumentCatalog.add``
-#: stamps the handle with the next value, so two bindings of the same
-#: name are never fingerprint-equal — unlike ``id(store)``, generations
-#: are not reused after garbage collection and do change when the *same*
-#: store object is re-registered (its contents may have mutated).
+#: process-wide monotonic ingest generation (in-memory catalogs).  Each
+#: ``DocumentCatalog.add`` stamps the handle with the next value, so two
+#: bindings of the same name are never fingerprint-equal — unlike
+#: ``id(store)``, generations are not reused after garbage collection
+#: and do change when the *same* store object is re-registered (its
+#: contents may have mutated).  Disk catalogs draw from the manifest's
+#: durable counter instead, so generations stay unique across processes.
 _GENERATION = itertools.count(1)
 
 
@@ -113,18 +130,120 @@ class StoredDocument:
         return f"StoredDocument({self.name!r}, {self.store.kind}, {flags})"
 
 
-class DocumentCatalog:
-    """Named documents behind one binding surface (see module docs)."""
+class PersistedDocument(StoredDocument):
+    """A document loaded from a disk catalog, materialized lazily.
 
-    def __init__(self) -> None:
+    Until something binds it, only the manifest entry is in memory;
+    :attr:`stats` decodes the segment's statistics section without
+    touching the tree (the planner runs pre-bind), and the first
+    :meth:`document` / index access rebuilds the tree from the token
+    section and rebinds the persisted labels and posting lists onto it
+    — never re-parsing XML.  The pinned tree registers in the owning
+    catalog's node map so compiled access paths resolve it at runtime,
+    exactly like a freshly ingested document.
+    """
+
+    __slots__ = ("_catalog", "_entry", "_lock")
+
+    def __init__(self, name: str, entry, catalog: "DocumentCatalog"):
+        from repro.storage.persist import DiskStore
+
+        self.name = name
+        self.store = DiskStore(catalog._storage, entry)
+        self.indexed = entry.indexed
+        self.generation = entry.generation
+        self._doc = None
+        self._element_index = None
+        self._value_index = None
+        self._catalog = catalog
+        self._entry = entry
+        self._lock = threading.Lock()
+
+    def _materialize(self) -> None:
+        if self._doc is not None:
+            return
+        with self._lock:
+            if self._doc is not None:
+                return
+            with self._catalog._storage.open_segment(self._entry) as reader:
+                if self.indexed:
+                    doc, element_index, value_index = \
+                        reader.materialize_indexed()
+                    self._element_index = element_index
+                    self._value_index = value_index
+                else:
+                    doc = reader.materialize_tree()
+            if self._entry.kind == "tree":
+                # mirror TreeStore: store.document() is the pinned tree
+                self.store._doc = doc
+            self._doc = doc
+            self._catalog._by_node[id(doc)] = self
+
+    def document(self) -> DocumentNode:
+        if self.indexed or self._entry.kind == "tree":
+            self._materialize()
+            return self._doc
+        # tokens/text semantics: a fresh tree per access
+        return self.store.document()
+
+    @property
+    def element_index(self) -> Optional[ElementIndex]:
+        if not self.indexed:
+            return None
+        self._materialize()
+        return self._element_index
+
+    @property
+    def value_index(self) -> Optional[ValueIndex]:
+        if not self.indexed:
+            return None
+        self._materialize()
+        return self._value_index
+
+    @property
+    def loaded(self) -> bool:
+        """Has the tree materialized yet?  (Stats don't count: they
+        decode from the segment without building nodes.)"""
+        return self._doc is not None
+
+    def __repr__(self) -> str:
+        state = "loaded" if self.loaded else "lazy"
+        return (f"PersistedDocument({self.name!r}, {self.store.kind}, "
+                f"gen {self.generation}, {state})")
+
+
+class DocumentCatalog:
+    """Named documents behind one binding surface (see module docs).
+
+    ``path=None`` (default) keeps everything in memory — the pre-1.6
+    behaviour, unchanged.  A path opens or creates a disk-backed
+    collection: existing documents load lazily, ``add``/``remove``
+    commit incrementally, and :meth:`refresh` picks up commits made by
+    another process (the pre-forked server's children attach this way).
+    """
+
+    def __init__(self, path: Optional[str | Path] = None, *,
+                 durability: str = "sync") -> None:
+        from repro.storage.persist import CatalogStorage, check_durability
+
+        self._durability = check_durability(durability)
         self._docs: dict[str, StoredDocument] = {}
         # id(document node) → handle, for the runtime index-eligibility
         # check in compiled AccessPath operators (only indexed documents
         # pin a tree, so the ids stay valid while the catalog lives)
         self._by_node: dict[int, StoredDocument] = {}
+        self._storage: Optional[CatalogStorage] = None
+        self.path: Optional[Path] = None
+        self._result_epoch = 0
+        if path is not None:
+            self._storage = CatalogStorage(path)
+            self.path = self._storage.path
+            for name, entry in self._storage.entries().items():
+                self._docs[name] = PersistedDocument(name, entry, self)
 
     def add(self, name: str, source: Any, *, store: str = "tree",
-            index: bool = True) -> StoredDocument:
+            index: bool = True,
+            durability: Optional[str] = None) -> StoredDocument:
         """Ingest ``source`` under ``name``, replacing any previous entry.
 
         - ``source``: XML text (str), :func:`repro.xml`, a
@@ -132,10 +251,17 @@ class DocumentCatalog:
         - ``store``: ``"tree"`` | ``"tokens"`` | ``"text"`` — ignored
           when ``source`` is already a store;
         - ``index``: build element/value indexes (pins a materialized
-          tree; required for index-backed access paths).
+          tree; required for index-backed access paths);
+        - ``durability``: disk catalogs only — ``"sync"`` (default)
+          fsyncs the commit, ``"none"`` writes atomically without
+          fsync.  In-memory catalogs validate and ignore it.
         """
         if not isinstance(name, str) or not name:
             raise TypeError("catalog document name must be a non-empty str")
+        if durability is not None:
+            from repro.storage.persist import check_durability
+
+            check_durability(durability)
         from repro.engine import xml as xml_wrapper
 
         if isinstance(source, BaseStore):
@@ -159,20 +285,110 @@ class DocumentCatalog:
                     f"unknown store kind {store!r}; expected one of "
                     f"{sorted(_STORE_KINDS)}") from None
             backing = store_cls(xml_text=source)
-        stored = StoredDocument(name, backing, bool(index))
         previous = self._docs.get(name)
         if previous is not None:
-            if previous._doc is not None:
-                self._by_node.pop(id(previous._doc), None)
             # re-ingest under an existing name: any cached statistics on
             # the incoming store may describe stale contents (a TextStore
             # whose .text was mutated re-parses on document(), so its
             # cached stats would silently diverge from what queries see)
             backing.invalidate_stats()
+        stored = StoredDocument(name, backing, bool(index))
+        if self._storage is not None:
+            entry = self._persist(stored,
+                                  durability or self._durability)
+            stored.generation = entry.generation
+        if previous is not None and previous._doc is not None:
+            self._by_node.pop(id(previous._doc), None)
         self._docs[name] = stored
         if stored._doc is not None:
             self._by_node[id(stored._doc)] = stored
         return stored
+
+    def _persist(self, stored: StoredDocument, durability: str):
+        """Commit a freshly ingested document to the collection
+        directory.  The hot in-memory handle keeps serving this
+        process; the segment serves every later open and attach."""
+        from repro.tokens.binary import write_binary
+        from repro.tokens.build import tokens_from_node
+
+        store = stored.store
+        doc = stored._doc
+        if isinstance(store, TokenStore):
+            tokens_blob = store.blob  # already the RTS1 wire format
+        else:
+            if doc is None:
+                doc = store.document()
+            tokens_blob = write_binary(tokens_from_node(doc), pooled=True)
+        base_uri = getattr(store, "base_uri", "")
+        if not base_uri and doc is not None:
+            base_uri = doc.base_uri
+        return self._storage.persist_document(
+            stored.name, kind=store.kind, indexed=stored.indexed,
+            tokens_blob=tokens_blob, stats=stored.stats,
+            doc=stored._doc, element_index=stored.element_index,
+            value_index=stored.value_index, base_uri=base_uri,
+            durability=durability)
+
+    def remove(self, name: str, *,
+               durability: Optional[str] = None) -> bool:
+        """Drop ``name`` from the catalog (and, in disk mode, commit
+        the removal).  Returns False when the name was absent."""
+        stored = self._docs.pop(name, None)
+        if stored is not None and stored._doc is not None:
+            self._by_node.pop(id(stored._doc), None)
+        if self._storage is not None:
+            removed = self._storage.remove_document(
+                name, durability or self._durability)
+            return stored is not None or removed
+        return stored is not None
+
+    def refresh(self) -> list[str]:
+        """Disk mode: re-read the manifest and swap in documents another
+        process committed.  Returns the names that changed (added,
+        replaced, or removed).  In-memory catalogs return ``[]``.
+
+        Unchanged generations keep their handles (and any materialized
+        trees); changed ones become lazy :class:`PersistedDocument`
+        handles again.
+        """
+        if self._storage is None:
+            return []
+        entries = self._storage.reload()
+        changed: list[str] = []
+        for name, entry in entries.items():
+            current = self._docs.get(name)
+            if current is not None and current.generation == entry.generation:
+                continue
+            if current is not None and current._doc is not None:
+                self._by_node.pop(id(current._doc), None)
+            self._docs[name] = PersistedDocument(name, entry, self)
+            changed.append(name)
+        for name in [n for n in self._docs if n not in entries]:
+            stale = self._docs.pop(name)
+            if stale._doc is not None:
+                self._by_node.pop(id(stale._doc), None)
+            changed.append(name)
+        return sorted(changed)
+
+    # -- the server result cache's durable epoch ---------------------------
+
+    @property
+    def result_epoch(self) -> int:
+        """The collection's result-cache invalidation epoch.  Disk
+        catalogs persist it in the manifest, so a restarted server can
+        never serve results cached against a previous process's
+        contents (see :mod:`repro.server.cache`)."""
+        if self._storage is not None:
+            return self._storage.result_epoch
+        return self._result_epoch
+
+    def bump_result_epoch(self) -> int:
+        if self._storage is not None:
+            return self._storage.bump_result_epoch(self._durability)
+        self._result_epoch += 1
+        return self._result_epoch
+
+    # -- lookup ------------------------------------------------------------
 
     def get(self, name: str) -> Optional[StoredDocument]:
         return self._docs.get(name)
@@ -202,4 +418,5 @@ class DocumentCatalog:
                      for name in sorted(self._docs))
 
     def __repr__(self) -> str:
-        return f"DocumentCatalog({self.names()!r})"
+        where = f", path={str(self.path)!r}" if self.path else ""
+        return f"DocumentCatalog({self.names()!r}{where})"

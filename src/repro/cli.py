@@ -124,6 +124,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help="default per-request deadline")
     parser.add_argument("--result-cache", type=int, default=None, metavar="N",
                         help="result-cache entries (0 disables)")
+    parser.add_argument("--data-dir", type=str, default=None, metavar="DIR",
+                        help="persist tenant catalogs under DIR "
+                             "(one collection directory per tenant): "
+                             "ingests commit to disk and a restarted "
+                             "server comes up warm with every document, "
+                             "without re-parsing any XML")
     parser.add_argument("--config", type=Path, default=None, metavar="FILE",
                         help="JSON ServerConfig file; command-line flags "
                              "override its fields")
@@ -154,7 +160,8 @@ def serve_main(argv: list[str]) -> int:
     option_changes: dict = {}
     for flag, name in (("max_workers", "max_workers"), ("jobs", "jobs"),
                        ("codegen", "codegen"), ("batch_size", "batch_size"),
-                       ("timeout", "default_timeout")):
+                       ("timeout", "default_timeout"),
+                       ("data_dir", "data_dir")):
         value = getattr(args, flag)
         if value is not None:
             option_changes[name] = value

@@ -75,7 +75,13 @@ class ExecutionOptions:
     - ``default_timeout`` — deadline (seconds) for requests that don't
       pass their own;
     - ``retries`` / ``retry_base_delay`` — the transient-failure retry
-      policy applied to document loaders.
+      policy applied to document loaders;
+    - ``data_dir`` — a directory for persistent tenant catalogs
+      (:mod:`repro.storage.persist`): the server opens each tenant's
+      collection at ``<data_dir>/<tenant>``, so restarts come up warm.
+      ``None`` (default) keeps catalogs in memory.  Deliberately NOT
+      part of :meth:`fingerprint` — where documents live on disk does
+      not shape a compiled plan.
     """
 
     # -- engine: plan-shaping ---------------------------------------------
@@ -93,6 +99,8 @@ class ExecutionOptions:
     default_timeout: Optional[float] = None
     retries: int = 2
     retry_base_delay: float = 0.05
+    # -- storage -----------------------------------------------------------
+    data_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.codegen not in CODEGEN_BACKENDS:
@@ -127,6 +135,10 @@ class ExecutionOptions:
             raise ValueError("retries must be >= 0")
         if self.default_timeout is not None and self.default_timeout <= 0:
             raise ValueError("default_timeout must be positive (or None)")
+        if self.data_dir is not None and not isinstance(self.data_dir, str):
+            # accept Path objects but store a str: to_dict() must stay
+            # JSON-serializable (the server's tenant-config wire format)
+            object.__setattr__(self, "data_dir", os.fspath(self.data_dir))
 
     # -- derivation --------------------------------------------------------
 
@@ -137,6 +149,8 @@ class ExecutionOptions:
         inputs (executor, base context, catalog) are keyed separately
         by the engine.  Deriving this in one place is what keeps the
         Engine / QueryService / CLI / server compile caches coherent.
+        Service-level knobs — including ``data_dir`` — stay out: where
+        a catalog lives does not change what a query compiles to.
         """
         return ("opts", self.optimize, self.static_typing, self.batch_size,
                 self.codegen, self.twig_strategy)

@@ -76,15 +76,27 @@ def canonical_variables(variables: Optional[dict]) -> str:
 
 
 class ServerResultCache:
-    """A bounded LRU of serialized responses, partitioned by tenant."""
+    """A bounded LRU of serialized responses, partitioned by tenant.
 
-    def __init__(self, capacity: int = 128):
+    ``epoch_source`` (optional) makes the per-tenant invalidation
+    epochs *durable*: epochs load from it on first use and bumps write
+    through it.  The server wires a source backed by each tenant's
+    catalog manifest when ``data_dir`` is set, so a restarted process
+    resumes at the persisted epoch instead of 0 — without this, a
+    restart could resurrect responses cached against content a previous
+    process had already replaced.
+    """
+
+    def __init__(self, capacity: int = 128, epoch_source=None):
         self._cache = LRUCache(capacity) if capacity else None
         self._lock = threading.Lock()
         #: per-tenant epoch: bumping it orphans every key the tenant
         #: had, which the LRU then ages out — O(1) invalidation without
         #: scanning the cache
         self._epochs: dict[str, int] = {}
+        #: None, or an object with ``load(tenant) -> int`` and
+        #: ``bump(tenant) -> int`` (persisting the bump)
+        self._epoch_source = epoch_source
 
     @property
     def enabled(self) -> bool:
@@ -99,7 +111,12 @@ class ServerResultCache:
         return self._cache.misses if self._cache is not None else 0
 
     def _epoch(self, tenant: str) -> int:
-        return self._epochs.get(tenant, 0)
+        epoch = self._epochs.get(tenant)
+        if epoch is None:
+            epoch = (self._epoch_source.load(tenant)
+                     if self._epoch_source is not None else 0)
+            self._epochs[tenant] = epoch
+        return epoch
 
     def key(self, tenant: str, query_text: str, options_fp: tuple,
             catalog_fp: tuple, variables: Optional[dict],
@@ -127,10 +144,20 @@ class ServerResultCache:
         with self._lock:
             self._cache.put(key, value)
 
-    def invalidate_tenant(self, tenant: str) -> None:
-        """Drop every cached response for ``tenant`` (epoch bump)."""
+    def invalidate_tenant(self, tenant: str, persist: bool = True) -> None:
+        """Drop every cached response for ``tenant`` (epoch bump).
+
+        With an epoch source, the bump writes through it so the new
+        epoch survives a restart.  ``persist=False`` bumps only this
+        process's view — read-only attachers (pre-forked children
+        picking up a parent commit) use it, since the parent already
+        persisted the bump.
+        """
         with self._lock:
-            self._epochs[tenant] = self._epochs.get(tenant, 0) + 1
+            if self._epoch_source is not None and persist:
+                self._epochs[tenant] = self._epoch_source.bump(tenant)
+            else:
+                self._epochs[tenant] = self._epoch(tenant) + 1
 
     def stats(self) -> dict[str, int]:
         if self._cache is None:

@@ -244,13 +244,21 @@ class XQueryServer:
         text = body.decode("utf-8")
         store = query.get("store", "tree")
         index = query.get("index", "1") not in ("0", "false", "no")
-        info = self.core.ingest(tenant, doc, text, store=store, index=index)
+        durability = query.get("durability")
+        info = self.core.ingest(tenant, doc, text, store=store, index=index,
+                                durability=durability)
         if self.pool is not None:
-            # replay=True: a respawned child re-ingests on its own
+            if self.core.options.data_dir:
+                # the parent committed the document to disk above;
+                # children just re-read the manifest and mmap the same
+                # segment — no XML crosses the pipe, and a respawned
+                # child replays cheap attaches, not full re-parses
+                command = ("attach", tenant)
+            else:
+                # replay=True: a respawned child re-ingests on its own
+                command = ("ingest", tenant, doc, text, store, index)
             await asyncio.get_running_loop().run_in_executor(
-                None, lambda: self.pool.broadcast(
-                    ("ingest", tenant, doc, text, store, index),
-                    replay=True))
+                None, lambda: self.pool.broadcast(command, replay=True))
         return 200, info, "application/json", {}
 
     async def _register(self, tenant: str, name: str, body: bytes):

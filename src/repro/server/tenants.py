@@ -21,7 +21,9 @@ dicts.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Any, Optional
+from urllib.parse import quote, unquote
 
 from repro.catalog import DocumentCatalog
 from repro.engine import Engine, Result, xml as xml_wrapper
@@ -70,12 +72,23 @@ class RegisteredQuery:
 
 
 class Tenant:
-    """One tenant's catalog, engine, and registered queries."""
+    """One tenant's catalog, engine, and registered queries.
+
+    With ``data_dir`` set, the catalog is disk-backed at
+    ``<data_dir>/<tenant>`` (the tenant name percent-encoded so any
+    name is a safe directory) — documents persist across restarts and
+    pre-forked children attach to the same files read-only.
+    """
 
     def __init__(self, name: str, options: ExecutionOptions,
-                 compile_cache: Optional[LRUCache]):
+                 compile_cache: Optional[LRUCache],
+                 data_dir: Optional[str] = None):
         self.name = name
-        self.catalog = DocumentCatalog()
+        if data_dir:
+            self.catalog = DocumentCatalog(
+                Path(data_dir) / quote(name, safe=""))
+        else:
+            self.catalog = DocumentCatalog()
         self.engine = Engine(options=options, catalog=self.catalog,
                              compile_cache=compile_cache)
         self.queries: dict[str, RegisteredQuery] = {}
@@ -85,9 +98,11 @@ class TenantRegistry:
     """Name → :class:`Tenant`, created on first ingest/register."""
 
     def __init__(self, options: ExecutionOptions,
-                 compile_cache: Optional[LRUCache]):
+                 compile_cache: Optional[LRUCache],
+                 data_dir: Optional[str] = None):
         self._options = options
         self._compile_cache = compile_cache
+        self._data_dir = data_dir
         self._tenants: dict[str, Tenant] = {}
 
     def get_or_create(self, name: str) -> Tenant:
@@ -96,7 +111,7 @@ class TenantRegistry:
         tenant = self._tenants.get(name)
         if tenant is None:
             tenant = self._tenants[name] = Tenant(
-                name, self._options, self._compile_cache)
+                name, self._options, self._compile_cache, self._data_dir)
         return tenant
 
     def get(self, name: str) -> Tenant:
@@ -105,8 +120,36 @@ class TenantRegistry:
             raise ApiError(404, "not_found", f"unknown tenant {name!r}")
         return tenant
 
+    def peek(self, name: str) -> Optional[Tenant]:
+        """The tenant if it exists, else None (no creation, no error)."""
+        return self._tenants.get(name)
+
     def names(self) -> list[str]:
         return sorted(self._tenants)
+
+
+class CatalogEpochSource:
+    """Durable result-cache epochs, read from / written to each
+    tenant's catalog manifest (see :mod:`repro.storage.persist`).
+
+    Wired into :class:`~repro.server.cache.ServerResultCache` only when
+    ``data_dir`` is set — it is what makes the stale-after-restart
+    cache bug impossible: the epoch a previous process bumped is the
+    epoch this process starts from.
+    """
+
+    def __init__(self, registry: TenantRegistry):
+        self._registry = registry
+
+    def load(self, tenant: str) -> int:
+        found = self._registry.peek(tenant)
+        return found.catalog.result_epoch if found is not None else 0
+
+    def bump(self, tenant: str) -> int:
+        found = self._registry.peek(tenant)
+        if found is None:
+            return 1
+        return found.catalog.bump_result_epoch()
 
 
 def convert_variables(variables: Optional[dict]) -> dict[str, Any]:
@@ -187,17 +230,36 @@ class AppCore:
         #: catalog fingerprint keeps tenants' plans apart
         self.compile_cache = LRUCache(options.compile_cache_size) \
             if options.compile_cache_size else None
-        self.tenants = TenantRegistry(options, self.compile_cache)
-        self.result_cache = ServerResultCache(result_cache_size)
+        self.tenants = TenantRegistry(options, self.compile_cache,
+                                      options.data_dir)
+        epoch_source = CatalogEpochSource(self.tenants) \
+            if options.data_dir else None
+        self.result_cache = ServerResultCache(result_cache_size,
+                                              epoch_source)
+        if options.data_dir:
+            self._open_existing_tenants(options.data_dir)
+
+    def _open_existing_tenants(self, data_dir: str) -> None:
+        """Warm restart: every collection directory under ``data_dir``
+        becomes a live tenant whose documents load lazily from disk.
+        Registered queries are transient by design — clients re-PUT
+        them (they are code, not data)."""
+        root = Path(data_dir)
+        if not root.is_dir():
+            return
+        for child in sorted(root.iterdir()):
+            if (child / "manifest.json").is_file():
+                self.tenants.get_or_create(unquote(child.name))
 
     # -- state mutation (replayed in pool mode) ---------------------------
 
     def ingest(self, tenant_name: str, doc_name: str, xml_text: str,
-               store: str = "tree", index: bool = True) -> dict:
+               store: str = "tree", index: bool = True,
+               durability: Optional[str] = None) -> dict:
         tenant = self.tenants.get_or_create(tenant_name)
         try:
             stored = tenant.catalog.add(doc_name, xml_text, store=store,
-                                        index=index)
+                                        index=index, durability=durability)
         except (TypeError, ValueError) as exc:
             raise ApiError(400, "bad_request", str(exc)) from exc
         # every cached response for this tenant may now be stale
@@ -205,6 +267,19 @@ class AppCore:
         return {"tenant": tenant_name, "document": doc_name,
                 "store": stored.store.kind, "indexed": stored.indexed,
                 "generation": stored.generation}
+
+    def attach(self, tenant_name: str) -> dict:
+        """Pick up another process's commits: re-read the tenant's
+        manifest and swap changed documents in (read-only — nothing is
+        written).  This is what pool children run instead of replaying
+        ingest XML when ``data_dir`` is set: the parent commits once,
+        every child attaches to the same segment files."""
+        tenant = self.tenants.get_or_create(tenant_name)
+        changed = tenant.catalog.refresh()
+        # local bump only: the parent persisted the epoch when it
+        # ingested; a read-only attacher must not write the manifest
+        self.result_cache.invalidate_tenant(tenant_name, persist=False)
+        return {"tenant": tenant_name, "changed": changed}
 
     def register(self, tenant_name: str, query_name: str, query_text: str,
                  variables: tuple[str, ...] = ()) -> dict:
@@ -344,6 +419,9 @@ class AppCore:
                 return {"status": 200,
                         "payload": self.ingest(tenant, doc, text,
                                                store=store, index=index)}
+            if kind == "attach":
+                _, tenant = command
+                return {"status": 200, "payload": self.attach(tenant)}
             if kind == "register":
                 _, tenant, name, text, variables = command
                 return {"status": 200,

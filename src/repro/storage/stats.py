@@ -119,6 +119,36 @@ class DocumentStats:
                 for (a, d), n in sorted(self.parents_with_desc.items())},
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "DocumentStats":
+        """Rebuild from :meth:`to_dict` output (the persisted ``STAT``
+        segment section) — the planner costs a reopened catalog's
+        documents from this, without touching any tree."""
+        def pairs(table: dict, sep: str) -> dict[tuple[str, str], int]:
+            # NCNames cannot contain "/", so the separator is unambiguous
+            out = {}
+            for key, n in table.items():
+                left, _, right = key.partition(sep)
+                out[(left, right)] = n
+            return out
+
+        return cls(
+            total_nodes=data["total_nodes"],
+            total_elements=data["total_elements"],
+            max_depth=data["max_depth"],
+            max_fanout=data["max_fanout"],
+            has_namespaces=data["has_namespaces"],
+            root_name=data["root_name"],
+            element_counts=dict(data["element_counts"]),
+            value_counts=dict(data["value_counts"]),
+            distinct_values=dict(data["distinct_values"]),
+            leaf_only_names=frozenset(data["leaf_only_names"]),
+            child_pairs=pairs(data["child_pairs"], "/"),
+            parents_with_child=pairs(data["parents_with_child"], "/"),
+            desc_pairs=pairs(data["desc_pairs"], "//"),
+            parents_with_desc=pairs(data["parents_with_desc"], "//"),
+        )
+
 
 def collect_stats(doc: DocumentNode) -> DocumentStats:
     """Collect :class:`DocumentStats` in a single pre-order walk.

@@ -31,9 +31,22 @@ from repro.xdm.nodes import DocumentNode
 from repro.xmlio.parser import parse_events
 
 
-def _positional_shim(cls_name: str, args: tuple, names: tuple[str, ...],
-                     provided: dict) -> dict:
-    """Map legacy positional store arguments onto keywords, warning once."""
+#: the keyword defaults every store constructor shares — the single
+#: source the legacy shim uses to tell "explicitly passed" from default
+_INIT_DEFAULTS = {"xml_text": None, "base_uri": "", "pooled": True}
+
+
+def _init_kwargs(cls_name: str, args: tuple, names: tuple[str, ...],
+                 **values) -> dict:
+    """The consolidated 1.2 constructor shim, one call per store.
+
+    Maps legacy positional arguments onto the keyword surface (warning
+    once per call site), merges them with keywords actually passed, and
+    returns the final keyword values.  With no positional arguments it
+    is a pass-through.
+    """
+    if not args:
+        return values
     if len(args) > len(names):
         raise TypeError(
             f"{cls_name}() takes at most {len(names)} positional arguments "
@@ -42,11 +55,14 @@ def _positional_shim(cls_name: str, args: tuple, names: tuple[str, ...],
         f"positional arguments to {cls_name}() are deprecated since 1.2; "
         f"use keywords, e.g. {cls_name}(xml_text=...)",
         DeprecationWarning, stacklevel=3)
-    out = dict(provided)
+    out = {name: value for name, value in values.items()
+           if value != _INIT_DEFAULTS[name]}
     for name, value in zip(names, args):
         if name in out:
             raise TypeError(f"{cls_name}() got multiple values for argument {name!r}")
         out[name] = value
+    for name in names:
+        out.setdefault(name, _INIT_DEFAULTS[name])
     return out
 
 
@@ -86,17 +102,12 @@ class TextStore(BaseStore):
     kind = "text"
 
     def __init__(self, *args, xml_text: Optional[str] = None, base_uri: str = ""):
-        if args:
-            provided = {"base_uri": base_uri} if base_uri else {}
-            if xml_text is not None:
-                provided["xml_text"] = xml_text
-            kw = _positional_shim("TextStore", args, ("xml_text", "base_uri"), provided)
-            xml_text = kw.get("xml_text")
-            base_uri = kw.get("base_uri", "")
-        if xml_text is None:
+        kw = _init_kwargs("TextStore", args, ("xml_text", "base_uri"),
+                          xml_text=xml_text, base_uri=base_uri)
+        if kw["xml_text"] is None:
             raise TypeError("TextStore() missing required argument: 'xml_text'")
-        self.text = xml_text
-        self.base_uri = base_uri
+        self.text = kw["xml_text"]
+        self.base_uri = kw["base_uri"]
 
     def document(self) -> DocumentNode:
         return parse_document(self.text, self.base_uri)
@@ -111,16 +122,11 @@ class TreeStore(BaseStore):
     kind = "tree"
 
     def __init__(self, *args, xml_text: Optional[str] = None, base_uri: str = ""):
-        if args:
-            provided = {"base_uri": base_uri} if base_uri else {}
-            if xml_text is not None:
-                provided["xml_text"] = xml_text
-            kw = _positional_shim("TreeStore", args, ("xml_text", "base_uri"), provided)
-            xml_text = kw.get("xml_text")
-            base_uri = kw.get("base_uri", "")
-        if xml_text is None:
+        kw = _init_kwargs("TreeStore", args, ("xml_text", "base_uri"),
+                          xml_text=xml_text, base_uri=base_uri)
+        if kw["xml_text"] is None:
             raise TypeError("TreeStore() missing required argument: 'xml_text'")
-        self._doc = parse_document(xml_text, base_uri)
+        self._doc = parse_document(kw["xml_text"], kw["base_uri"])
         self._element_index: Optional[ElementIndex] = None
         self._value_index: Optional[ValueIndex] = None
 
@@ -160,22 +166,14 @@ class TokenStore(BaseStore):
 
     def __init__(self, *args, xml_text: Optional[str] = None, base_uri: str = "",
                  pooled: bool = True):
-        if args:
-            provided = {"pooled": pooled} if pooled is not True else {}
-            if base_uri:
-                provided["base_uri"] = base_uri
-            if xml_text is not None:
-                provided["xml_text"] = xml_text
-            kw = _positional_shim("TokenStore", args,
-                                  ("xml_text", "base_uri", "pooled"), provided)
-            xml_text = kw.get("xml_text")
-            base_uri = kw.get("base_uri", "")
-            pooled = kw.get("pooled", True)
-        if xml_text is None:
+        kw = _init_kwargs("TokenStore", args, ("xml_text", "base_uri", "pooled"),
+                          xml_text=xml_text, base_uri=base_uri, pooled=pooled)
+        if kw["xml_text"] is None:
             raise TypeError("TokenStore() missing required argument: 'xml_text'")
-        events = parse_events(xml_text, base_uri)
-        self.blob = write_binary(tokens_from_events(events), pooled=pooled)
-        self.base_uri = base_uri
+        events = parse_events(kw["xml_text"], kw["base_uri"])
+        self.blob = write_binary(tokens_from_events(events),
+                                 pooled=kw["pooled"])
+        self.base_uri = kw["base_uri"]
 
     def tokens(self) -> Iterator[Token]:
         """Stream the stored tokens (lazy decode)."""

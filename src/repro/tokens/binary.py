@@ -174,7 +174,9 @@ class _Reader:
         end = self.pos + length
         if end > len(self.data):
             raise StorageError("truncated string")
-        text = self.data[self.pos: end].decode("utf-8")
+        # bytes() tolerates memoryview/mmap inputs (the persistence
+        # layer decodes token sections straight out of a mapped segment)
+        text = bytes(self.data[self.pos: end]).decode("utf-8")
         self.pos = end
         return text
 
@@ -204,10 +206,12 @@ class _Reader:
         return None
 
 
-def read_binary(data: bytes,
+def read_binary(data,
                 type_registry: T.TypeRegistry | None = None) -> Iterator[Token]:
     """Decode the binary format back into tokens, lazily.
 
+    ``data`` is any bytes-like object — ``bytes``, ``bytearray``, or a
+    ``memoryview`` over an mmap'd segment file (zero-copy decode).
     ``type_registry`` resolves ATOMIC token types; defaults to the
     built-in types.
     """

@@ -16,6 +16,30 @@ from repro.xdm.build import parse_document
 #: compile-to-source backend instead of closure interpretation
 _CODEGEN = os.environ.get("REPRO_TEST_CODEGEN", "closure")
 
+#: the CI matrix's storage leg: REPRO_TEST_STORE=disk makes every
+#: catalog created without a path disk-backed (a fresh temp collection
+#: per catalog), so the catalog/access-path/twig suites exercise the
+#: persistent commit path of repro.storage.persist end to end
+if os.environ.get("REPRO_TEST_STORE") == "disk":
+    import atexit
+    import shutil
+    import tempfile
+
+    import repro
+    import repro.api
+    from repro.catalog import DocumentCatalog
+
+    _DISK_ROOT = tempfile.mkdtemp(prefix="repro-test-store-")
+    atexit.register(shutil.rmtree, _DISK_ROOT, True)
+    _counter = iter(range(10**9))
+
+    def _disk_catalog(path=None, *, durability="sync"):
+        if path is None:
+            path = os.path.join(_DISK_ROOT, f"cat{next(_counter)}")
+        return DocumentCatalog(path, durability=durability)
+
+    repro.catalog = repro.api.catalog = _disk_catalog
+
 BIB_XML = """<bib>
   <book year="1967">
     <title>The politics of experience</title>

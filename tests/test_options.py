@@ -75,6 +75,23 @@ class TestSerialization:
                       default_timeout=3.0, jobs=4)
         assert a.fingerprint() == b.fingerprint()
 
+    def test_fingerprint_ignores_data_dir(self):
+        # regression: where documents live on disk must not key the
+        # compile cache — a plan is identical whether its catalog is
+        # in memory or persistent, and fingerprinting the path would
+        # wrongly split (or worse, alias) cache entries across restarts
+        a = ExecutionOptions()
+        b = a.replace(data_dir="/var/lib/repro")
+        assert a.fingerprint() == b.fingerprint()
+        assert "data_dir" not in str(a.fingerprint())
+
+    def test_data_dir_round_trips_and_coerces_paths(self):
+        from pathlib import Path
+
+        opts = ExecutionOptions(data_dir=Path("/tmp/collections"))
+        assert opts.data_dir == "/tmp/collections"  # str: JSON-safe
+        assert ExecutionOptions.from_dict(opts.to_dict()) == opts
+
 
 class TestEngineIntegration:
     def test_engine_accepts_options(self):

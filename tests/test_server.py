@@ -383,3 +383,110 @@ class TestPreforkedMode:
             assert body["error"]["code"] == "FOAR0001"
         finally:
             client.close()
+
+
+class TestPersistentServer:
+    """``--data-dir``: durable tenants, warm restarts, prefork attach."""
+
+    def _config(self, data_dir, **kw):
+        return ServerConfig(
+            port=0, options=ExecutionOptions(data_dir=str(data_dir)), **kw)
+
+    def test_restart_comes_up_warm(self, tmp_path):
+        handle = start_in_thread(self._config(tmp_path))
+        client = Client(handle.port)
+        try:
+            _setup_tenant(client, "t_warm")
+            status, body, _ = client.request(
+                "POST", "/tenants/t_warm/execute",
+                {"query": "count($books//book)"})
+            assert status == 200 and body["items"] == [2]
+        finally:
+            client.close()
+            handle.close()
+
+        # a brand-new server process over the same directory: the
+        # tenant and its documents are there without any re-ingest
+        handle = start_in_thread(self._config(tmp_path))
+        client = Client(handle.port)
+        try:
+            status, body, _ = client.request("GET", "/tenants")
+            assert "t_warm" in body["tenants"]
+            status, body, _ = client.request(
+                "POST", "/tenants/t_warm/execute",
+                {"query": "$books//book[price = '55']/title"})
+            assert status == 200
+            assert body["items"] == [{"node": "<title>T1</title>"}]
+        finally:
+            client.close()
+            handle.close()
+
+    def test_restart_does_not_serve_stale_cached_results(self, tmp_path):
+        """The 1.6 bugfix: the result-cache epoch persists with the
+        catalog, so a restarted server re-ingesting different content
+        can never replay a previous process's cached response."""
+        query = {"query": "count($books//book)"}
+        handle = start_in_thread(self._config(tmp_path))
+        client = Client(handle.port)
+        try:
+            _setup_tenant(client, "t_epoch")
+            status, body, _ = client.request(
+                "POST", "/tenants/t_epoch/execute", query)
+            assert body["items"] == [2]
+            status, body, _ = client.request(
+                "POST", "/tenants/t_epoch/execute", query)
+            assert body["cached"] is True  # primed
+        finally:
+            client.close()
+            handle.close()
+
+        handle = start_in_thread(self._config(tmp_path))
+        client = Client(handle.port)
+        try:
+            _setup_tenant(client, "t_epoch",
+                          "<bib><book><title>only</title></book></bib>")
+            status, body, _ = client.request(
+                "POST", "/tenants/t_epoch/execute", query)
+            assert body["cached"] is False
+            assert body["items"] == [1]  # the new content, not a replay
+        finally:
+            client.close()
+            handle.close()
+
+    def test_prefork_children_attach_not_replay(self, tmp_path):
+        handle = start_in_thread(self._config(tmp_path, processes=2))
+        client = Client(handle.port)
+        try:
+            _setup_tenant(client, "t_attach")
+            # the replay log carries ("attach", tenant) commands — no
+            # XML crosses the pipe in disk mode
+            core = handle.server.core
+            assert core.options.data_dir == str(tmp_path)
+            for _ in range(3):
+                status, body, _ = client.request(
+                    "POST", "/tenants/t_attach/execute",
+                    {"query": "$books//book[price = '55']/title",
+                     "cache": False})
+                assert status == 200
+                assert body["items"] == [{"node": "<title>T1</title>"}]
+            replay = handle.server.pool.stats()["replay_log"]
+            assert replay >= 1
+        finally:
+            client.close()
+            handle.close()
+
+    def test_attach_command_refreshes_a_child_core(self, tmp_path):
+        # AppCore-level: a second core over the same directory plays
+        # the reader role a pre-forked child has
+        opts = ExecutionOptions(data_dir=str(tmp_path))
+        writer = AppCore(opts)
+        writer.ingest("t", "books", BOOKS)
+        reader = AppCore(opts)
+        out = reader.execute_inline("t", "count($books//book)")
+        assert out["status"] == 200 and out["payload"]["items"] == [2]
+        writer.ingest("t", "books", "<bib><book/></bib>")
+        reply = reader.handle(("attach", "t"))
+        assert reply["status"] == 200
+        assert reply["payload"]["changed"] == ["books"]
+        out = reader.execute_inline("t", "count($books//book)")
+        assert out["payload"]["items"] == [1]
