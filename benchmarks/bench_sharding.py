@@ -1,0 +1,125 @@
+"""E19 — sharded scatter-gather over persisted collections.
+
+Claim: collection queries whose work is per-document-independent
+scale with the pre-forked worker pool — the router scatters one
+compiled query per shard and merges in document order, so wall time
+approaches single-worker time divided by min(shards, cores).
+
+Series reported: a compute-heavy collection aggregate at 1 (scatter
+disabled), 2, 4, and 8 workers, plus the router's merge time and the
+per-request scatter overhead on an ineligible (fallback) query.
+Shape target: near-linear scaling up to the machine's core count;
+parity (bounded overhead) beyond it and on single-core hosts.
+"""
+
+import json
+import http.client
+import os
+
+import pytest
+
+from repro import ExecutionOptions
+from repro.server import ServerConfig, start_in_thread
+
+DOCS = {f"d{i}": "<r>" + "".join(f"<n>{j}</n>" for j in range(2500))
+        + "</r>" for i in range(8)}
+QUERY = "count(collection()//n[(. * 7) mod 11 = 3 and . + 1 > 0])"
+EXPECTED = sum(1 for j in range(2500) if (j * 7) % 11 == 3) * len(DOCS)
+FALLBACK = "(collection()//n)[5]"
+
+
+def _request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    data = body if isinstance(body, (bytes, str, type(None))) \
+        else json.dumps(body)
+    conn.request(method, path, body=data)
+    resp = conn.getresponse()
+    raw = resp.read()
+    conn.close()
+    return resp.status, json.loads(raw) if raw.startswith(b"{") else raw
+
+
+def _server(tmp_path, workers, shards, tag):
+    options = ExecutionOptions(
+        data_dir=str(tmp_path / f"e19-{tag}"), shards=shards)
+    handle = start_in_thread(ServerConfig(port=0, processes=workers,
+                                          options=options))
+    for name, xml in sorted(DOCS.items()):
+        status, _ = _request(handle.port, "PUT",
+                             f"/tenants/t/documents/{name}", xml)
+        assert status == 200
+    # warm every child's materialized documents before timing
+    _request(handle.port, "POST", "/tenants/t/execute",
+             {"query": QUERY, "cache": False})
+    return handle
+
+
+def _bench_workers(benchmark, tmp_path, workers, shards, tag):
+    handle = _server(tmp_path, workers, shards, tag)
+    try:
+        def run():
+            status, body = _request(handle.port, "POST",
+                                    "/tenants/t/execute",
+                                    {"query": QUERY, "cache": False})
+            assert status == 200 and body["items"] == [EXPECTED], body
+        benchmark.extra_info["cores"] = os.cpu_count()
+        benchmark(run)
+        status, metrics = _request(handle.port, "GET", "/metrics")
+        benchmark.extra_info["sharding"] = metrics.get("sharding")
+    finally:
+        handle.close()
+
+
+def test_scan_single_worker(benchmark, tmp_path):
+    benchmark.group = "E19 collection aggregate"
+    _bench_workers(benchmark, tmp_path, 4, 0, "w0")
+
+
+def test_scan_2_shards(benchmark, tmp_path):
+    benchmark.group = "E19 collection aggregate"
+    _bench_workers(benchmark, tmp_path, 2, None, "w2")
+
+
+def test_scan_4_shards(benchmark, tmp_path):
+    benchmark.group = "E19 collection aggregate"
+    _bench_workers(benchmark, tmp_path, 4, None, "w4")
+
+
+def test_scan_8_shards(benchmark, tmp_path):
+    benchmark.group = "E19 collection aggregate"
+    _bench_workers(benchmark, tmp_path, 8, None, "w8")
+
+
+def test_fallback_overhead(benchmark, tmp_path):
+    """An ineligible query through a scatter-enabled server: the
+    eligibility check must cost ~nothing next to execution."""
+    benchmark.group = "E19 fallback overhead"
+    handle = _server(tmp_path, 4, None, "fb")
+    try:
+        def run():
+            status, body = _request(handle.port, "POST",
+                                    "/tenants/t/execute",
+                                    {"query": FALLBACK, "cache": False})
+            assert status == 200, body
+        benchmark(run)
+        status, metrics = _request(handle.port, "GET", "/metrics")
+        assert metrics["sharding"]["fallback_single"] > 0
+    finally:
+        handle.close()
+
+
+def test_merge_preserves_order(tmp_path):
+    """Not a timing: the scattered scan returns the same sequence as
+    the single-worker path (the E19 correctness gate)."""
+    sharded = _server(tmp_path, 4, None, "chk-s")
+    single = _server(tmp_path, 4, 0, "chk-0")
+    try:
+        body = {"query": "collection()//n[. mod 997 = 1]/text()",
+                "cache": False}
+        _, a = _request(sharded.port, "POST", "/tenants/t/execute", body)
+        _, b = _request(single.port, "POST", "/tenants/t/execute", body)
+        assert a["items"] == b["items"]
+        assert a["count"] == b["count"]
+    finally:
+        sharded.close()
+        single.close()

@@ -625,10 +625,73 @@ def e18_persist() -> None:
         shutil.rmtree(root, ignore_errors=True)
 
 
+def e19_sharding() -> None:
+    import json
+    import http.client
+    import os
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro import ExecutionOptions
+    from repro.server import ServerConfig, start_in_thread
+
+    n_values = 800 if QUICK else 2500
+    docs = {f"d{i}": "<r>" + "".join(f"<n>{j}</n>"
+                                     for j in range(n_values)) + "</r>"
+            for i in range(8)}
+    query = "count(collection()//n[(. * 7) mod 11 = 3 and . + 1 > 0])"
+    root = Path(tempfile.mkdtemp(prefix="report-e19-"))
+
+    def request(port, method, path, body=None):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        data = body if isinstance(body, (bytes, str, type(None))) \
+            else json.dumps(body)
+        conn.request(method, path, body=data)
+        resp = conn.getresponse()
+        raw = resp.read()
+        conn.close()
+        return resp.status, json.loads(raw) if raw.startswith(b"{") else raw
+
+    def measure(workers, shards, tag):
+        options = ExecutionOptions(data_dir=str(root / tag), shards=shards)
+        handle = start_in_thread(ServerConfig(port=0, processes=workers,
+                                              options=options))
+        try:
+            for name, xml in sorted(docs.items()):
+                request(handle.port, "PUT",
+                        f"/tenants/t/documents/{name}", xml)
+            body = {"query": query, "cache": False}
+            request(handle.port, "POST", "/tenants/t/execute", body)  # warm
+            ms = timed(lambda: request(handle.port, "POST",
+                                       "/tenants/t/execute", body))
+            _, metrics = request(handle.port, "GET", "/metrics")
+            sharding = metrics.get("sharding") or {}
+            return ms, sharding
+        finally:
+            handle.close()
+
+    try:
+        base, _ = measure(4, 0, "w0")
+        rows = [["1 (scatter off)", fmt(base), "1.00x", ""]]
+        for workers in (2, 4, 8):
+            ms, sharding = measure(workers, None, f"w{workers}")
+            merge = sharding.get("merge_ms_total", 0)
+            scattered = max(1, sharding.get("scattered", 1))
+            rows.append([f"{workers} shards", fmt(ms),
+                         f"{base / ms:4.2f}x",
+                         f"{merge / scattered:6.2f} ms/merge"])
+        table(f"E19 sharded scatter-gather, 8-document collection "
+              f"({os.cpu_count()} cores)",
+              ["workers", "time", "speedup", "merge"], rows)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 EXPERIMENTS = [e0_parse, e1_streaming, e2_lazy, e3_pooling, e4_nodeids, e5_ddo,
                e6_joins, e7_rewrites, e8_storage, e9_broker, e10_xslt,
                e11_observability, e13_access_paths, e14_batching, e15_codegen,
-               e18_persist]
+               e18_persist, e19_sharding]
 
 
 def main() -> None:

@@ -165,14 +165,36 @@ class PersistedDocument(StoredDocument):
         with self._lock:
             if self._doc is not None:
                 return
-            with self._catalog._storage.open_segment(self._entry) as reader:
-                if self.indexed:
-                    doc, element_index, value_index = \
-                        reader.materialize_indexed()
-                    self._element_index = element_index
-                    self._value_index = value_index
-                else:
-                    doc = reader.materialize_tree()
+            from repro.storage.persist import StorageError
+
+            storage = self._catalog._storage
+            for attempt in range(3):
+                try:
+                    with storage.open_segment(self._entry) as reader:
+                        if self.indexed:
+                            doc, element_index, value_index = \
+                                reader.materialize_indexed()
+                            self._element_index = element_index
+                            self._value_index = value_index
+                        else:
+                            doc = reader.materialize_tree()
+                    break
+                except (OSError, StorageError):
+                    # the writer re-ingested this name and unlinked our
+                    # segment after committing the new manifest: adopt
+                    # the fresh entry and retry (readers racing a
+                    # concurrent add() land here instead of failing)
+                    fresh = storage.reload().get(self.name)
+                    if fresh is None or \
+                            fresh.generation == self._entry.generation or \
+                            attempt == 2:
+                        raise
+                    self._entry = fresh
+                    self.indexed = fresh.indexed
+                    self.generation = fresh.generation
+                    from repro.storage.persist import DiskStore
+
+                    self.store = DiskStore(storage, fresh)
             if self._entry.kind == "tree":
                 # mirror TreeStore: store.document() is the pinned tree
                 self.store._doc = doc
@@ -369,6 +391,50 @@ class DocumentCatalog:
                 self._by_node.pop(id(stale._doc), None)
             changed.append(name)
         return sorted(changed)
+
+    # -- scatter-gather shard ownership -------------------------------------
+
+    def shard_map(self, shards: int, *, persist: bool = True) -> dict[str, int]:
+        """Deterministic size-balanced document → shard assignment.
+
+        A persisted assignment (disk catalogs store it in the manifest)
+        is reused verbatim while it still covers exactly this document
+        set at this shard count — shard ownership surviving restarts is
+        what keeps a document landing on the worker that already has
+        its segment materialized.  Otherwise the assignment is
+        recomputed by longest-processing-time bin packing: documents
+        sorted by descending weight (segment bytes on disk, total node
+        count in memory; name breaks ties) each go to the least-loaded
+        shard.  Deterministic by construction — every process computes
+        the identical map from the identical manifest.
+        """
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        names = self.names()
+        if self._storage is not None:
+            stored = self._storage.shard_map()
+            if stored is not None and stored["shards"] == shards \
+                    and set(stored["assignment"]) == set(names) \
+                    and all(0 <= sid < shards
+                            for sid in stored["assignment"].values()):
+                return stored["assignment"]
+        weighted = []
+        for name in names:
+            doc = self._docs[name]
+            entry = getattr(doc, "_entry", None)
+            weight = entry.size if entry is not None \
+                else doc.stats.total_nodes
+            weighted.append((-weight, name))
+        loads = [0] * shards
+        assignment: dict[str, int] = {}
+        for neg_weight, name in sorted(weighted):
+            sid = min(range(shards), key=lambda s: (loads[s], s))
+            assignment[name] = sid
+            loads[sid] += -neg_weight
+        if persist and self._storage is not None:
+            self._storage.store_shard_map(shards, assignment,
+                                          self._durability)
+        return assignment
 
     # -- the server result cache's durable epoch ---------------------------
 

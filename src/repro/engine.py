@@ -133,7 +133,7 @@ class CompiledQuery:
     def __init__(self, module: ast.Module, core: ast.Expr, optimized: ast.Expr,
                  static_ctx: StaticContext, plan, static_type=None,
                  plan_tree=None, catalog_bindings=None,
-                 generated_source=None):
+                 generated_source=None, catalog_collection=None):
         self.module = module
         #: core expression tree straight out of normalization
         self.core = core
@@ -152,6 +152,14 @@ class CompiledQuery:
         #: the Python text the compile-to-source backend emitted for
         #: this query (None under the closure/batched backends)
         self.generated_source = generated_source
+        #: the *default collection* this query reads (it contains a
+        #: no-argument ``fn:collection()`` call and the engine has a
+        #: catalog): sorted-name ``[(name, StoredDocument), ...]``,
+        #: bound automatically at execute unless the caller registers
+        #: uri ``""`` explicitly.  None when the query never touches
+        #: the default collection.  The scatter-gather router keys its
+        #: shard planning off this attribute.
+        self.catalog_collection = catalog_collection
 
     #: legacy positional parameter order of :meth:`execute` (pre-1.1),
     #: kept so old positional calls keep working behind a warning
@@ -223,6 +231,18 @@ class CompiledQuery:
         if collections:
             for uri, nodes in collections.items():
                 dctx.register_collection(uri, nodes)
+        if self.catalog_collection is not None \
+                and (not collections or "" not in collections):
+            from repro.xdm.order import pin_tree_order
+
+            docs = [stored.document()
+                    for _name, stored in self.catalog_collection]
+            # cross-document order is first-touch order: pin it to the
+            # sorted-name binding order so `collection()` results are
+            # deterministic — and identical to the scatter-gather
+            # merge, which emits documents in exactly this order
+            pin_tree_order(docs)
+            dctx.register_collection("", docs)
         bindings: dict[QName, Any] = {}
         if variables:
             for name, value in variables.items():
@@ -447,6 +467,7 @@ class Engine:
                                       batch_size=self.batch_size)
             plan = generator.compile_root(optimized)
         catalog_bindings = None
+        catalog_collection = None
         if self.catalog is not None:
             used = {e.name.local for e in optimized.walk()
                     if isinstance(e, ast.VarRef) and not e.name.uri}
@@ -456,10 +477,14 @@ class Engine:
             catalog_bindings = {name: self.catalog[name]
                                for name in self.catalog.names()
                                if name in used}
+            if _reads_default_collection(optimized):
+                catalog_collection = [(name, self.catalog[name])
+                                      for name in sorted(self.catalog.names())]
         compiled = CompiledQuery(module, core, optimized, static_ctx, plan,
                                  static_type, plan_tree=generator.plan_tree,
                                  catalog_bindings=catalog_bindings,
-                                 generated_source=generated_source)
+                                 generated_source=generated_source,
+                                 catalog_collection=catalog_collection)
         if cache_key is not None:
             self.compile_cache.put(cache_key, compiled)
         return compiled
@@ -514,6 +539,18 @@ class Engine:
             engine_stats["compile_cache_misses"] = self.compile_cache.misses
         return ExplainResult(compiled, profiler, query_text=query_text,
                              engine_stats=engine_stats)
+
+
+def _reads_default_collection(expr: ast.Expr) -> bool:
+    """True if ``expr`` contains a no-argument ``fn:collection()`` call."""
+    from repro.qname import FN_NS
+
+    for e in expr.walk():
+        if isinstance(e, ast.FunctionCall) and not e.args \
+                and e.name.local == "collection" \
+                and e.name.uri in ("", FN_NS):
+            return True
+    return False
 
 
 def _legacy_positional(where: str, names: tuple[str, ...], args: tuple,

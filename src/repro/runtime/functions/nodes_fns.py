@@ -115,10 +115,19 @@ def fn_document(dctx, uri_arg):
     return fn_doc(dctx, uri_arg)
 
 
-@register("collection", 1, context_sensitive=True)
-def fn_collection(dctx, uri_arg):
-    """``fn:collection(xs:string?) as node()*``"""
-    uri = opt_string(uri_arg)
+@register("collection", 0, 1, context_sensitive=True)
+def fn_collection(dctx, *args):
+    """``fn:collection(xs:string?) as node()*``
+
+    The no-argument form resolves the *default collection* — the
+    catalog's documents, registered under the empty URI.  Note the
+    spec-faithful asymmetry: ``collection()`` reads the default
+    collection while ``collection(())`` is an empty-sequence URI and
+    returns ``()``.
+    """
+    if not args:
+        return list(dctx.resolve_collection(""))
+    uri = opt_string(args[0])
     if uri is None:
         return []
     return list(dctx.resolve_collection(uri))

@@ -87,6 +87,9 @@ class ServerResultCache:
     process had already replaced.
     """
 
+    #: bound on the canonical-bindings memo (entries, not bytes)
+    _CANON_CAPACITY = 256
+
     def __init__(self, capacity: int = 128, epoch_source=None):
         self._cache = LRUCache(capacity) if capacity else None
         self._lock = threading.Lock()
@@ -97,6 +100,12 @@ class ServerResultCache:
         #: None, or an object with ``load(tenant) -> int`` and
         #: ``bump(tenant) -> int`` (persisting the bump)
         self._epoch_source = epoch_source
+        #: hashable-bindings → canonical JSON: key() runs on the hot
+        #: path of every request, and the registered-query pattern
+        #: re-sends the same few binding sets thousands of times —
+        #: re-encoding them each time is pure allocation churn
+        self._canon: dict[tuple, str] = {}
+        self._encodes = 0
 
     @property
     def enabled(self) -> bool:
@@ -124,13 +133,43 @@ class ServerResultCache:
         if self._cache is None:
             return None
         try:
-            canon = canonical_variables(variables)
+            canon = self._canonical(variables)
         except (TypeError, ValueError):
             return None  # unserializable bindings: just don't cache
         with self._lock:
             epoch = self._epoch(tenant)
         return (tenant, epoch, query_text, options_fp, catalog_fp,
                 canon, form)
+
+    def _canonical(self, variables: Optional[dict]) -> str:
+        """Memoized :func:`canonical_variables`.
+
+        Scalar bindings (the overwhelmingly common case) are hashable
+        as ``tuple(sorted(items))`` and hit the memo; bindings holding
+        lists or objects raise TypeError on hashing and fall through to
+        a fresh encode.  Unserializable values still escape as
+        TypeError/ValueError for the caller's don't-cache path.
+        """
+        if not variables:
+            return ""
+        try:
+            memo_key = tuple(sorted(variables.items()))
+            hash(memo_key)  # list/dict values poison the tuple's hash
+        except TypeError:
+            memo_key = None
+        if memo_key is not None:
+            with self._lock:
+                cached = self._canon.get(memo_key)
+            if cached is not None:
+                return cached
+        canon = canonical_variables(variables)
+        with self._lock:
+            self._encodes += 1
+            if memo_key is not None:
+                if len(self._canon) >= self._CANON_CAPACITY:
+                    self._canon.clear()
+                self._canon[memo_key] = canon
+        return canon
 
     def get(self, key: Optional[tuple]) -> Any:
         if self._cache is None or key is None:
@@ -161,8 +200,10 @@ class ServerResultCache:
 
     def stats(self) -> dict[str, int]:
         if self._cache is None:
-            return {"enabled": 0, "hits": 0, "misses": 0, "entries": 0}
+            return {"enabled": 0, "hits": 0, "misses": 0, "entries": 0,
+                    "encodes": 0}
         with self._lock:
             return {"enabled": 1, "hits": self._cache.hits,
                     "misses": self._cache.misses,
-                    "entries": len(self._cache)}
+                    "entries": len(self._cache),
+                    "encodes": self._encodes}

@@ -53,6 +53,7 @@ from repro.server.tenants import (
     status_for,
 )
 from repro.service import ForkWorkerPool, QueryService
+from repro.service.sharding import ShardRouter
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 413: "Payload Too Large",
@@ -76,10 +77,14 @@ class XQueryServer:
         self.metrics = ServerMetrics(self.config.metrics_window)
         self.pool: Optional[ForkWorkerPool] = None
         self.service: Optional[QueryService] = None
+        self.router: Optional[ShardRouter] = None
         if self.config.processes > 0:
             self.pool = ForkWorkerPool(
                 self.core.handle, workers=self.config.processes,
                 max_queue=self.config.options.max_queue)
+            # collection-level scatter-gather across the pool children;
+            # ShardRouter.enabled gates on options.shards and pool size
+            self.router = ShardRouter(self.core, self.pool)
         else:
             self.service = QueryService(options=self.config.options)
         self._server: Optional[asyncio.AbstractServer] = None
@@ -104,6 +109,8 @@ class XQueryServer:
     def shutdown(self) -> None:
         if self._server is not None:
             self._server.close()
+        if self.router is not None:
+            self.router.shutdown()
         if self.pool is not None:
             self.pool.shutdown()
         if self.service is not None:
@@ -324,7 +331,19 @@ class XQueryServer:
             return status, {"error": {"code": reply["error"],
                                       "message": reply["message"]}}, \
                 "application/json", {}
-        return 200, reply["payload"], "application/json", {}
+        payload = reply["payload"]
+        if analyze and self.router is not None:
+            # EXPLAIN ANALYZE reports how the scatter path would run
+            # this query: actually scatter it and surface the shard
+            # stats next to the engine's own counters
+            scatter = await loop.run_in_executor(
+                None, lambda: self.router.try_execute(
+                    tenant, text, variables, None, "json", timeout,
+                    _hard_timeout(timeout)))
+            if scatter is not None and scatter.get("shard"):
+                payload.setdefault("engine_stats", {}).update(
+                    scatter["shard"])
+        return 200, payload, "application/json", {}
 
     # -- execution (both modes) --------------------------------------------
 
@@ -349,16 +368,28 @@ class XQueryServer:
                 hit = self.core.result_cache.get(key)
                 if hit is not None:
                     return {"status": 200, "payload": hit, "cached": True}
-            try:
+            reply = None
+            if self.router is not None:
+                # scatter-gather for eligible collection queries; None
+                # always means "use the normal single-worker path"
                 reply = await loop.run_in_executor(
-                    None, lambda: self.pool.call(
-                        ("execute", tenant, query_text, request.variables,
-                         declared, request.form, request.timeout,
-                         request.use_cache),
-                        hard_timeout=_hard_timeout(request.timeout)))
-            except XQueryError as exc:
-                reply = {"status": status_for(exc), "error": exc.code,
-                         "message": exc.message or str(exc)}
+                    None, lambda: self.router.try_execute(
+                        tenant, query_text, request.variables, declared,
+                        request.form, request.timeout,
+                        _hard_timeout(request.timeout)))
+                if reply is not None:
+                    self.metrics.count("scattered")
+            if reply is None:
+                try:
+                    reply = await loop.run_in_executor(
+                        None, lambda: self.pool.call(
+                            ("execute", tenant, query_text,
+                             request.variables, declared, request.form,
+                             request.timeout, request.use_cache),
+                            hard_timeout=_hard_timeout(request.timeout)))
+                except XQueryError as exc:
+                    reply = {"status": status_for(exc), "error": exc.code,
+                             "message": exc.message or str(exc)}
             if key is not None and isinstance(reply, dict) \
                     and reply.get("status") == 200 and reply.get("cacheable"):
                 self.core.result_cache.put(key, reply["payload"])
@@ -430,6 +461,8 @@ class XQueryServer:
             # the cross-child layer in the parent (see _execute)
             out["caches"]["parent_result_cache"] = \
                 self.core.result_cache.stats()
+        if self.router is not None:
+            out["sharding"] = self.router.stats()
         return out
 
 

@@ -5,6 +5,9 @@
 - :class:`ForkWorkerPool` — persistent pre-forked workers with warm
   per-process state, crash respawn, and a replay log (the server's
   multi-process mode);
+- :class:`ShardRouter` — collection-level scatter-gather across the
+  pool children (eligible queries run one shard per worker and merge
+  in document order);
 - :mod:`repro.service.executors` — the group executors behind the
   compiler's ``ParallelSeq`` operator (threads for overlap, fork for
   multi-core speedup).
@@ -17,6 +20,7 @@ from repro.service.executors import (
     default_executor,
 )
 from repro.service.queryservice import QueryService, RetryingDocumentLoader
+from repro.service.sharding import ShardRouter, UncombinableShardResult
 from repro.service.workers import ForkWorkerPool, WorkerCrashed
 
 __all__ = [
@@ -27,5 +31,7 @@ __all__ = [
     "ForkGroupExecutor",
     "ForkWorkerPool",
     "WorkerCrashed",
+    "ShardRouter",
+    "UncombinableShardResult",
     "default_executor",
 ]

@@ -34,9 +34,9 @@ Failure semantics:
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
-import queue
 import select
 import signal
 import struct
@@ -89,15 +89,26 @@ def _read_frame(fd: int) -> Optional[Any]:
 
 
 class _Worker:
-    """Parent-side handle: pid plus the two pipe ends the parent keeps."""
+    """Parent-side handle: pid plus the two pipe ends the parent keeps.
 
-    __slots__ = ("wid", "pid", "send_fd", "recv_fd")
+    ``replayed`` counts how many replay-log commands this child has
+    already applied — commands it replayed at spawn count immediately,
+    and every replay broadcast delivered to it advances the counter.
+    This is what makes the SIGKILL-respawn-during-broadcast sequence
+    exactly-once: a child respawned *after* a command entered the log
+    replays it at spawn, and the blocked broadcast then sees
+    ``replayed`` past its log index and skips the duplicate delivery.
+    """
 
-    def __init__(self, wid: int, pid: int, send_fd: int, recv_fd: int):
+    __slots__ = ("wid", "pid", "send_fd", "recv_fd", "replayed")
+
+    def __init__(self, wid: int, pid: int, send_fd: int, recv_fd: int,
+                 replayed: int = 0):
         self.wid = wid
         self.pid = pid
         self.send_fd = send_fd
         self.recv_fd = recv_fd
+        self.replayed = replayed
 
 
 class ForkWorkerPool:
@@ -107,11 +118,19 @@ class ForkWorkerPool:
       pickle.  Exceptions escaping the handler come back to the caller
       as :class:`WorkerCrashed` — handlers should catch domain errors
       and encode them in the reply;
-    - ``call(command)`` dispatches to a free worker (FIFO), blocking
-      while all are busy; admission is bounded by ``max_queue``;
+    - ``call(command)`` dispatches to a free worker, blocking while all
+      are busy; admission is bounded by ``max_queue``.
+      ``call(command, worker=wid)`` targets a *specific* worker — the
+      scatter-gather router pins each shard to its owning child so
+      shard-local warm state (materialized segments, per-document
+      compile products) stays hot across requests;
     - ``broadcast(command, replay=True)`` sends to *every* worker (state
       mutation: ingests, registrations) and records the command so
-      respawned workers replay it.
+      respawned workers replay it.  Broadcasts are serialized against
+      each other and delivered worker-by-worker, tracking each child's
+      replay-log position so a worker respawned mid-broadcast (the
+      hard-timeout SIGKILL backstop) applies every logged command
+      exactly once.
     """
 
     def __init__(self, handler: Callable[[Any], Any],
@@ -121,14 +140,21 @@ class ForkWorkerPool:
                            else (os.cpu_count() or 2))
         self.max_queue = max_queue
         self._workers: dict[int, _Worker] = {}
-        self._idle: "queue.Queue[int]" = queue.Queue()
         self._lock = threading.Lock()
+        # worker ids not currently executing a command; guarded by
+        # `_avail` (which wraps `_lock`, so counters stay coherent)
+        self._free: set[int] = set()
+        self._avail = threading.Condition(self._lock)
+        # broadcasts serialize against each other so every child sees
+        # replay-logged commands in log order
+        self._bcast_lock = threading.Lock()
         self._replay_log: list[Any] = []
         self._in_flight = 0
         self._started = False
         self._closed = False
         self._counters = {"requests": 0, "broadcasts": 0, "rejected": 0,
-                          "crashes": 0, "respawns": 0, "hard_kills": 0}
+                          "crashes": 0, "respawns": 0, "hard_kills": 0,
+                          "replay_skips": 0}
 
     @property
     def available(self) -> bool:
@@ -144,7 +170,9 @@ class ForkWorkerPool:
         self._started = True
         for wid in range(self.workers):
             self._spawn(wid)
-            self._idle.put(wid)
+            with self._avail:
+                self._free.add(wid)
+                self._avail.notify_all()
         return self
 
     def _spawn(self, wid: int) -> None:
@@ -172,10 +200,12 @@ class ForkWorkerPool:
                 os._exit(0)
         os.close(send_r)
         os.close(recv_w)
-        # note: the caller owns putting `wid` on the idle queue — a
-        # worker id stands for a *slot*, present exactly once in the
-        # queue whenever no request holds it
-        self._workers[wid] = _Worker(wid, pid, send_w, recv_r)
+        # note: the caller owns marking `wid` free — a worker id stands
+        # for a *slot*, in the free set exactly when no request holds
+        # it.  The fresh child applied the full snapshot at startup, so
+        # its replay position is the snapshot length.
+        self._workers[wid] = _Worker(wid, pid, send_w, recv_r,
+                                     replayed=len(replay))
 
     def _child_loop(self, recv_fd: int, send_fd: int, replay: list) -> None:
         handler = self.handler
@@ -197,13 +227,36 @@ class ForkWorkerPool:
 
     # -- dispatch ----------------------------------------------------------
 
-    def call(self, command: Any,
-             hard_timeout: Optional[float] = None) -> Any:
-        """Send ``command`` to a free worker and return its reply.
+    def _acquire(self, worker: Optional[int] = None) -> int:
+        """Take a worker slot: any free one, or a specific ``worker``."""
+        with self._avail:
+            if worker is None:
+                while not self._free:
+                    self._avail.wait()
+                wid = min(self._free)
+            else:
+                wid = worker
+                if wid not in self._workers:
+                    raise ValueError(f"no such worker: {wid}")
+                while wid not in self._free:
+                    self._avail.wait()
+            self._free.discard(wid)
+            return wid
 
-        ``hard_timeout`` (seconds) is the non-cooperative backstop: a
-        worker that hasn't replied by then is killed and respawned, and
-        the call raises :class:`~repro.errors.QueryTimeout`.
+    def _release(self, wid: int) -> None:
+        with self._avail:
+            self._free.add(wid)
+            self._avail.notify_all()
+
+    @contextlib.contextmanager
+    def admission(self):
+        """Reserve one admission slot for a multi-call operation.
+
+        The scatter-gather router fans one logical request out into one
+        targeted :meth:`call` per shard; wrapping the scatter in
+        ``admission()`` and passing ``admitted=True`` to the calls
+        charges the request a single slot — the same admission cost as
+        the single-worker execution it replaces.
         """
         if self._closed:
             raise RuntimeError("ForkWorkerPool is shut down")
@@ -216,25 +269,49 @@ class ForkWorkerPool:
             self._in_flight += 1
             self._counters["requests"] += 1
         try:
-            wid = self._idle.get()
+            yield
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+
+    def call(self, command: Any, hard_timeout: Optional[float] = None,
+             worker: Optional[int] = None, admitted: bool = False) -> Any:
+        """Send ``command`` to a worker and return its reply.
+
+        ``hard_timeout`` (seconds) is the non-cooperative backstop: a
+        worker that hasn't replied by then is killed and respawned, and
+        the call raises :class:`~repro.errors.QueryTimeout`.
+
+        ``worker`` targets a specific worker id (blocking until that
+        worker is free); the default picks any free worker.
+        ``admitted=True`` skips admission accounting — only for calls
+        already covered by an enclosing :meth:`admission` slot.
+        """
+        if self._closed:
+            raise RuntimeError("ForkWorkerPool is shut down")
+        slot = contextlib.nullcontext() if admitted else self.admission()
+        with slot:
+            wid = self._acquire(worker)
             try:
-                worker = self._workers[wid]
+                handle = self._workers[wid]
                 try:
-                    _write_frame(worker.send_fd, command)
+                    _write_frame(handle.send_fd, command)
                     if hard_timeout is not None:
-                        ready, _, _ = select.select([worker.recv_fd], [], [],
+                        ready, _, _ = select.select([handle.recv_fd], [], [],
                                                     hard_timeout)
                         if not ready:
-                            self._kill(worker)
+                            self._kill(handle)
                             self._respawn(wid)
-                            self._counters["hard_kills"] += 1
+                            with self._lock:
+                                self._counters["hard_kills"] += 1
                             raise QueryTimeout(deadline=hard_timeout,
                                                elapsed=hard_timeout)
-                    reply = _read_frame(worker.recv_fd)
+                    reply = _read_frame(handle.recv_fd)
                 except OSError:
                     reply = None
                 if reply is None:
-                    self._counters["crashes"] += 1
+                    with self._lock:
+                        self._counters["crashes"] += 1
                     self._respawn(wid)
                     raise WorkerCrashed(f"worker {wid} died mid-request")
                 if isinstance(reply, tuple) and reply \
@@ -245,43 +322,56 @@ class ForkWorkerPool:
             finally:
                 # the slot goes back in every path — after a respawn,
                 # `wid` names the fresh replacement worker
-                self._idle.put(wid)
-        finally:
-            with self._lock:
-                self._in_flight -= 1
+                self._release(wid)
 
     def broadcast(self, command: Any, replay: bool = False) -> list:
         """Send ``command`` to every worker; returns their replies.
 
         ``replay=True`` records the command for respawned workers —
         use it for every state mutation that must survive a crash.
+        Delivery is per-worker: the broadcast takes one worker at a
+        time, so it never blocks behind *all* in-flight requests at
+        once, and a worker respawned mid-broadcast (hard-timeout kill
+        in a concurrent :meth:`call`) is detected by its replay-log
+        position — the fresh child already applied the logged command
+        at startup, so delivering it again would double-apply the
+        mutation.  ``_bcast_lock`` keeps concurrent broadcasts in log
+        order on every child.
         """
         if self._closed:
             raise RuntimeError("ForkWorkerPool is shut down")
-        with self._lock:
-            self._counters["broadcasts"] += 1
-        if replay:
-            self._replay_log.append(command)
-        # take every worker off the idle queue so the broadcast can't
-        # interleave with per-request dispatch
-        held = [self._idle.get() for _ in range(len(self._workers))]
-        replies = []
-        try:
-            for wid in held:
-                worker = self._workers[wid]
+        with self._bcast_lock:
+            with self._lock:
+                self._counters["broadcasts"] += 1
+            idx = None
+            if replay:
+                idx = len(self._replay_log)
+                self._replay_log.append(command)
+            replies = []
+            for wid in sorted(self._workers):
+                self._acquire(wid)
                 try:
-                    _write_frame(worker.send_fd, command)
-                    reply = _read_frame(worker.recv_fd)
-                except OSError:
-                    reply = None
-                if reply is None:
-                    self._counters["crashes"] += 1
-                    self._respawn(wid)  # replays the log, incl. this cmd
-                    reply = ("__respawned__",)
-                replies.append(reply)
-        finally:
-            for wid in held:
-                self._idle.put(wid)
+                    worker = self._workers[wid]
+                    if idx is not None and worker.replayed > idx:
+                        with self._lock:
+                            self._counters["replay_skips"] += 1
+                        replies.append(("__replayed__",))
+                        continue
+                    try:
+                        _write_frame(worker.send_fd, command)
+                        reply = _read_frame(worker.recv_fd)
+                    except OSError:
+                        reply = None
+                    if reply is None:
+                        with self._lock:
+                            self._counters["crashes"] += 1
+                        self._respawn(wid)  # replays the log, incl. this
+                        reply = ("__respawned__",)
+                    elif idx is not None:
+                        worker.replayed = idx + 1
+                    replies.append(reply)
+                finally:
+                    self._release(wid)
         return replies
 
     # -- worker failure ----------------------------------------------------

@@ -572,6 +572,22 @@ class CatalogStorage:
         return SegmentReader(self.path / entry.file,
                              expected_size=entry.size)
 
+    def shard_map(self) -> Optional[dict]:
+        """The persisted shard assignment, or None.
+
+        Shape: ``{"shards": N, "assignment": {doc_name: shard_id}}`` —
+        written by the scatter-gather router (in the writer process)
+        so shard ownership survives restarts: a document keeps landing
+        on the worker that has its segment materialized warm.
+        """
+        with self._lock:
+            stored = self._manifest.get("shard_map")
+            if not stored:
+                return None
+            return {"shards": int(stored["shards"]),
+                    "assignment": {str(k): int(v)
+                                   for k, v in stored["assignment"].items()}}
+
     @property
     def next_generation(self) -> int:
         return int(self._manifest.get("next_generation", 1))
@@ -627,6 +643,18 @@ class CatalogStorage:
             self._commit_manifest(self._manifest, durability)
             (self.path / old["file"]).unlink(missing_ok=True)
             return True
+
+    def store_shard_map(self, shards: int, assignment: dict[str, int],
+                        durability: str = "sync") -> None:
+        """Persist the shard assignment through the manifest commit
+        path (single writer; readers pick it up via :meth:`reload`)."""
+        check_durability(durability)
+        with self._lock:
+            self._manifest["shard_map"] = {
+                "shards": int(shards),
+                "assignment": {str(k): int(v)
+                               for k, v in sorted(assignment.items())}}
+            self._commit_manifest(self._manifest, durability)
 
     def bump_result_epoch(self, durability: str = "sync") -> int:
         check_durability(durability)

@@ -21,12 +21,42 @@ from repro.xdm.nodes import AttributeNode, DocumentNode, ElementNode, NamespaceN
 _tree_counter = itertools.count(1)
 _tree_ids: dict[int, int] = {}
 
+#: the rank space for pinned collection members: far below anything the
+#: first-touch counter can hand out, so a pinned tree always orders
+#: before (and independently of) accidentally-touched trees
+COLLECTION_RANK_BASE = -(1 << 40)
+
 
 def _tree_id(root: Node) -> int:
     key = id(root)
     if key not in _tree_ids:
         _tree_ids[key] = next(_tree_counter)
     return _tree_ids[key]
+
+
+def pin_tree_rank(root: Node, rank: int) -> None:
+    """Force ``root``'s tree id to ``rank``, overriding any
+    first-touch id it may already carry.
+
+    Cross-tree document order is first-touch order, which is normally
+    an execution accident.  Surfaces that promise a *deterministic*
+    cross-document order — the default collection binds a catalog's
+    documents in sorted-name order, and the scatter-gather merge
+    reproduces that order across processes — pin each member to
+    ``COLLECTION_RANK_BASE + sorted_name_index`` at binding time, so
+    no earlier query's touch pattern (a shard execution that touched
+    one document first, a fn:doc call) can reorder the collection.
+    Two trees pinned to the same rank compare equal at the tree level;
+    callers must only pin trees that never meet in one query (catalog
+    collections are per-tenant, and a query sees one tenant).
+    """
+    _tree_ids[id(root)] = rank
+
+
+def pin_tree_order(roots: Iterable[Node]) -> None:
+    """Pin ``roots`` to collection ranks in iteration order, now."""
+    for index, root in enumerate(roots):
+        pin_tree_rank(root, COLLECTION_RANK_BASE + index)
 
 
 def _order_cache(root: Node) -> dict[int, int]:
